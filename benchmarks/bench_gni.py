@@ -1,0 +1,110 @@
+"""E5 — Theorem 1.5: the distributed Goldwasser–Sipser GNI protocol.
+
+Regenerates: per-repetition success rates versus the analytic sandwich
+(the 3/8 vs 1/4 GS gap), the amplified acceptance probabilities
+(exact binomials on the measured rates), end-to-end executions, and
+the O(n log n) cost accounting.
+"""
+
+import math
+import random
+
+from conftest import report_table
+
+from repro import gni_instance, run_protocol
+from repro.core import binomial_tail
+from repro.protocols import (GNIGoldwasserSipserProtocol,
+                             per_repetition_success_rate)
+
+
+def test_gs_gap(benchmark, rigid6):
+    protocol = GNIGoldwasserSipserProtocol(6, repetitions=40)
+    g0, g1 = rigid6[0], rigid6[1]
+    g1_iso = g0.relabel([2, 0, 1, 4, 3, 5])
+
+    def measure():
+        rng = random.Random(6)
+        rate_yes = per_repetition_success_rate(g0, g1, protocol, 120, rng)
+        rate_no = per_repetition_success_rate(g0, g1_iso, protocol, 120, rng)
+        return rate_yes, rate_no
+
+    rate_yes, rate_no = benchmark.pedantic(measure, rounds=1, iterations=1)
+    p_yes_lb, p_no_ub = protocol.repetition_bounds()
+    report_table(benchmark, "E5: per-repetition GS success probability",
+                 ("side", "measured", "analytic bound"),
+                 [("YES (|S| = 2*6!)", f"{rate_yes:.3f}",
+                   f">= {p_yes_lb:.3f}"),
+                  ("NO  (|S| = 6!)", f"{rate_no:.3f}",
+                   f"<= {p_no_ub:.3f}")])
+    sigma = math.sqrt(0.25 / 120)
+    assert rate_yes >= p_yes_lb - 4 * sigma
+    assert rate_no <= p_no_ub + 4 * sigma
+
+
+def test_amplified_guarantees(benchmark, rigid6):
+    protocol = GNIGoldwasserSipserProtocol(6, repetitions=40)
+    g0, g1 = rigid6[0], rigid6[1]
+    g1_iso = g0.relabel([2, 0, 1, 4, 3, 5])
+
+    def compute():
+        rng = random.Random(8)
+        rate_yes = per_repetition_success_rate(g0, g1, protocol, 100, rng)
+        rate_no = per_repetition_success_rate(g0, g1_iso, protocol, 100, rng)
+        t, k = protocol.repetitions, protocol.threshold
+        return (binomial_tail(t, rate_yes, k), binomial_tail(t, rate_no, k))
+
+    acc_yes, acc_no = benchmark.pedantic(compute, rounds=1, iterations=1)
+    guarantees = protocol.guarantees()
+    report_table(
+        benchmark,
+        "E5: amplified acceptance (exact binomial on measured rates)",
+        ("side", "probability", "analytic", "definition"),
+        [("YES", f"{acc_yes:.3f}", f"{guarantees.completeness:.3f}",
+          "> 2/3"),
+         ("NO", f"{acc_no:.3f}", f"{guarantees.soundness_error:.3f}",
+          "< 1/3")])
+    assert acc_yes > 2 / 3
+    assert acc_no < 1 / 3
+
+
+def test_end_to_end_execution(benchmark, rigid6):
+    protocol = GNIGoldwasserSipserProtocol(6, repetitions=40)
+    instance = gni_instance(rigid6[0], rigid6[1])
+
+    def run_once():
+        return run_protocol(protocol, instance, protocol.honest_prover(),
+                            random.Random(9))
+
+    result = benchmark(run_once)
+    report_table(benchmark, "E5: one full dAMAM execution (n=6, t=40)",
+                 ("accepted", "per-node bits", "bits/(t*n*log2 n)"),
+                 [(result.accepted, result.max_cost_bits,
+                   f"{result.max_cost_bits / (40 * 6 * math.log2(6)):.1f}")])
+
+
+def test_cost_scaling(benchmark, rigid6):
+    from repro.graphs import path_graph
+
+    def run_sizes():
+        rows = []
+        for n in (6, 7):
+            if n == 6:
+                g0, g1 = rigid6[0], rigid6[1]
+            else:
+                g0 = rigid6[0].disjoint_union(path_graph(1)) \
+                    .with_edges([(5, 6)])
+                g1 = rigid6[1].disjoint_union(path_graph(1)) \
+                    .with_edges([(4, 6)])
+            protocol = GNIGoldwasserSipserProtocol(n, repetitions=8)
+            instance = gni_instance(g0, g1)
+            result = run_protocol(protocol, instance,
+                                  protocol.honest_prover(),
+                                  random.Random(10))
+            per_rep = result.max_cost_bits / 8
+            rows.append((n, result.max_cost_bits,
+                         f"{per_rep / (n * math.log2(n)):.1f}"))
+        return rows
+
+    rows = benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+    report_table(benchmark, "E5: GNI cost scaling (8 repetitions)",
+                 ("n", "bits", "per-rep bits/(n*log2 n)"), rows)

@@ -1,0 +1,206 @@
+"""E7 — Ablation: the Theorem-3.2 collision law and hash throughput.
+
+Regenerates: exact collision-seed counts against the m/p cap across
+prime sizes, ε-API axiom measurements, and raw hashing throughput
+(the substrate cost every protocol pays).
+"""
+
+import random
+
+from conftest import report_table
+
+from repro.graphs import gnp_random_graph
+from repro.hashing import (DistributedAPIHash, LinearHashFamily,
+                           collision_seed_count, graph_matrix_sum,
+                           mapped_matrix_sum, next_prime)
+
+
+def test_collision_law_exact(benchmark):
+    """Exact #colliding seeds (brute force over all p seeds) stays
+    under m for random vector pairs, across prime sizes."""
+    m = 8
+    primes = [next_prime(p0) for p0 in (101, 401, 1601, 6373)]
+    rng = random.Random(12)
+
+    def sweep():
+        rows = []
+        for p in primes:
+            family = LinearHashFamily(m=m, p=p)
+            worst = 0
+            for _ in range(10):
+                a = [rng.randrange(p) for _ in range(m)]
+                b = [rng.randrange(p) for _ in range(m)]
+                if a == b:
+                    continue
+                worst = max(worst, collision_seed_count(family, a, b))
+            rows.append((p, worst, m, f"{worst / p:.5f}", f"{m / p:.5f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E7: exact collision counts vs Theorem 3.2 cap",
+                 ("p", "worst #collisions", "cap m", "worst prob",
+                  "cap m/p"), rows)
+    for p, worst, cap, *_ in rows:
+        assert worst <= cap
+
+
+def test_soundness_error_tracks_prime(benchmark, rigid6):
+    """Protocol-level view: the committed cheater's acceptance tracks
+    the collision probability of its chosen pair as p grows."""
+    from repro import Instance, run_protocol
+    from repro.protocols import CommittedMappingProver, SymDMAMProtocol
+
+    graph = rigid6[0]
+    mapping = (1, 0, 2, 3, 4, 5)
+    primes = [next_prime(p0) for p0 in (101, 1009, 10007, 100003)]
+
+    def sweep():
+        rows = []
+        for p in primes:
+            family = LinearHashFamily(m=36, p=p)
+            protocol = SymDMAMProtocol(6, family=family)
+            adversary = CommittedMappingProver(protocol, mapping=mapping)
+            trials = 150
+            rate = sum(
+                run_protocol(protocol, Instance(graph), adversary,
+                             random.Random(i)).accepted
+                for i in range(trials)) / trials
+            a = graph_matrix_sum(graph, p)
+            b = mapped_matrix_sum(graph, mapping, p)
+            exact = sum(family.hash_matrix_sum(s, a)
+                        == family.hash_matrix_sum(s, b)
+                        for s in range(p)) if p <= 1009 else None
+            rows.append((p, f"{rate:.4f}",
+                         f"{exact / p:.4f}" if exact is not None else "-",
+                         f"{36 / p:.5f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E7: cheater acceptance vs prime size (Protocol 1)",
+                 ("p", "measured", "exact collision prob", "cap m/p"),
+                 rows)
+    rates = [float(r[1]) for r in rows]
+    assert rates[-1] <= rates[0] + 0.01  # decays with p
+
+
+def test_api_axiom_measurement(benchmark):
+    h = DistributedAPIHash(m=6, q=11)
+    rng = random.Random(13)
+    x1, x2 = 0b101010, 0b010101
+    trials = 4000
+
+    def measure():
+        single = pair = 0
+        for _ in range(trials):
+            c = h.sample_challenge(3, rng)
+            v1 = h.hash_encoding(c, x1)
+            v2 = h.hash_encoding(c, x2)
+            single += (v1 == 3)
+            pair += (v1 == 3 and v2 == 7)
+        return single / trials, pair / trials
+
+    single_rate, pair_rate = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+    report_table(benchmark, "E7: ε-API axioms, measured",
+                 ("quantity", "measured", "bound"),
+                 [("Pr[h(x)=y]", f"{single_rate:.4f}",
+                   f"(1±{h.delta:.4f})/11 = {1 / 11:.4f}"),
+                  ("Pr[h(x1)=y1, h(x2)=y2]", f"{pair_rate:.4f}",
+                   f"(1+{h.epsilon:.3f})/121 = {(1 + h.epsilon) / 121:.4f}")])
+    assert abs(single_rate - 1 / 11) < 0.02
+    assert pair_rate < (1 + h.epsilon) / 121 + 0.01
+
+
+def test_row_hash_throughput(benchmark):
+    """Raw substrate speed: hashing one node's row (the inner loop of
+    every tree-aggregation protocol)."""
+    n = 64
+    family = LinearHashFamily(m=n * n,
+                              p=next_prime(10 * n ** 3))
+    rng = random.Random(14)
+    graph = gnp_random_graph(n, 0.3, rng)
+    seed = family.sample_seed(rng)
+
+    def hash_all_rows():
+        return sum(family.hash_row_matrix(seed, n, v, graph.closed_row(v))
+                   for v in graph.vertices) % family.p
+
+    total = benchmark(hash_all_rows)
+    report_table(benchmark, "E7: row-hash throughput (n=64)",
+                 ("rows hashed per call", "total hash"), [(n, total)])
+
+
+def test_and_amplification_decay(benchmark, rigid6):
+    """Soundness error of AND-amplified Protocol 1 versus copy count,
+    with a deliberately small prime so the base error is visible."""
+    from repro import Instance, run_protocol
+    from repro.core import AndAmplifiedProtocol
+    from repro.protocols import CommittedMappingProver, SymDMAMProtocol
+
+    graph = rigid6[0]
+    mapping = (1, 0, 2, 3, 4, 5)
+    family = LinearHashFamily(m=36, p=next_prime(101))
+    trials = 250
+
+    def sweep():
+        rows = []
+        base = SymDMAMProtocol(6, family=family)
+        base_rate = sum(
+            run_protocol(base, Instance(graph),
+                         CommittedMappingProver(base, mapping=mapping),
+                         random.Random(i)).accepted
+            for i in range(trials)) / trials
+        rows.append((1, f"{base_rate:.3f}", f"{base_rate:.3f}"))
+        for copies in (2, 3):
+            amplified = AndAmplifiedProtocol(base, copies)
+            adversary = amplified.amplified_prover(
+                [CommittedMappingProver(base, mapping=mapping)
+                 for _ in range(copies)])
+            rate = sum(
+                run_protocol(amplified, Instance(graph), adversary,
+                             random.Random(i)).accepted
+                for i in range(trials)) / trials
+            rows.append((copies, f"{rate:.3f}",
+                         f"{base_rate ** copies:.3f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E7b: AND-amplification — soundness error vs copies "
+                 "(p=101, committed swap)",
+                 ("copies", "measured error", "base^k prediction"), rows)
+    rates = [float(r[1]) for r in rows]
+    assert rates[0] > rates[-1]  # error decays with copies
+
+
+def test_pi_vs_api_seed_lengths(benchmark):
+    """E7c — Section 4's seed-length argument, quantified: the
+    pairwise-independent (Toeplitz) seed is Θ(n²) bits and cannot be
+    split; the ε-API budget is Θ(n log n) split across nodes."""
+    import math
+    from repro.hashing import gs_output_modulus
+    from repro.hashing.toeplitz import ToeplitzHash
+
+    def sweep():
+        rows = []
+        for n in (8, 16, 32, 64):
+            k = min(n, 10)
+            q = gs_output_modulus(2 * math.factorial(k))
+            out_bits = max(1, math.ceil(math.log2(q)))
+            toeplitz = ToeplitzHash(input_bits=n * n,
+                                    output_bits=out_bits)
+            api = DistributedAPIHash(m=n * n, q=q)
+            rows.append((n, toeplitz.seed_bits,
+                         api.node_seed_bits + api.root_seed_bits,
+                         api.node_seed_bits))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E7c: PI (Toeplitz) vs ε-API seed lengths",
+                 ("n", "PI seed bits (unsplittable)",
+                  "API root+node bits", "API per-node part"), rows)
+    for n, pi_bits, api_bits, _node in rows[1:]:
+        assert pi_bits > api_bits  # PI loses from n=16 on

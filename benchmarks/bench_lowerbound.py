@@ -1,0 +1,76 @@
+"""E4 — Theorem 1.4: the Ω(log log n) lower-bound pipeline.
+
+Regenerates: (i) the Lemma 3.11 distribution distances measured on
+executable simple protocols over the rigid-6 family; (ii) the packing
+table |F(n)| → implied minimum protocol length, tracking log log n.
+"""
+
+import math
+import random
+
+from conftest import report_table
+
+from repro.lowerbound import (EncodingProtocol, LocalHashProtocol,
+                              l1_distance, lemma39_acceptance,
+                              lower_bound_table, mu_a, packing_bound)
+
+
+def test_lemma311_distances(benchmark, rigid6):
+    rng = random.Random(4)
+    correct = EncodingProtocol(6)
+    broken = LocalHashProtocol(1)
+
+    def measure():
+        mus_correct = [mu_a(correct, f, 4, rng) for f in rigid6[:4]]
+        mus_broken = [mu_a(broken, f, 8, rng) for f in rigid6[:4]]
+        def min_pair(mus):
+            return min(l1_distance(mus[i], mus[j])
+                       for i in range(len(mus))
+                       for j in range(i + 1, len(mus)))
+        return min_pair(mus_correct), min_pair(mus_broken)
+
+    d_correct, d_broken = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E4: Lemma 3.11 — min pairwise L1 distance of mu_A(F)",
+                 ("protocol", "min distance", "Lemma 3.11 demands"),
+                 [("encoding (correct)", f"{d_correct:.2f}", ">= 2/3"),
+                  ("local-hash (broken)", f"{d_broken:.2f}",
+                   "n/a (not correct)")])
+    assert d_correct >= 2 / 3
+    assert d_broken < 2 / 3
+
+
+def test_broken_protocol_fails_on_family(benchmark, rigid6):
+    protocol = LocalHashProtocol(1)
+    rng = random.Random(5)
+
+    def accept_no_instance():
+        return lemma39_acceptance(protocol, rigid6[0], rigid6[1], 10, rng)
+
+    rate = benchmark.pedantic(accept_no_instance, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E4: the broken protocol accepts asymmetric dumbbells",
+                 ("instance", "best-prover acceptance", "correctness cap"),
+                 [("G(F0,F1) (NO)", f"{rate:.2f}", "< 1/3")])
+    assert rate > 1 / 3  # it really is broken, as Lemma 3.11 predicted
+
+
+def test_packing_table(benchmark):
+    sizes = [6, 10, 100, 10 ** 4, 10 ** 6, 10 ** 9]
+
+    def build():
+        return lower_bound_table(sizes)
+
+    rows = benchmark(build)
+    table = [(r.inner_n, f"{r.log2_family_size:.1f}",
+              r.min_simple_length, f"{r.loglog_n:.2f}")
+             for r in rows]
+    report_table(benchmark,
+                 "E4: packing bound — implied min protocol length",
+                 ("inner n", "log2|F|", "min L (simple)", "log2 log2 N"),
+                 table)
+    bounds = [r.min_simple_length for r in rows]
+    assert bounds == sorted(bounds)
+    assert bounds[-1] > bounds[0]
+    # Lemma 3.12 cross-check at small dimensions.
+    assert abs(packing_bound(2) - 25.0) < 1e-9

@@ -1,0 +1,64 @@
+"""E10 — Related-work baseline: randomized node-to-node verification
+(the RPLS phenomenon of [4], which the paper's model deliberately does
+not inherit because it charges the prover).
+
+Regenerates: the deterministic-vs-hashed cost table across value
+widths, with the measured detection probability of a planted
+inconsistency.
+"""
+
+import math
+import random
+
+from conftest import report_table
+
+from repro.graphs import cycle_graph
+from repro.network import (DeterministicEquality, HashedEquality,
+                           detection_probability, run_edge_verification)
+
+WIDTHS = (64, 256, 1024, 4096)
+
+
+def test_cost_gap_and_detection(benchmark):
+    graph = cycle_graph(10)
+
+    def sweep():
+        rows = []
+        for k in WIDTHS:
+            det = DeterministicEquality(k)
+            hashed = HashedEquality(k)
+            values = {v: (1 << (k - 1)) | 3 for v in graph.vertices}
+            values[4] ^= 1  # plant one deviation
+            det_rate = detection_probability(graph, values, det, 10,
+                                             random.Random(k))
+            hash_rate = detection_probability(graph, values, hashed, 150,
+                                              random.Random(k))
+            rows.append((k, det.message_bits, hashed.message_bits,
+                         f"{det.message_bits / hashed.message_bits:.0f}x",
+                         f"{det_rate:.2f}", f"{hash_rate:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_table(benchmark,
+                 "E10: edge-equality verification, deterministic vs hashed",
+                 ("value bits", "det bits/edge", "hash bits/edge", "gap",
+                  "det detection", "hash detection"), rows)
+    for k, det_bits, hash_bits, _gap, det_rate, hash_rate in rows:
+        assert det_bits == k
+        assert hash_bits <= 8 * math.log2(k) + 16
+        assert float(det_rate) == 1.0
+        assert float(hash_rate) >= 0.95
+
+
+def test_verification_round_throughput(benchmark):
+    graph = cycle_graph(64)
+    scheme = HashedEquality(256)
+    values = {v: 777 for v in graph.vertices}
+    rng = random.Random(5)
+
+    result = benchmark(
+        lambda: run_edge_verification(graph, values, scheme, rng))
+    assert result.accepted
+    report_table(benchmark, "E10: one verification round (n=64, k=256)",
+                 ("nodes", "bits/edge-message"),
+                 [(graph.n, scheme.message_bits)])

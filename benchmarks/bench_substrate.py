@@ -1,0 +1,76 @@
+"""E8 — Substrate scaling: simulator, spanning-tree PLS, automorphism
+and isomorphism search, rigid-family construction.
+
+These are the costs a *user* of the library pays; none appear in the
+paper (its nodes are mathematical), but they bound the experiment
+sizes every other benchmark can afford.
+"""
+
+import random
+
+from conftest import report_table
+
+from repro import Instance, run_protocol
+from repro.graphs import (canonical_form, cycle_graph,
+                          find_nontrivial_automorphism, gnp_random_graph,
+                          rigid_family_sampled, symmetric_doubled_graph)
+from repro.protocols import ConnectivityLCP, SymDMAMProtocol
+
+
+def test_simulator_throughput(benchmark):
+    """Full executions per second of Protocol 1 at n = 64."""
+    n = 64
+    protocol = SymDMAMProtocol(n)
+    instance = Instance(cycle_graph(n))
+    prover = protocol.honest_prover()
+    rng = random.Random(15)
+
+    result = benchmark(lambda: run_protocol(protocol, instance, prover, rng))
+    assert result.accepted
+    report_table(benchmark, "E8: simulator throughput (Protocol 1, n=64)",
+                 ("nodes", "rounds", "accepted"),
+                 [(n, protocol.num_rounds, result.accepted)])
+
+
+def test_spanning_tree_pls(benchmark):
+    n = 512
+    protocol = ConnectivityLCP(n)
+    instance = Instance(cycle_graph(n))
+    prover = protocol.honest_prover()
+    rng = random.Random(16)
+
+    result = benchmark(lambda: run_protocol(protocol, instance, prover, rng))
+    assert result.accepted
+    report_table(benchmark, "E8: spanning-tree PLS at n=512",
+                 ("nodes", "per-node bits"), [(n, result.max_cost_bits)])
+
+
+def test_automorphism_search(benchmark):
+    """The honest Sym prover's core query on a symmetric 42-vertex graph."""
+    rng = random.Random(17)
+    base = gnp_random_graph(20, 0.3, rng)
+    graph = symmetric_doubled_graph(base, bridge_length=2)
+
+    rho = benchmark(lambda: find_nontrivial_automorphism(graph))
+    assert rho is not None
+    report_table(benchmark, "E8: automorphism search",
+                 ("n", "found"), [(graph.n, rho is not None)])
+
+
+def test_canonical_form(benchmark):
+    rng = random.Random(18)
+    graph = gnp_random_graph(9, 0.5, rng)
+
+    cf = benchmark(lambda: canonical_form(graph))
+    report_table(benchmark, "E8: canonical labeling (n=9)",
+                 ("n", "edges"), [(graph.n, cf.num_edges)])
+
+
+def test_rigid_family_sampling(benchmark):
+    def build():
+        return rigid_family_sampled(10, 8, random.Random(19))
+
+    family = benchmark.pedantic(build, rounds=1, iterations=1)
+    report_table(benchmark, "E8: rigid family sampling (n=10, size 8)",
+                 ("graphs", "all rigid"), [(len(family), True)])
+    assert len(family) == 8

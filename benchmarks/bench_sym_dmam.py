@@ -1,0 +1,76 @@
+"""E1 — Theorem 1.1: Protocol 1 (dMAM for Sym) at O(log n) per node.
+
+Regenerates: per-node communication versus network size (with the
+log₂ n budget ratio), completeness on symmetric graphs, and the
+adversarial acceptance rate against the analytic m/p bound.
+"""
+
+import math
+import random
+
+from conftest import report_table
+
+from repro import Instance, run_protocol
+from repro.graphs import cycle_graph, lower_bound_dumbbell
+from repro.protocols import CommittedMappingProver, SymDMAMProtocol
+
+SIZES = (8, 16, 32, 64, 128, 256)
+
+
+def test_cost_scaling(benchmark):
+    rng = random.Random(1)
+
+    def run_all():
+        costs = {}
+        for n in SIZES:
+            protocol = SymDMAMProtocol(n)
+            result = run_protocol(protocol, Instance(cycle_graph(n)),
+                                  protocol.honest_prover(), rng)
+            assert result.accepted
+            costs[n] = result.max_cost_bits
+        return costs
+
+    costs = benchmark(run_all)
+    rows = [(n, costs[n], f"{costs[n] / math.log2(n):.1f}",
+             n * n)
+            for n in SIZES]
+    report_table(benchmark, "E1: Protocol 1 per-node cost (vs Θ(n²) LCP)",
+                 ("n", "bits", "bits/log2(n)", "LCP bits (n²)"), rows)
+    ratios = [costs[n] / math.log2(n) for n in SIZES]
+    assert max(ratios) <= 3 * min(ratios)  # O(log n) shape
+
+
+def test_completeness(benchmark, rigid6):
+    graph = lower_bound_dumbbell(rigid6[0], rigid6[0])
+    protocol = SymDMAMProtocol(graph.n)
+    instance = Instance(graph)
+
+    def run_once():
+        return run_protocol(protocol, instance, protocol.honest_prover(),
+                            random.Random(7)).accepted
+
+    accepted = benchmark(run_once)
+    assert accepted
+    report_table(benchmark, "E1: completeness on G(F,F) dumbbell",
+                 ("instance", "accepted"), [("G(F0,F0), n=14", accepted)])
+
+
+def test_soundness_vs_bound(benchmark, rigid6):
+    graph = lower_bound_dumbbell(rigid6[0], rigid6[1])
+    protocol = SymDMAMProtocol(graph.n)
+    instance = Instance(graph)
+    adversary = CommittedMappingProver(protocol)
+    trials = 200
+
+    def attack():
+        return sum(
+            run_protocol(protocol, instance, adversary,
+                         random.Random(i)).accepted
+            for i in range(trials)) / trials
+
+    rate = benchmark.pedantic(attack, rounds=1, iterations=1)
+    bound = protocol.family.collision_bound
+    report_table(benchmark, "E1: adversarial acceptance (NO instance)",
+                 ("measured", "analytic bound m/p", "definition cap"),
+                 [(f"{rate:.4f}", f"{bound:.6f}", "1/3")])
+    assert rate <= max(bound * 3, 0.02)

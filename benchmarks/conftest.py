@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures and table-reporting helpers.
+
+Every benchmark here reproduces one experiment from EXPERIMENTS.md.
+Alongside the timing (pytest-benchmark's business), each records the
+experiment's *result rows* — communication costs, acceptance rates,
+implied bounds — in ``benchmark.extra_info`` and prints them, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import rigid_family_exhaustive
+
+
+@pytest.fixture(scope="session")
+def rigid6():
+    return rigid_family_exhaustive(6)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBEEF)
+
+
+def report_table(benchmark, title, header, rows):
+    """Attach a result table to the benchmark and print it."""
+    benchmark.extra_info["table"] = {"title": title, "header": header,
+                                     "rows": rows}
+    width = max(len(str(c)) for row in rows + [header] for c in row) + 2
+    print(f"\n=== {title} ===")
+    print("".join(str(c).ljust(width) for c in header))
+    for row in rows:
+        print("".join(str(c).ljust(width) for c in row))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Certifying a designed-in symmetry: the 'distributed algorithm
+certification' motivation from the paper's introduction.
+
+A deployment tool builds a fault-tolerant overlay as two mirrored
+replicas of a service graph joined by a bridge, so every service node
+has a structural twin.  The twin map is *known by design* — and that
+changes everything: certifying a KNOWN automorphism is the
+FixedMappingProtocol (the engine behind the paper's DSym result), a
+one-round Arthur–Merlin exchange with O(log n) bits per node, no
+commitment round and no union-bound-sized hash.
+
+The script certifies a correct deployment, then shows the protocol
+catching a mis-deployment (one replica's edge dropped) — the case a
+certification layer exists for.
+
+Run:  python examples/certify_layout.py
+"""
+
+import random
+
+from repro import Instance, run_protocol
+from repro.graphs import Graph, gnp_random_graph, symmetric_doubled_graph
+from repro.protocols import FixedMappingProtocol
+
+
+def designed_twin_map(k: int, bridge_length: int):
+    """The deployment's twin map: service i <-> replica i+k; bridge
+    vertices map to themselves reversed (here: the single midpoint
+    chain is a palindrome)."""
+    n = 2 * k + bridge_length
+    sigma = list(range(n))
+    for i in range(k):
+        sigma[i], sigma[i + k] = i + k, i
+    for j in range(bridge_length):
+        sigma[2 * k + j] = 2 * k + (bridge_length - 1 - j)
+    return tuple(sigma)
+
+
+def main() -> None:
+    rng = random.Random(99)
+    k = 12
+    service = gnp_random_graph(k, 0.3, rng)
+    overlay = symmetric_doubled_graph(service, bridge_length=3)
+    while not overlay.is_connected():
+        service = gnp_random_graph(k, 0.3, rng)
+        overlay = symmetric_doubled_graph(service, bridge_length=3)
+
+    sigma = designed_twin_map(k, 3)
+    protocol = FixedMappingProtocol(sigma)
+    print(f"overlay: {overlay.n} nodes, {overlay.num_edges} edges; "
+          f"certifying the designed twin map σ")
+
+    # --- correct deployment ------------------------------------------
+    result = run_protocol(protocol, Instance(overlay),
+                          protocol.honest_prover(), rng)
+    print(f"[ok deployment]  certified: {result.accepted}, "
+          f"{result.max_cost_bits} bits per node "
+          f"(a full-matrix certificate would be {overlay.n ** 2})")
+
+    # --- mis-deployment: one replica edge missing ---------------------
+    replica_edges = [(u, v) for u, v in overlay.edges
+                     if k <= u < 2 * k and k <= v < 2 * k]
+    dropped = replica_edges[0]
+    broken = Graph(overlay.n,
+                   [e for e in overlay.edges if e != dropped])
+    if broken.is_connected():
+        rejections = sum(
+            not run_protocol(protocol, Instance(broken),
+                             protocol.honest_prover(),
+                             random.Random(i)).accepted
+            for i in range(50))
+        print(f"[bad deployment] replica edge {dropped} missing: "
+              f"caught in {rejections}/50 certification runs "
+              f"(escape probability <= m/p = "
+              f"{protocol.family.collision_bound:.5f})")
+
+    print("\nKnown symmetry -> one-round, log-size certification; "
+          "unknown symmetry -> Protocol 1's extra commitment round. "
+          "That asymmetry IS Theorem 1.2's separation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Cloud delegation: the paper's motivating scenario, simulated.
+
+A cloud provider (Merlin) holds the full topology of a peer-to-peer
+overlay network; the devices (the verifier nodes) each know only their
+own neighbors.  The provider claims the overlay was built with a
+mirror-redundancy layout — every node has a structural twin, i.e. the
+graph is symmetric — so that any node's failure has a structurally
+equivalent replacement.
+
+The devices do not trust the cloud (it "may be malicious, motivated by
+self-interest, or simply buggy"), so they demand an interactive proof.
+This script runs three scenarios:
+
+1. an honest cloud proving a true claim (accepted, O(log n) bits);
+2. a buggy cloud whose claimed twin map is wrong (caught
+   deterministically by the hash-aggregation checks);
+3. a malicious cloud on an overlay that is NOT mirror-redundant,
+   trying its best committed lie (caught with probability 1 - m/p).
+
+Run:  python examples/cloud_delegation.py
+"""
+
+import random
+
+from repro import Instance, SymDMAMProtocol, run_protocol
+from repro.core import TamperingProver
+from repro.graphs import gnp_random_graph, is_asymmetric, \
+    symmetric_doubled_graph
+from repro.protocols import CommittedMappingProver
+from repro.protocols.sym_dmam import FIELD_RHO, ROUND_M0
+
+
+def build_mirrored_overlay(rng: random.Random):
+    """A 2k+2-node overlay made of two mirrored halves plus a bridge —
+    the 'mirror redundancy' deployment."""
+    half = gnp_random_graph(10, 0.35, rng)
+    overlay = symmetric_doubled_graph(half, bridge_length=2)
+    if not overlay.is_connected():
+        return build_mirrored_overlay(rng)
+    return overlay
+
+
+def build_adhoc_overlay(rng: random.Random):
+    """An organically grown overlay: almost surely rigid."""
+    while True:
+        overlay = gnp_random_graph(22, 0.3, rng)
+        if overlay.is_connected() and is_asymmetric(overlay):
+            return overlay
+
+
+def main() -> None:
+    rng = random.Random(42)
+
+    # ----- scenario 1: honest cloud, true claim -----------------------
+    overlay = build_mirrored_overlay(rng)
+    protocol = SymDMAMProtocol(overlay.n)
+    instance = Instance(overlay)
+    result = run_protocol(protocol, instance, protocol.honest_prover(), rng)
+    print(f"[1] honest cloud on a mirrored overlay ({overlay.n} devices)")
+    print(f"    accepted: {result.accepted}; "
+          f"per-device cost {result.max_cost_bits} bits "
+          f"(LCP would need ~{overlay.n ** 2})")
+
+    # ----- scenario 2: buggy cloud — twin map corrupted at one node ---
+    buggy = TamperingProver(
+        protocol.honest_prover(),
+        {(ROUND_M0, 3, FIELD_RHO): lambda twin: (twin + 1) % overlay.n})
+    result = run_protocol(protocol, instance, buggy, rng)
+    print(f"[2] buggy cloud (wrong twin for device 3)")
+    print(f"    accepted: {result.accepted}; "
+          f"rejecting devices: {result.rejecting_nodes()}")
+
+    # ----- scenario 3: malicious cloud, false claim -------------------
+    adhoc = build_adhoc_overlay(rng)
+    protocol = SymDMAMProtocol(adhoc.n)
+    malicious = CommittedMappingProver(protocol)
+    trials = 100
+    accepted = sum(
+        run_protocol(protocol, Instance(adhoc), malicious,
+                     random.Random(i)).accepted
+        for i in range(trials))
+    print(f"[3] malicious cloud claims symmetry of a rigid overlay "
+          f"({adhoc.n} devices)")
+    print(f"    fooled the network in {accepted}/{trials} attempts "
+          f"(bound: m/p = {protocol.family.collision_bound:.4f})")
+
+    print("\nInteraction gave every device a sound, "
+          "logarithmic-size certificate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Comparing two communities inside one network — the paper's
+alternative GNI definition (Section 2.3), end to end.
+
+Scenario (after the paper's social-network motivation): a platform
+hosts one big interaction graph.  Two research groups are each
+assigned a community (nodes marked 0 and 1; everyone else ⊥), and the
+platform claims the communities are *structurally different* — not
+isomorphic — so conclusions drawn from one cannot be attributed to the
+other being "the same shape".  The members themselves verify the
+claim: each node knows only its own edges and its own mark, and the
+platform (the prover) supplies everything else, interactively.
+
+Run:  python examples/community_comparison.py
+"""
+
+import random
+
+from repro import run_protocol
+from repro.graphs import Graph, rigid_family_exhaustive
+from repro.protocols import (MARK_NONE, MARK_ONE, MARK_ZERO,
+                             MarkedGNIProtocol, marked_instance)
+
+
+def build_network(community_a: Graph, community_b: Graph,
+                  rng: random.Random):
+    """One network: community A on 0..5, community B on 6..11, and a
+    few unmarked 'bridge' users connecting them."""
+    edges = list(community_a.edges)
+    edges += [(u + 6, v + 6) for u, v in community_b.edges]
+    bridges = [12, 13, 14]
+    edges += [(0, 12), (12, 6), (3, 13), (13, 9), (12, 14), (14, 13)]
+    graph = Graph(15, edges)
+    marks = {v: MARK_ZERO for v in range(6)}
+    marks.update({v: MARK_ONE for v in range(6, 12)})
+    marks.update({v: MARK_NONE for v in bridges})
+    return marked_instance(graph, marks)
+
+
+def main() -> None:
+    rng = random.Random(23)
+    family = rigid_family_exhaustive(6)
+    protocol = MarkedGNIProtocol(15, k=6, repetitions=40)
+    guarantee = protocol.guarantees()
+    print(f"protocol: marked-subgraph GNI, {guarantee.repetitions} "
+          f"repetitions, threshold {guarantee.threshold}")
+    print(f"  analytic completeness {guarantee.completeness:.3f}, "
+          f"soundness error {guarantee.soundness_error:.3f}\n")
+
+    cases = [
+        ("genuinely different communities",
+         build_network(family[0], family[1], rng)),
+        ("same community, relabeled members",
+         build_network(family[0],
+                       family[0].relabel([4, 2, 5, 0, 3, 1]), rng)),
+    ]
+    for label, instance in cases:
+        runs = 6
+        accepted = sum(
+            run_protocol(protocol, instance, protocol.honest_prover(),
+                         random.Random(i)).accepted
+            for i in range(runs))
+        print(f"{label}: claim verified in {accepted}/{runs} audits")
+
+    result = run_protocol(protocol, cases[0][1], protocol.honest_prover(),
+                          rng)
+    print(f"\nper-member communication: {result.max_cost_bits} bits "
+          f"({result.max_cost_bits // guarantee.repetitions} per "
+          f"repetition) — no member ever sees the other community's "
+          f"edges, yet all 15 participants checked the claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Graph non-isomorphism audit via the distributed Goldwasser–Sipser
+protocol (Theorem 1.5).
+
+Scenario (after the paper's 23andMe/Facebook motivation): a data
+provider distributes an anonymized relationship graph G₁ alongside the
+live network G₀ and claims the anonymized release is *structurally
+different* from the live graph (not merely a relabeling — i.e.
+G₀ ≇ G₁).  The nodes, each knowing only its own row of both graphs,
+audit the claim interactively.
+
+The script runs the dAMAM protocol on a genuine release (accepted) and
+on a lazy 'anonymization' that just permuted the vertex labels
+(rejected), printing the analytic guarantees next to the measured
+behavior.
+
+Run:  python examples/gni_audit.py
+"""
+
+import random
+
+from repro import GNIGoldwasserSipserProtocol, gni_instance, run_protocol
+from repro.graphs import rigid_family_exhaustive
+from repro.protocols import per_repetition_success_rate
+
+
+def main() -> None:
+    rng = random.Random(7)
+    # Rigid graphs, as in the paper's Section 4 (the general case adds
+    # the automorphism-compensated set; see DESIGN.md).
+    family = rigid_family_exhaustive(6)
+    live = family[0]
+    genuine_release = family[1]                      # different structure
+    lazy_release = live.relabel([3, 5, 0, 1, 4, 2])  # just relabeled
+
+    protocol = GNIGoldwasserSipserProtocol(6, repetitions=40)
+    guarantee = protocol.guarantees()
+    print("Protocol configuration:")
+    print(f"  repetitions {guarantee.repetitions}, "
+          f"threshold {guarantee.threshold}, output range q = {protocol.q}")
+    print(f"  analytic per-repetition gap: YES >= "
+          f"{guarantee.p_yes_lower:.3f} vs NO <= {guarantee.p_no_upper:.3f}")
+    print(f"  amplified: completeness {guarantee.completeness:.3f}, "
+          f"soundness error {guarantee.soundness_error:.3f}\n")
+
+    for label, release in (("genuine (non-isomorphic)", genuine_release),
+                           ("lazy (relabeled copy)", lazy_release)):
+        instance = gni_instance(live, release)
+        runs = 8
+        accepted = sum(
+            run_protocol(protocol, instance, protocol.honest_prover(),
+                         random.Random(i)).accepted
+            for i in range(runs))
+        rate = per_repetition_success_rate(live, release, protocol, 80, rng)
+        print(f"release: {label}")
+        print(f"  per-repetition GS success: {rate:.3f}")
+        print(f"  audits passed: {accepted}/{runs}\n")
+
+    cost = run_protocol(protocol, gni_instance(live, genuine_release),
+                        protocol.honest_prover(), rng).max_cost_bits
+    print(f"Per-node communication: {cost} bits total "
+          f"({cost // guarantee.repetitions} per repetition) — "
+          f"Θ(n log n), as Theorem 1.5 promises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The exponential separation and why interaction order matters.
+
+Part 1 reproduces Theorem 1.2's quantitative content as a table:
+per-node proof bits for Dumbbell Symmetry under the non-interactive
+LCP model (Θ(N²)) versus the one-round interactive dAM protocol
+(O(log N)) as the network grows.
+
+Part 2 is the ablation behind the dMAM/dAM distinction: the exact same
+hash machinery with the small (Protocol-1-sized) prime is sound when
+the prover must commit *before* seeing the challenge, and broken when
+it answers *after* — the adaptive prover simply searches for a mapping
+whose permuted matrix collides under the revealed hash.
+
+Run:  python examples/separation_demo.py
+"""
+
+import math
+import random
+
+from repro import Instance, run_protocol
+from repro.graphs import DSymLayout, SMALLEST_ASYMMETRIC, cycle_graph, \
+    dsym_graph
+from repro.protocols import (AdaptiveCollisionProver, CommittedMappingProver,
+                             DSymDAMProtocol, DSymLCP, SymDAMProtocol,
+                             SymDMAMProtocol, protocol1_hash_family)
+
+
+def part1_separation() -> None:
+    print("Part 1: DSym — distributed NP (LCP) vs distributed AM")
+    print(f"{'N':>6} {'LCP bits':>10} {'dAM bits':>10} {'gap':>8}")
+    rng = random.Random(0)
+    for inner in (6, 12, 24, 48, 96):
+        layout = DSymLayout(inner, 2)
+        graph = dsym_graph(cycle_graph(inner), 2)
+        instance = Instance(graph)
+        lcp = DSymLCP(layout)
+        dam = DSymDAMProtocol(layout)
+        lcp_cost = run_protocol(lcp, instance, lcp.honest_prover(),
+                                rng).max_cost_bits
+        dam_cost = run_protocol(dam, instance, dam.honest_prover(),
+                                rng).max_cost_bits
+        print(f"{layout.total_n:>6} {lcp_cost:>10} {dam_cost:>10} "
+              f"{lcp_cost / dam_cost:>7.1f}x")
+    print("  (LCP grows quadratically; dAM logarithmically — the gap is "
+          "exponential in the input scale.)\n")
+
+
+def part2_order_ablation() -> None:
+    print("Part 2: same small prime, two interaction orders "
+          "(rigid 6-vertex graph, NO instance)")
+    rigid = SMALLEST_ASYMMETRIC
+    family = protocol1_hash_family(6)
+    trials = 30
+
+    dmam = SymDMAMProtocol(6, family=family)
+    committed = CommittedMappingProver(dmam)
+    dmam_rate = sum(
+        run_protocol(dmam, Instance(rigid), committed,
+                     random.Random(i)).accepted
+        for i in range(trials)) / trials
+
+    dam = SymDAMProtocol(6, family=family)
+    adaptive = AdaptiveCollisionProver(dam, search="permutations")
+    dam_rate = sum(
+        run_protocol(dam, Instance(rigid), adaptive,
+                     random.Random(i)).accepted
+        for i in range(trials)) / trials
+
+    print(f"  dMAM order (commit -> challenge): cheater wins "
+          f"{dmam_rate:.2f}  -> sound")
+    print(f"  dAM order (challenge -> respond): cheater wins "
+          f"{dam_rate:.2f}  -> BROKEN")
+    print("  Fix (Theorem 1.3): a prime of ~n log n bits, so the union "
+          "bound over all n^n mappings survives — at O(n log n) cost.")
+
+
+def main() -> None:
+    part1_separation()
+    part2_order_ablation()
+
+
+if __name__ == "__main__":
+    main()

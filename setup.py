@@ -1,0 +1,18 @@
+"""Legacy installation shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package,
+so PEP-517 editable installs fail; this setup.py lets
+``pip install -e . --no-build-isolation`` (or plain ``pip install -e .``
+with older pip) take the classic setuptools path.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

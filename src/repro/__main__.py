@@ -1,0 +1,175 @@
+"""Command-line demos: ``python -m repro <command>``.
+
+Commands
+--------
+``sym``        Run Protocol 1 on a symmetric graph and a cheating
+               prover on a rigid one (Theorem 1.1 in two runs).
+``separation`` Print the DSym dAM-vs-LCP cost table (Theorem 1.2).
+``gni``        Run the distributed Goldwasser–Sipser audit
+               (Theorem 1.5; add ``--general`` for symmetric inputs).
+``lowerbound`` Print the packing table of Theorem 1.4.
+``costs``      Per-node cost of every protocol at a chosen size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+
+
+def cmd_sym(args: argparse.Namespace) -> int:
+    from repro import Instance, SymDMAMProtocol, run_protocol
+    from repro.graphs import SMALLEST_ASYMMETRIC, cycle_graph
+    from repro.protocols import CommittedMappingProver
+
+    rng = random.Random(args.seed)
+    graph = cycle_graph(args.n)
+    protocol = SymDMAMProtocol(graph.n)
+    result = run_protocol(protocol, Instance(graph),
+                          protocol.honest_prover(), rng)
+    print(f"YES ({args.n}-cycle): accepted={result.accepted} "
+          f"cost={result.max_cost_bits} bits/node")
+
+    rigid = SMALLEST_ASYMMETRIC
+    protocol6 = SymDMAMProtocol(rigid.n)
+    cheater = CommittedMappingProver(protocol6)
+    accepted = sum(
+        run_protocol(protocol6, Instance(rigid), cheater,
+                     random.Random(i)).accepted
+        for i in range(args.trials))
+    print(f"NO (rigid 6-vertex graph): cheater fooled the network "
+          f"{accepted}/{args.trials} times "
+          f"(bound m/p = {protocol6.family.collision_bound:.4f})")
+    return 0
+
+
+def cmd_separation(args: argparse.Namespace) -> int:
+    from repro import Instance, run_protocol
+    from repro.graphs import DSymLayout, cycle_graph, dsym_graph
+    from repro.protocols import DSymDAMProtocol, DSymLCP
+
+    rng = random.Random(args.seed)
+    print(f"{'N':>6} {'LCP bits':>10} {'dAM bits':>10} {'gap':>8}")
+    inner = 6
+    while 2 * inner + 5 <= args.n:
+        layout = DSymLayout(inner, 2)
+        graph = dsym_graph(cycle_graph(inner), 2)
+        instance = Instance(graph)
+        lcp, dam = DSymLCP(layout), DSymDAMProtocol(layout)
+        lcp_cost = run_protocol(lcp, instance, lcp.honest_prover(),
+                                rng).max_cost_bits
+        dam_cost = run_protocol(dam, instance, dam.honest_prover(),
+                                rng).max_cost_bits
+        print(f"{layout.total_n:>6} {lcp_cost:>10} {dam_cost:>10} "
+              f"{lcp_cost / dam_cost:>7.1f}x")
+        inner *= 2
+    return 0
+
+
+def cmd_gni(args: argparse.Namespace) -> int:
+    from repro import run_protocol
+    from repro.graphs import cycle_graph, rigid_family_exhaustive, star_graph
+    from repro.protocols import (GNIGoldwasserSipserProtocol,
+                                 GeneralGNIProtocol, gni_instance)
+
+    if args.general:
+        protocol = GeneralGNIProtocol(6, repetitions=args.repetitions)
+        g0, g1 = star_graph(6), cycle_graph(6)
+        kind = "general (symmetric inputs allowed)"
+    else:
+        family = rigid_family_exhaustive(6, max_size=2)
+        protocol = GNIGoldwasserSipserProtocol(
+            6, repetitions=args.repetitions)
+        g0, g1 = family[0], family[1]
+        kind = "base (asymmetric inputs, as in the paper's Section 4)"
+    guarantee = protocol.guarantees()
+    print(f"protocol: {kind}")
+    print(f"  t={guarantee.repetitions} threshold={guarantee.threshold} "
+          f"completeness={guarantee.completeness:.3f} "
+          f"soundness_error={guarantee.soundness_error:.3f}")
+
+    runs = args.runs
+    for label, second in (("YES (non-isomorphic)", g1),
+                          ("NO (relabeled copy)",
+                           g0.relabel([2, 0, 1, 4, 3, 5]))):
+        instance = gni_instance(g0, second)
+        results = [run_protocol(instance=instance, protocol=protocol,
+                                prover=protocol.honest_prover(),
+                                rng=random.Random(args.seed + i))
+                   for i in range(runs)]
+        accepted = sum(r.accepted for r in results)
+        print(f"  {label}: accepted {accepted}/{runs} runs, "
+              f"cost={results[0].max_cost_bits} bits/node")
+    return 0
+
+
+def cmd_lowerbound(args: argparse.Namespace) -> int:
+    from repro.lowerbound import lower_bound_table
+
+    sizes = [6, 10, 100, 10 ** 4, 10 ** 6, 10 ** 9]
+    print(f"{'inner n':>10} {'log2|F|':>14} {'min L':>6} {'loglog N':>9}")
+    for row in lower_bound_table(sizes):
+        print(f"{row.inner_n:>10} {row.log2_family_size:>14.1f} "
+              f"{row.min_simple_length:>6} {row.loglog_n:>9.2f}")
+    return 0
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    from repro import Instance, run_protocol
+    from repro.graphs import cycle_graph
+    from repro.protocols import SymDAMProtocol, SymDMAMProtocol, SymLCP
+
+    rng = random.Random(args.seed)
+    n = args.n
+    instance = Instance(cycle_graph(n))
+    print(f"per-node bits for Sym at n={n}:")
+    for protocol in (SymDMAMProtocol(n), SymDAMProtocol(n), SymLCP(n)):
+        cost = run_protocol(protocol, instance, protocol.honest_prover(),
+                            rng).max_cost_bits
+        print(f"  {protocol.name:>10}: {cost:>8} "
+              f"({cost / math.log2(n):.1f} per log2 n)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interactive distributed proofs (PODC 2018) demos")
+    parser.add_argument("--seed", type=int, default=2018)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sym", help="Protocol 1 demo (Theorem 1.1)")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--trials", type=int, default=100)
+    p.set_defaults(func=cmd_sym)
+
+    p = sub.add_parser("separation",
+                       help="DSym dAM vs LCP cost table (Theorem 1.2)")
+    p.add_argument("--n", type=int, default=200,
+                   help="largest network size")
+    p.set_defaults(func=cmd_separation)
+
+    p = sub.add_parser("gni", help="Goldwasser-Sipser GNI (Theorem 1.5)")
+    p.add_argument("--repetitions", type=int, default=40)
+    p.add_argument("--runs", type=int, default=5,
+                   help="independent executions per side")
+    p.add_argument("--general", action="store_true",
+                   help="automorphism-compensated variant")
+    p.set_defaults(func=cmd_gni)
+
+    p = sub.add_parser("lowerbound",
+                       help="packing table (Theorem 1.4)")
+    p.set_defaults(func=cmd_lowerbound)
+
+    p = sub.add_parser("costs", help="protocol cost comparison")
+    p.add_argument("--n", type=int, default=32)
+    p.set_defaults(func=cmd_costs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The interactive distributed proof model, execution engine,
+amplification and class-membership checking."""
+
+from .amplify import (AndAmplifiedProtocol, binomial_pmf, binomial_tail,
+                      choose_threshold, repetitions_for_gap,
+                      threshold_guarantees)
+from .classes import (ClassMembershipReport, CostScalingRow, InstanceReport,
+                      check_completeness, check_soundness,
+                      measure_cost_scaling)
+from .model import (Instance, LocalView, NodeMessage, PATTERN_DAM,
+                    PATTERN_DAMAM, PATTERN_DMAM, PATTERN_DNP, Protocol,
+                    ProtocolViolation, Prover, ROUND_ARTHUR, ROUND_MERLIN,
+                    bits_for_identifier, bits_for_value)
+from .provers import (RandomGarbageProver, ReplayProver, TamperingProver,
+                      record_responses)
+from .report import cost_breakdown, describe_rounds, render_execution
+from .runner import (AcceptanceEstimate, ExecutionResult, Transcript,
+                     estimate_acceptance, measure_cost, run_protocol)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

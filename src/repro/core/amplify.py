@@ -1,0 +1,240 @@
+"""Amplification for distributed interactive proofs.
+
+Two tools live here:
+
+* **Exact binomial arithmetic** for threshold amplification *inside* a
+  protocol (the GNI protocol repeats the Goldwasser–Sipser estimation
+  t times and has the root count successes against a threshold; this
+  is the only sound way to amplify a two-sided gap in the distributed
+  setting — see the GNI module docstring).
+
+* **AND-amplification across independent executions** for protocols
+  with *perfect completeness* (both Sym protocols and DSym): running k
+  independent copies and accepting iff every copy accepts keeps
+  completeness at 1 and drives soundness error from s to s^k.  For
+  public-coin protocols the per-copy optimum factorizes across copies
+  because a prover's response in copy j only influences copy j, so the
+  bound is exact, not just a union bound.
+
+Note the trap this module deliberately avoids: per-node *threshold*
+voting across copies ("node v accepts iff it accepted ≥ τk copies")
+is NOT sound in the distributed setting — a cheating prover can rotate
+which node rejects across copies so every individual node stays above
+threshold while no copy is globally accepted.  Threshold amplification
+must aggregate globally-verified successes (as GNI's root does), and
+AND-amplification is the safe general-purpose tool.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, FrozenSet, List, Mapping, Tuple
+
+from .model import Instance, LocalView, NodeMessage, Protocol, Prover
+
+# ----------------------------------------------------------------------
+# Exact binomial arithmetic
+# ----------------------------------------------------------------------
+
+
+def binomial_pmf(t: int, p: float, k: int) -> float:
+    """Pr[Binomial(t, p) = k]."""
+    if not 0 <= k <= t:
+        return 0.0
+    if p <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p >= 1.0:
+        return 1.0 if k == t else 0.0
+    log_pmf = (math.lgamma(t + 1) - math.lgamma(k + 1)
+               - math.lgamma(t - k + 1)
+               + k * math.log(p) + (t - k) * math.log(1.0 - p))
+    return math.exp(log_pmf)
+
+
+def binomial_tail(t: int, p: float, k: int) -> float:
+    """Pr[Binomial(t, p) >= k], computed exactly (summed pmf)."""
+    if k <= 0:
+        return 1.0
+    if k > t:
+        return 0.0
+    return min(1.0, sum(binomial_pmf(t, p, j) for j in range(k, t + 1)))
+
+
+def threshold_guarantees(t: int, threshold: int, p_yes: float,
+                         p_no: float) -> Tuple[float, float]:
+    """(completeness, soundness error) of a t-repetition threshold test.
+
+    With per-repetition success probability ≥ ``p_yes`` on YES
+    instances and ≤ ``p_no`` on NO instances, accepting iff ≥
+    ``threshold`` repetitions succeed yields completeness ≥ the first
+    value and soundness error ≤ the second.
+    """
+    completeness = binomial_tail(t, p_yes, threshold)
+    soundness_error = binomial_tail(t, p_no, threshold)
+    return completeness, soundness_error
+
+
+def choose_threshold(t: int, p_yes: float, p_no: float) -> int:
+    """The threshold minimizing max(1 - completeness, soundness error)."""
+    if p_yes <= p_no:
+        raise ValueError("amplification needs p_yes > p_no")
+    best_k = 1
+    best_err = float("inf")
+    for k in range(1, t + 1):
+        completeness, soundness = threshold_guarantees(t, k, p_yes, p_no)
+        err = max(1.0 - completeness, soundness)
+        if err < best_err:
+            best_err = err
+            best_k = k
+    return best_k
+
+
+def repetitions_for_gap(p_yes: float, p_no: float,
+                        target_error: float = 1.0 / 3.0,
+                        max_t: int = 100_000) -> Tuple[int, int]:
+    """The smallest (t, threshold) achieving the 2/3–1/3 guarantee.
+
+    Returns the number of repetitions and the success threshold such
+    that completeness ≥ 1 − target_error and soundness ≤ target_error.
+    """
+    if p_yes <= p_no:
+        raise ValueError("amplification needs p_yes > p_no")
+    t = 1
+    while t <= max_t:
+        k = choose_threshold(t, p_yes, p_no)
+        completeness, soundness = threshold_guarantees(t, k, p_yes, p_no)
+        if completeness >= 1.0 - target_error and soundness <= target_error:
+            return t, k
+        t += 1 if t < 64 else max(1, t // 16)
+    raise RuntimeError(f"no repetition count up to {max_t} closes the gap "
+                       f"({p_yes} vs {p_no})")
+
+
+# ----------------------------------------------------------------------
+# AND-amplification across independent copies
+# ----------------------------------------------------------------------
+
+
+class AndAmplifiedProtocol(Protocol):
+    """k independent copies of a base protocol; accept iff all accept.
+
+    Every round of the wrapper carries a tuple of the per-copy values:
+    Arthur challenges are sampled independently per copy, and Merlin
+    fields become ``field -> (value_copy_0, ..., value_copy_{k-1})``.
+    Broadcast fields stay broadcast (a tuple agrees iff all components
+    agree, so per-copy broadcast checking is preserved exactly).
+    """
+
+    def __init__(self, base: Protocol, copies: int) -> None:
+        if copies < 1:
+            raise ValueError("need at least one copy")
+        self.base = base
+        self.copies = copies
+        self.name = f"{base.name}-x{copies}"
+        self.pattern = base.pattern
+
+    @property
+    def requires_connected(self) -> bool:
+        return self.base.requires_connected
+
+    def validate_instance(self, instance: Instance) -> None:
+        self.base.validate_instance(instance)
+
+    def arthur_value(self, instance: Instance, round_idx: int, v: int,
+                     rng: random.Random) -> Tuple[Any, ...]:
+        return tuple(self.base.arthur_value(instance, round_idx, v, rng)
+                     for _ in range(self.copies))
+
+    def arthur_bits(self, instance: Instance, round_idx: int) -> int:
+        return self.copies * self.base.arthur_bits(instance, round_idx)
+
+    def broadcast_fields(self, round_idx: int) -> FrozenSet[str]:
+        return self.base.broadcast_fields(round_idx)
+
+    def merlin_fields(self, round_idx: int) -> FrozenSet[str]:
+        return self.base.merlin_fields(round_idx)
+
+    def merlin_bits(self, instance: Instance, round_idx: int,
+                    message: NodeMessage) -> int:
+        total = 0
+        for copy in range(self.copies):
+            sliced = {name: values[copy] for name, values in message.items()}
+            total += self.base.merlin_bits(instance, round_idx, sliced)
+        return total
+
+    def decide(self, view: LocalView) -> bool:
+        return all(self.base.decide(self._slice_view(view, copy))
+                   for copy in range(self.copies))
+
+    def honest_prover(self) -> Prover:
+        return _PerCopyProver(self,
+                              [self.base.honest_prover()
+                               for _ in range(self.copies)])
+
+    def amplified_prover(self, provers: List[Prover]) -> Prover:
+        """Wrap one base-protocol prover per copy (e.g. cheaters)."""
+        if len(provers) != self.copies:
+            raise ValueError("need exactly one prover per copy")
+        return _PerCopyProver(self, provers)
+
+    def _slice_view(self, view: LocalView, copy: int) -> LocalView:
+        randomness = {
+            r: {u: value[copy] for u, value in per_node.items()}
+            for r, per_node in view.randomness.items()
+        }
+        messages = {
+            r: {u: {name: values[copy] for name, values in msg.items()}
+                for u, msg in per_node.items()}
+            for r, per_node in view.messages.items()
+        }
+        return LocalView(
+            node=view.node,
+            n=view.n,
+            closed_neighborhood=view.closed_neighborhood,
+            node_input=view.node_input,
+            randomness=randomness,
+            messages=messages,
+        )
+
+
+class _PerCopyProver(Prover):
+    """Runs an independent base-protocol prover inside each copy."""
+
+    def __init__(self, wrapper: AndAmplifiedProtocol,
+                 provers: List[Prover]) -> None:
+        self.wrapper = wrapper
+        self.provers = provers
+
+    def reset(self) -> None:
+        for prover in self.provers:
+            prover.reset()
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, Any]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        n = instance.n
+        per_copy_responses = []
+        for copy, prover in enumerate(self.provers):
+            sliced_randomness = {
+                r: {v: value[copy] for v, value in per_node.items()}
+                for r, per_node in randomness.items()
+            }
+            sliced_messages = {
+                r: {v: {name: values[copy]
+                        for name, values in msg.items()}
+                    for v, msg in per_node.items()}
+                for r, per_node in own_messages.items()
+            }
+            per_copy_responses.append(prover.respond(
+                instance, round_idx, sliced_randomness, sliced_messages, rng))
+        merged: Dict[int, NodeMessage] = {}
+        for v in range(n):
+            fields = per_copy_responses[0][v].keys()
+            merged[v] = {
+                name: tuple(response[v][name]
+                            for response in per_copy_responses)
+                for name in fields
+            }
+        return merged

@@ -1,0 +1,159 @@
+"""Class-membership verification: is a protocol a dAM[ℓ] protocol?
+
+Definition 2 asks for three things, and this module checks each
+empirically against instance families:
+
+* **completeness** — some prover (the protocol's honest one) makes all
+  nodes accept with probability > 2/3 on every YES instance;
+* **soundness** — no prover exceeds 1/3 on any NO instance.  True
+  universal quantification over provers is not testable; we test the
+  protocol-specific *optimal* cheaters (whose optimality is argued in
+  their docstrings) plus the generic adversaries, and we report the
+  analytic bound alongside;
+* **cost** — the maximum per-node communication, measured bit-exactly
+  by the runner, compared against the theorem's budget function.
+
+The report objects returned here are what EXPERIMENTS.md tabulates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .model import Instance, Protocol, Prover
+from .runner import AcceptanceEstimate, estimate_acceptance, run_protocol
+
+
+@dataclass
+class InstanceReport:
+    """Verdict for one instance."""
+
+    label: str
+    is_yes: bool
+    estimate: AcceptanceEstimate
+    max_cost_bits: int
+
+    @property
+    def meets_definition(self) -> bool:
+        """> 2/3 acceptance on YES, < 1/3 on NO (point estimates)."""
+        if self.is_yes:
+            return self.estimate.probability > 2.0 / 3.0
+        return self.estimate.probability < 1.0 / 3.0
+
+
+@dataclass
+class ClassMembershipReport:
+    """Aggregated empirical check of Definition 2 for one protocol."""
+
+    protocol_name: str
+    instances: List[InstanceReport] = field(default_factory=list)
+
+    @property
+    def all_pass(self) -> bool:
+        return all(r.meets_definition for r in self.instances)
+
+    @property
+    def max_cost_bits(self) -> int:
+        return max((r.max_cost_bits for r in self.instances), default=0)
+
+    def worst_yes(self) -> Optional[InstanceReport]:
+        yes = [r for r in self.instances if r.is_yes]
+        return min(yes, key=lambda r: r.estimate.probability, default=None)
+
+    def worst_no(self) -> Optional[InstanceReport]:
+        no = [r for r in self.instances if not r.is_yes]
+        return max(no, key=lambda r: r.estimate.probability, default=None)
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"protocol {self.protocol_name}: "
+                 f"max per-node cost {self.max_cost_bits} bits, "
+                 f"{'PASS' if self.all_pass else 'FAIL'}"]
+        for r in self.instances:
+            kind = "YES" if r.is_yes else "NO "
+            lines.append(
+                f"  [{kind}] {r.label}: accept {r.estimate.probability:.3f} "
+                f"(cost {r.max_cost_bits} bits)"
+                f"{'' if r.meets_definition else '  <-- VIOLATION'}")
+        return lines
+
+
+def check_completeness(protocol: Protocol, instances: Sequence[Tuple[str, Instance]],
+                       trials: int, rng: random.Random,
+                       prover: Optional[Prover] = None) -> ClassMembershipReport:
+    """Estimate acceptance with the honest prover on YES instances."""
+    report = ClassMembershipReport(protocol_name=protocol.name)
+    for label, instance in instances:
+        current = prover or protocol.honest_prover()
+        estimate = estimate_acceptance(protocol, instance, current, trials,
+                                       rng)
+        cost = run_protocol(protocol, instance, current,
+                            random.Random(rng.random())).max_cost_bits
+        report.instances.append(InstanceReport(
+            label=label, is_yes=True, estimate=estimate,
+            max_cost_bits=cost))
+    return report
+
+
+def check_soundness(protocol: Protocol,
+                    instances: Sequence[Tuple[str, Instance]],
+                    adversaries: Sequence[Callable[[], Prover]],
+                    trials: int, rng: random.Random) -> ClassMembershipReport:
+    """Estimate the *best observed* adversarial acceptance on NO instances.
+
+    For each instance, every adversary factory is tried and the highest
+    acceptance estimate is recorded — the empirical stand-in for the
+    ``∀P`` in Definition 2.
+    """
+    report = ClassMembershipReport(protocol_name=protocol.name)
+    for label, instance in instances:
+        best: Optional[AcceptanceEstimate] = None
+        worst_cost = 0
+        for make_adversary in adversaries:
+            adversary = make_adversary()
+            estimate = estimate_acceptance(protocol, instance, adversary,
+                                           trials, rng)
+            if best is None or estimate.probability > best.probability:
+                best = estimate
+            worst_cost = max(worst_cost, run_protocol(
+                protocol, instance, make_adversary(),
+                random.Random(rng.random())).max_cost_bits)
+        assert best is not None, "need at least one adversary"
+        report.instances.append(InstanceReport(
+            label=label, is_yes=False, estimate=best,
+            max_cost_bits=worst_cost))
+    return report
+
+
+@dataclass
+class CostScalingRow:
+    """Measured per-node cost at one network size."""
+
+    n: int
+    max_cost_bits: int
+
+    def normalized(self, budget: Callable[[int], float]) -> float:
+        """Cost divided by the theorem's budget function at this n."""
+        return self.max_cost_bits / budget(self.n)
+
+
+def measure_cost_scaling(make_protocol: Callable[[int], Protocol],
+                         make_instance: Callable[[int], Instance],
+                         sizes: Iterable[int],
+                         rng: random.Random) -> List[CostScalingRow]:
+    """Per-node cost across network sizes (one honest run per size).
+
+    The returned rows, normalized by the claimed budget (log n,
+    n log n, n², ...), should be bounded by a constant — that is the
+    empirical content of each theorem's O(·) claim.
+    """
+    rows = []
+    for n in sizes:
+        protocol = make_protocol(n)
+        instance = make_instance(n)
+        result = run_protocol(protocol, instance, protocol.honest_prover(),
+                              rng)
+        rows.append(CostScalingRow(n=instance.n,
+                                   max_cost_bits=result.max_cost_bits))
+    return rows

@@ -1,0 +1,246 @@
+"""The interactive distributed proof model (Section 2.2 of the paper).
+
+A protocol is a sequence of rounds drawn from ``{A, M}``:
+
+* **A (Arthur) rounds** — every node independently sends the prover a
+  random challenge.  Definition 1 makes challenges uniformly random
+  bitstrings; per the paper's footnote 1 this is WLOG, so our API lets
+  a protocol sample any value it likes (e.g. a hash index in ``[p]``)
+  and charges its exact bit cost.
+* **M (Merlin) rounds** — the prover, who sees the whole graph, every
+  input and every challenge sent so far, answers each node with a
+  message made of named fields.  Fields a protocol declares as
+  *broadcast* are automatically cross-checked: a node rejects if any
+  neighbor received a different value (the paper's implicit
+  broadcast-verification convention).  Unicast fields are per-node.
+
+After the last round every node applies a *local* decision function.
+Locality is enforced structurally: the decision function receives a
+:class:`LocalView`, which exposes only the node's closed neighborhood —
+its own input, the randomness and prover messages of itself and its
+neighbors — and nothing else.  The protocol accepts iff all nodes
+accept.
+
+Correctness (Definition 2): YES instances must have a prover achieving
+acceptance probability > 2/3; on NO instances no prover may exceed 1/3.
+:mod:`repro.core.runner` estimates both sides; the concrete protocols'
+honest provers achieve probability exactly 1 except for GNI.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..graphs.graph import Graph
+
+ROUND_ARTHUR = "A"
+ROUND_MERLIN = "M"
+
+#: Round patterns of the classes studied in the paper.
+PATTERN_DAM = "AM"
+PATTERN_DMAM = "MAM"
+PATTERN_DAMAM = "AMAM"
+#: Distributed NP (proof labeling scheme / locally checkable proof):
+#: a single Merlin message and no randomness.
+PATTERN_DNP = "M"
+
+NodeMessage = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A problem instance: the network graph plus optional node inputs.
+
+    ``inputs`` maps each vertex to its private input (``None`` for pure
+    graph properties like Sym).  For GNI, node ``v``'s input is its
+    neighborhood in the second graph ``G₁``.
+    """
+
+    graph: Graph
+    inputs: Optional[Mapping[int, Any]] = None
+
+    def input_of(self, v: int) -> Any:
+        if self.inputs is None:
+            return None
+        return self.inputs.get(v)
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+
+@dataclass
+class LocalView:
+    """Everything node ``v`` may legally base its decision on.
+
+    Mirrors Definition 1's ``out_v``: the node's neighborhood, its
+    input, the challenges of itself and its neighbors, and the prover's
+    responses to itself and its neighbors.  ``n`` is known to all nodes
+    (the paper fixes a public vertex set ``V``).
+
+    ``randomness[r]`` / ``messages[r]`` map a round index to per-node
+    dictionaries whose keys are exactly the *closed* neighborhood of
+    ``v`` — nothing outside it is present, so a decision function
+    cannot cheat on locality even by accident.
+    """
+
+    node: int
+    n: int
+    closed_neighborhood: Tuple[int, ...]
+    node_input: Any
+    #: round index -> {u: challenge value} for u in closed neighborhood.
+    randomness: Dict[int, Dict[int, Any]]
+    #: round index -> {u: {field: value}} for u in closed neighborhood.
+    messages: Dict[int, Dict[int, NodeMessage]]
+
+    @property
+    def neighbors(self) -> Tuple[int, ...]:
+        """Open neighborhood (closed neighborhood minus the node)."""
+        return tuple(u for u in self.closed_neighborhood if u != self.node)
+
+    def own_randomness(self, round_idx: int) -> Any:
+        return self.randomness[round_idx][self.node]
+
+    def own_message(self, round_idx: int) -> NodeMessage:
+        return self.messages[round_idx][self.node]
+
+    def message_of(self, round_idx: int, u: int) -> NodeMessage:
+        """Prover message to neighbor ``u`` (or the node itself)."""
+        return self.messages[round_idx][u]
+
+    def has_edge(self, u: int) -> bool:
+        return u != self.node and u in self.closed_neighborhood
+
+
+class ProtocolViolation(Exception):
+    """Raised (and caught by the runner, yielding a local reject) when a
+    prover response is structurally malformed for the protocol."""
+
+
+class Prover(ABC):
+    """A prover strategy.  Sees everything: the instance, all
+    challenges sent so far, and its own previous responses."""
+
+    @abstractmethod
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, Any]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        """Produce this Merlin round's response.
+
+        ``randomness[r][v]`` is node v's challenge from Arthur round r
+        (only rounds before ``round_idx`` are present);
+        ``own_messages[r][v]`` are this prover's earlier responses.
+        Must return a message dict for *every* vertex.
+        """
+
+    def reset(self) -> None:
+        """Hook for stateful provers; called once per execution."""
+
+
+class Protocol(ABC):
+    """An interactive distributed proof protocol.
+
+    Subclasses define the round pattern, the challenge distribution and
+    cost of Arthur rounds, the field structure and cost of Merlin
+    rounds, the per-node decision function, and an honest prover.
+    """
+
+    #: Human-readable protocol name.
+    name: str = "protocol"
+    #: Round pattern, e.g. ``"MAM"`` for dMAM.
+    pattern: str = PATTERN_DAM
+
+    # -- model requirements ------------------------------------------------
+
+    @property
+    def requires_connected(self) -> bool:
+        """Spanning-tree-based protocols need a connected network."""
+        return True
+
+    def validate_instance(self, instance: Instance) -> None:
+        """Raise ``ValueError`` if the instance doesn't fit the protocol."""
+        if self.requires_connected and not instance.graph.is_connected():
+            raise ValueError(
+                f"{self.name} requires a connected network graph")
+
+    # -- Arthur rounds -----------------------------------------------------
+
+    def arthur_value(self, instance: Instance, round_idx: int, v: int,
+                     rng: random.Random) -> Any:
+        """Sample node ``v``'s challenge for Arthur round ``round_idx``.
+
+        Default: no challenge content (protocols with Arthur rounds
+        override).  The value must not depend on anything but public
+        parameters and fresh randomness.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has an Arthur round but does not "
+            "implement arthur_value")
+
+    def arthur_bits(self, instance: Instance, round_idx: int) -> int:
+        """Bits each node sends the prover in this Arthur round."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has an Arthur round but does not "
+            "implement arthur_bits")
+
+    # -- Merlin rounds -----------------------------------------------------
+
+    def broadcast_fields(self, round_idx: int) -> FrozenSet[str]:
+        """Fields of this Merlin round that are broadcast-checked."""
+        return frozenset()
+
+    def merlin_fields(self, round_idx: int) -> FrozenSet[str]:
+        """All fields the prover must supply in this Merlin round."""
+        return frozenset()
+
+    @abstractmethod
+    def merlin_bits(self, instance: Instance, round_idx: int,
+                    message: NodeMessage) -> int:
+        """Size in bits of one node's prover message for this round."""
+
+    # -- verdict -----------------------------------------------------------
+
+    @abstractmethod
+    def decide(self, view: LocalView) -> bool:
+        """Node-local decision (True = accept).
+
+        May raise :class:`ProtocolViolation` (or ``KeyError`` /
+        ``TypeError`` / ``ValueError`` on malformed prover data); the
+        runner converts any of those into a local reject, so provers
+        cannot gain anything by sending garbage.
+        """
+
+    @abstractmethod
+    def honest_prover(self) -> Prover:
+        """The prover used to establish completeness on YES instances."""
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.pattern)
+
+    def merlin_round_indices(self) -> List[int]:
+        return [i for i, kind in enumerate(self.pattern)
+                if kind == ROUND_MERLIN]
+
+    def arthur_round_indices(self) -> List[int]:
+        return [i for i, kind in enumerate(self.pattern)
+                if kind == ROUND_ARTHUR]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} pattern={self.pattern}>"
+
+
+def bits_for_identifier(n: int) -> int:
+    """Bits to name one of ``n`` values (at least 1)."""
+    return max(1, (max(n, 1) - 1).bit_length())
+
+
+def bits_for_value(p: int) -> int:
+    """Bits to transmit an element of ``[0, p)``."""
+    return bits_for_identifier(p)

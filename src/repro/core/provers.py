@@ -1,0 +1,121 @@
+"""Generic prover strategies for robustness and soundness testing.
+
+Protocol-specific *optimal* cheaters live next to their protocols
+(e.g. ``CommittedMappingProver``, ``AdaptiveCollisionProver``); this
+module supplies protocol-agnostic adversaries that every protocol must
+shrug off:
+
+* :class:`RandomGarbageProver` — replies with random values of roughly
+  the right shape; exercises the defensive paths of every decision
+  function (the runner turns malformed-message exceptions into local
+  rejects, and these tests confirm no garbage is ever *accepted*).
+* :class:`TamperingProver` — runs an honest prover but corrupts chosen
+  fields at chosen nodes; used to verify that every check in a
+  verification procedure is actually load-bearing (mutation testing of
+  the protocol, in effect).
+* :class:`ReplayProver` — replays the responses recorded from a
+  previous execution, ignoring fresh challenges; defeated by any
+  protocol whose soundness leans on the challenge (all of ours).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from .model import Instance, NodeMessage, Protocol, Prover
+
+
+class RandomGarbageProver(Prover):
+    """Sends structurally plausible random fields every Merlin round.
+
+    Field values are random integers (or small tuples of them), which
+    stresses type/range validation everywhere.
+    """
+
+    def __init__(self, protocol: Protocol, value_range: int = 1 << 20,
+                 tuple_fields: Optional[Mapping[str, int]] = None) -> None:
+        self.protocol = protocol
+        self.value_range = value_range
+        self.tuple_fields = dict(tuple_fields or {})
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, Any]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        fields = self.protocol.merlin_fields(round_idx)
+        response: Dict[int, NodeMessage] = {}
+        for v in instance.graph.vertices:
+            msg: NodeMessage = {}
+            for name in fields:
+                if name in self.tuple_fields:
+                    width = self.tuple_fields[name]
+                    msg[name] = tuple(rng.randrange(self.value_range)
+                                      for _ in range(width))
+                else:
+                    msg[name] = rng.randrange(self.value_range)
+            response[v] = msg
+        return response
+
+
+class TamperingProver(Prover):
+    """An honest prover with targeted corruption.
+
+    ``corruptions`` maps ``(round_idx, node, field)`` to a mutation
+    function applied to the honest value.  Everything else is honest —
+    so a protocol accepts against this prover iff the corrupted field
+    is either not checked (a protocol bug the tests would expose) or
+    the mutation happens to be a fixed point.
+    """
+
+    def __init__(self, base: Prover,
+                 corruptions: Mapping[Tuple[int, int, str],
+                                      Callable[[Any], Any]]) -> None:
+        self.base = base
+        self.corruptions = dict(corruptions)
+
+    def reset(self) -> None:
+        self.base.reset()
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, Any]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        response = self.base.respond(instance, round_idx, randomness,
+                                     own_messages, rng)
+        for (r, v, field), mutate in self.corruptions.items():
+            if r == round_idx and v in response and field in response[v]:
+                response[v] = dict(response[v])
+                response[v][field] = mutate(response[v][field])
+        return response
+
+
+class ReplayProver(Prover):
+    """Replays recorded responses, oblivious to the fresh challenges.
+
+    Record with :func:`record_responses`; a replayed transcript should
+    be rejected with high probability by any protocol that ties a
+    Merlin round to a preceding Arthur round (e.g. the root's
+    ``i = i_r`` check in Protocols 1 and 2).
+    """
+
+    def __init__(self, recorded: Mapping[int, Dict[int, NodeMessage]]) -> None:
+        self.recorded = {r: {v: dict(m) for v, m in msgs.items()}
+                         for r, msgs in recorded.items()}
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, Any]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        if round_idx not in self.recorded:
+            raise KeyError(f"no recorded response for round {round_idx}")
+        return {v: dict(m) for v, m in self.recorded[round_idx].items()}
+
+
+def record_responses(protocol: Protocol, instance: Instance, prover: Prover,
+                     rng: random.Random) -> Dict[int, Dict[int, NodeMessage]]:
+    """One honest execution's Merlin responses, for :class:`ReplayProver`."""
+    from .runner import run_protocol
+    result = run_protocol(protocol, instance, prover, rng)
+    return {r: {v: dict(m) for v, m in msgs.items()}
+            for r, msgs in result.transcript.messages.items()}

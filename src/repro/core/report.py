@@ -1,0 +1,98 @@
+"""Human-readable rendering of protocol executions.
+
+Turning an :class:`~repro.core.runner.ExecutionResult` into something a
+person can read is most of debugging a protocol: which round carried
+what, which node rejected, where the bits went.  These helpers render
+plain text (no dependencies, safe in any terminal) and are used by the
+examples and tests; nothing in the verification path depends on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from .model import Instance, Protocol, ROUND_ARTHUR
+from .runner import ExecutionResult
+
+
+def _preview(value: Any, limit: int = 32) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+def describe_rounds(protocol: Protocol) -> List[str]:
+    """One line per round: kind and, for Merlin, the field layout."""
+    lines = []
+    for idx, kind in enumerate(protocol.pattern):
+        if kind == ROUND_ARTHUR:
+            lines.append(f"round {idx}: Arthur  (nodes -> prover, random)")
+        else:
+            fields = sorted(protocol.merlin_fields(idx))
+            broadcast = protocol.broadcast_fields(idx)
+            rendered = ", ".join(
+                f"{name}*" if name in broadcast else name
+                for name in fields)
+            lines.append(f"round {idx}: Merlin  (prover -> nodes: "
+                         f"{rendered})  [* = broadcast-checked]")
+    return lines
+
+
+def render_execution(protocol: Protocol, instance: Instance,
+                     result: ExecutionResult,
+                     nodes: Optional[Iterable[int]] = None,
+                     value_limit: int = 32) -> str:
+    """A full text report of one execution.
+
+    ``nodes`` restricts the per-node message dump (default: first 4
+    nodes plus any rejecting node — the ones worth reading).
+    """
+    lines: List[str] = []
+    lines.append(f"protocol {protocol.name} (pattern {protocol.pattern}) "
+                 f"on n={instance.n}")
+    lines.extend(describe_rounds(protocol))
+    verdict = "ACCEPTED" if result.accepted else "REJECTED"
+    lines.append(f"verdict: {verdict}; per-node cost "
+                 f"{result.max_cost_bits} bits")
+    rejecting = result.rejecting_nodes()
+    if rejecting:
+        lines.append(f"rejecting nodes: {rejecting}")
+
+    if nodes is None:
+        shown = sorted(set(list(range(min(4, instance.n))) + rejecting))
+    else:
+        shown = sorted(set(nodes))
+    for v in shown:
+        flag = "ok " if result.decisions.get(v, False) else "REJ"
+        lines.append(f"node {v} [{flag}] "
+                     f"({result.node_cost_bits.get(v, 0)} bits)")
+        for round_idx, kind in enumerate(protocol.pattern):
+            if kind == ROUND_ARTHUR:
+                value = result.transcript.randomness[round_idx][v]
+                lines.append(f"  r{round_idx} A -> "
+                             f"{_preview(value, value_limit)}")
+            else:
+                message = result.transcript.messages[round_idx][v]
+                rendered = ", ".join(
+                    f"{name}={_preview(message[name], value_limit)}"
+                    for name in sorted(message))
+                lines.append(f"  r{round_idx} M <- {rendered}")
+    return "\n".join(lines)
+
+
+def cost_breakdown(protocol: Protocol, instance: Instance,
+                   result: ExecutionResult) -> List[str]:
+    """Per-round bit accounting for node 0 (all nodes are uniform in
+    every protocol in this library)."""
+    lines = [f"cost breakdown ({protocol.name}, n={instance.n}):"]
+    total = 0
+    for round_idx, kind in enumerate(protocol.pattern):
+        if kind == ROUND_ARTHUR:
+            bits = protocol.arthur_bits(instance, round_idx)
+            lines.append(f"  round {round_idx} (A): {bits:>8} bits")
+        else:
+            message = result.transcript.messages[round_idx][0]
+            bits = protocol.merlin_bits(instance, round_idx, message)
+            lines.append(f"  round {round_idx} (M): {bits:>8} bits")
+        total += bits
+    lines.append(f"  total          : {total:>8} bits")
+    return lines

@@ -1,0 +1,210 @@
+"""Execution engine: run a protocol against a prover on an instance.
+
+The runner is the *trusted base* of every experiment: it samples
+Arthur challenges, relays prover responses, builds each node's
+:class:`~repro.core.model.LocalView` (enforcing locality by
+construction), applies the automatic broadcast-consistency checks, and
+accounts per-node communication bits exactly as the paper counts them
+(challenge bits included for upper bounds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .model import (Instance, LocalView, NodeMessage, Protocol,
+                    ProtocolViolation, Prover, ROUND_ARTHUR, ROUND_MERLIN)
+
+#: Exception types from a decision function that mean "the prover's
+#: response was malformed" and therefore a local reject — never a crash.
+_DECISION_ERRORS = (ProtocolViolation, KeyError, TypeError, ValueError,
+                    IndexError, AttributeError)
+
+
+@dataclass
+class Transcript:
+    """Everything that happened in one execution."""
+
+    #: round index -> {v: challenge value} (Arthur rounds only).
+    randomness: Dict[int, Dict[int, Any]] = field(default_factory=dict)
+    #: round index -> {v: {field: value}} (Merlin rounds only).
+    messages: Dict[int, Dict[int, NodeMessage]] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one protocol execution."""
+
+    accepted: bool
+    decisions: Dict[int, bool]
+    transcript: Transcript
+    #: per-node communication with the prover, in bits.
+    node_cost_bits: Dict[int, int]
+
+    @property
+    def max_cost_bits(self) -> int:
+        """The paper's complexity measure: the worst node's total bits."""
+        return max(self.node_cost_bits.values()) if self.node_cost_bits else 0
+
+    def rejecting_nodes(self) -> List[int]:
+        return sorted(v for v, ok in self.decisions.items() if not ok)
+
+
+def _local_view(protocol: Protocol, instance: Instance, v: int,
+                transcript: Transcript) -> LocalView:
+    closed = instance.graph.closed_neighborhood(v)
+    closed_set = set(closed)
+    randomness = {
+        r: {u: vals[u] for u in closed_set if u in vals}
+        for r, vals in transcript.randomness.items()
+    }
+    messages = {
+        r: {u: msgs[u] for u in closed_set if u in msgs}
+        for r, msgs in transcript.messages.items()
+    }
+    return LocalView(
+        node=v,
+        n=instance.n,
+        closed_neighborhood=closed,
+        node_input=instance.input_of(v),
+        randomness=randomness,
+        messages=messages,
+    )
+
+
+def _broadcast_consistent(protocol: Protocol, view: LocalView) -> bool:
+    """The automatic check: every broadcast field must agree across the
+    node's closed neighborhood.  A missing message or field counts as a
+    mismatch (the prover violated the protocol)."""
+    for round_idx in protocol.merlin_round_indices():
+        fields = protocol.broadcast_fields(round_idx)
+        if not fields:
+            continue
+        per_node = view.messages.get(round_idx)
+        if per_node is None:
+            return False
+        own = per_node.get(view.node)
+        if own is None:
+            return False
+        for name in fields:
+            if name not in own:
+                return False
+            for u in view.closed_neighborhood:
+                other = per_node.get(u)
+                if other is None or other.get(name) != own[name]:
+                    return False
+    return True
+
+
+def _decide_node(protocol: Protocol, view: LocalView) -> bool:
+    if not _broadcast_consistent(protocol, view):
+        return False
+    try:
+        return bool(protocol.decide(view))
+    except _DECISION_ERRORS:
+        return False
+
+
+def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
+                 rng: random.Random) -> ExecutionResult:
+    """Execute one full run and return the verdict, transcript and cost.
+
+    Raises ``ValueError`` if the instance violates the protocol's model
+    requirements (e.g. a disconnected network for a spanning-tree
+    protocol) and ``ProtocolViolation`` if the prover fails to answer
+    every node (messages with *wrong content* never raise — they lead
+    to local rejects — but a prover that breaks the communication
+    pattern itself is a harness bug, not a cheating strategy).
+    """
+    protocol.validate_instance(instance)
+    prover.reset()
+    graph = instance.graph
+    transcript = Transcript()
+    node_cost = {v: 0 for v in graph.vertices}
+
+    for round_idx, kind in enumerate(protocol.pattern):
+        if kind == ROUND_ARTHUR:
+            bits = protocol.arthur_bits(instance, round_idx)
+            values = {v: protocol.arthur_value(instance, round_idx, v, rng)
+                      for v in graph.vertices}
+            transcript.randomness[round_idx] = values
+            for v in graph.vertices:
+                node_cost[v] += bits
+        elif kind == ROUND_MERLIN:
+            response = prover.respond(
+                instance, round_idx,
+                transcript.randomness, transcript.messages, rng)
+            missing = [v for v in graph.vertices if v not in response]
+            if missing:
+                raise ProtocolViolation(
+                    f"prover left nodes without a round-{round_idx} "
+                    f"message: {missing[:5]}")
+            transcript.messages[round_idx] = {
+                v: dict(response[v]) for v in graph.vertices}
+            for v in graph.vertices:
+                node_cost[v] += protocol.merlin_bits(
+                    instance, round_idx, transcript.messages[round_idx][v])
+        else:  # pragma: no cover - patterns are library-defined
+            raise ValueError(f"unknown round kind {kind!r}")
+
+    decisions = {}
+    for v in graph.vertices:
+        view = _local_view(protocol, instance, v, transcript)
+        decisions[v] = _decide_node(protocol, view)
+
+    return ExecutionResult(
+        accepted=all(decisions.values()),
+        decisions=decisions,
+        transcript=transcript,
+        node_cost_bits=node_cost,
+    )
+
+
+@dataclass
+class AcceptanceEstimate:
+    """Monte-Carlo acceptance probability with a confidence interval."""
+
+    accepted: int
+    trials: int
+
+    @property
+    def probability(self) -> float:
+        return self.accepted / self.trials if self.trials else 0.0
+
+    def wilson_interval(self, z: float = 2.576) -> Tuple[float, float]:
+        """Wilson score interval (default z: 99% confidence)."""
+        if self.trials == 0:
+            return (0.0, 1.0)
+        n = self.trials
+        p = self.probability
+        denom = 1 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = z * ((p * (1 - p) / n + z * z / (4 * n * n)) ** 0.5) / denom
+        return (max(0.0, center - half), min(1.0, center + half))
+
+    def __repr__(self) -> str:
+        lo, hi = self.wilson_interval()
+        return (f"AcceptanceEstimate({self.probability:.3f} "
+                f"[{lo:.3f}, {hi:.3f}], trials={self.trials})")
+
+
+def estimate_acceptance(protocol: Protocol, instance: Instance,
+                        prover: Prover, trials: int,
+                        rng: random.Random) -> AcceptanceEstimate:
+    """Estimate Pr[all nodes accept] over ``trials`` independent runs."""
+    accepted = sum(
+        run_protocol(protocol, instance, prover, rng).accepted
+        for _ in range(trials))
+    return AcceptanceEstimate(accepted=accepted, trials=trials)
+
+
+def measure_cost(protocol: Protocol, instance: Instance,
+                 prover: Optional[Prover] = None,
+                 rng: Optional[random.Random] = None) -> int:
+    """Per-node communication (bits) of one honest run — the paper's
+    cost measure for upper bounds."""
+    prover = prover or protocol.honest_prover()
+    rng = rng or random.Random(0)
+    return run_protocol(protocol, instance, prover, rng).max_cost_bits

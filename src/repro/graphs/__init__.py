@@ -1,0 +1,27 @@
+"""Graph substrate: immutable graphs, generators, automorphism and
+isomorphism machinery, rigid families and dumbbell constructions."""
+
+from .automorphism import (all_automorphisms, automorphism_group_order,
+                           find_nontrivial_automorphism, is_asymmetric,
+                           is_automorphism, is_symmetric, orbits,
+                           refine_colors)
+from .dumbbell import (DSymLayout, DumbbellLayout, dsym_automorphism,
+                       dsym_graph, dsym_no_instance, dumbbell_mirror_map,
+                       in_dsym, lower_bound_dumbbell)
+from .families import (SMALLEST_ASYMMETRIC, count_rigid_classes,
+                       rigid_family, rigid_family_exhaustive,
+                       rigid_family_sampled)
+from .generators import (all_connected_graphs, all_graphs, complete_bipartite_graph,
+                         complete_graph, cycle_graph, disjoint_copies,
+                         double_star, empty_graph, gnp_random_graph,
+                         grid_graph, path_graph, random_connected_graph,
+                         random_regular_graph, random_tree, star_graph,
+                         symmetric_doubled_graph, tree_from_prufer)
+from .graph import Graph
+from .graph6 import (graph_from_graph6, graph_to_graph6,
+                     read_graph6_file, write_graph6_file)
+from .isomorphism import (IsomorphismClassIndex, are_isomorphic,
+                          canonical_form, canonical_key, canonical_labeling,
+                          find_isomorphism, is_isomorphism)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,212 @@
+"""Automorphism search: the honest prover's toolbox for Sym.
+
+The paper's honest prover for Protocols 1 and 2 must *find* a
+non-trivial automorphism of the network graph (the prover is
+computationally unbounded; we pay with a backtracking search that is
+fast at the sizes our simulator runs).
+
+Implementation: classic color-refinement (1-WL) to split vertices into
+equivalence classes, then backtracking over color-respecting partial
+maps with incremental adjacency consistency checks.  This is exact —
+refinement only *prunes*, the backtracking decides.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+
+def refine_colors(graph: Graph,
+                  initial: Optional[Sequence[int]] = None,
+                  max_rounds: Optional[int] = None) -> Tuple[int, ...]:
+    """Stable coloring via 1-dimensional Weisfeiler–Leman refinement.
+
+    Starting from ``initial`` (default: all vertices one color), each
+    round recolors every vertex by (its color, multiset of neighbor
+    colors) until a fixed point.  Colors are renumbered each round by
+    *sorted signature*, which makes the numbering labeling-invariant:
+    isomorphic graphs get identical color histograms with matching
+    color identities.  (First-appearance numbering would not — it
+    depends on the vertex labeling — and the isomorphism search below
+    matches candidate targets by color id across two graphs.)
+
+    Two vertices that can be exchanged by an automorphism always end up
+    with the same color, so refinement classes are sound pruning sets.
+    """
+    n = graph.n
+    colors: List[int] = list(initial) if initial is not None else [0] * n
+    if len(colors) != n:
+        raise ValueError("initial coloring has wrong length")
+    rounds = 0
+    while True:
+        signatures = []
+        for v in range(n):
+            neighbor_colors = sorted(colors[u] for u in graph.neighbors(v))
+            signatures.append((colors[v], tuple(neighbor_colors)))
+        palette = {sig: rank
+                   for rank, sig in enumerate(sorted(set(signatures)))}
+        new_colors = [palette[sig] for sig in signatures]
+        rounds += 1
+        if new_colors == colors or (max_rounds is not None
+                                    and rounds >= max_rounds):
+            return tuple(new_colors)
+        colors = new_colors
+
+
+def _search_isomorphisms(g1: Graph, g2: Graph,
+                         forced: Optional[Dict[int, int]] = None
+                         ) -> Iterator[Tuple[int, ...]]:
+    """Yield every isomorphism ``g1 -> g2`` extending ``forced``.
+
+    ``forced`` is a partial map {vertex of g1: vertex of g2}.  Yields
+    mappings as tuples (``mapping[v]`` = image of v).  Exact algorithm;
+    refinement colors prune candidate targets.
+    """
+    if g1.n != g2.n or g1.num_edges != g2.num_edges:
+        return
+    n = g1.n
+    colors1 = refine_colors(g1)
+    colors2 = refine_colors(g2)
+    hist1 = sorted(colors1)
+    hist2 = sorted(colors2)
+    if hist1 != hist2:
+        return
+
+    # Candidate targets per source vertex: same refinement color.
+    by_color: Dict[int, List[int]] = {}
+    for v in range(n):
+        by_color.setdefault(colors2[v], []).append(v)
+    candidates: List[List[int]] = []
+    for v in range(n):
+        candidates.append(by_color.get(colors1[v], []))
+
+    forced = dict(forced or {})
+    for src, dst in forced.items():
+        if dst not in candidates[src]:
+            return
+
+    # Order: forced vertices first, then most-constrained (fewest
+    # candidates, highest degree) to fail fast.
+    free = [v for v in range(n) if v not in forced]
+    free.sort(key=lambda v: (len(candidates[v]), -g1.degree(v)))
+    order = list(forced.keys()) + free
+
+    mapping: List[Optional[int]] = [None] * n
+    used = [False] * n
+
+    def consistent(v: int, w: int) -> bool:
+        """Does mapping v -> w respect adjacency with placed vertices?"""
+        for u in range(n):
+            mu = mapping[u]
+            if mu is None:
+                continue
+            if g1.has_edge(v, u) != g2.has_edge(w, mu):
+                return False
+        return True
+
+    def backtrack(depth: int) -> Iterator[Tuple[int, ...]]:
+        if depth == n:
+            yield tuple(mapping)  # type: ignore[arg-type]
+            return
+        v = order[depth]
+        targets = ([forced[v]] if v in forced else candidates[v])
+        for w in targets:
+            if used[w] or not consistent(v, w):
+                continue
+            mapping[v] = w
+            used[w] = True
+            yield from backtrack(depth + 1)
+            mapping[v] = None
+            used[w] = False
+
+    yield from backtrack(0)
+
+
+def all_automorphisms(graph: Graph) -> Iterator[Tuple[int, ...]]:
+    """Yield every automorphism of ``graph`` (including the identity).
+
+    Intended for small graphs; the number of automorphisms can be n!.
+    """
+    yield from _search_isomorphisms(graph, graph)
+
+
+def automorphism_group_order(graph: Graph) -> int:
+    """|Aut(graph)| by exhaustive enumeration (small graphs)."""
+    return sum(1 for _ in all_automorphisms(graph))
+
+
+def find_nontrivial_automorphism(graph: Graph) -> Optional[Tuple[int, ...]]:
+    """A non-trivial automorphism of ``graph``, or None if it is asymmetric.
+
+    This is the honest prover's first move in Protocols 1 and 2.  The
+    search forces some vertex off itself, trying color-mates in
+    refinement order, so it terminates quickly on asymmetric graphs
+    (refinement usually discretizes the coloring).
+    """
+    n = graph.n
+    colors = refine_colors(graph)
+    by_color: Dict[int, List[int]] = {}
+    for v in range(n):
+        by_color.setdefault(colors[v], []).append(v)
+    # A nontrivial automorphism must move some vertex to a distinct
+    # color-mate; try each (v, w) pair with v < w as a forced move.
+    for group in by_color.values():
+        for v, w in itertools.combinations(group, 2):
+            for mapping in _search_isomorphisms(graph, graph,
+                                                forced={v: w}):
+                return mapping
+    return None
+
+
+def is_symmetric(graph: Graph) -> bool:
+    """Whether the graph has a non-trivial automorphism (``G ∈ Sym``)."""
+    return find_nontrivial_automorphism(graph) is not None
+
+
+def is_asymmetric(graph: Graph) -> bool:
+    """Whether the graph is rigid (only the identity automorphism)."""
+    return find_nontrivial_automorphism(graph) is None
+
+
+def is_automorphism(graph: Graph, mapping: Sequence[int]) -> bool:
+    """Check that ``mapping`` is an automorphism of ``graph``.
+
+    Verifies that ``mapping`` is a permutation and that
+    ``{u, v} ∈ E  iff  {mapping[u], mapping[v]} ∈ E``.
+    """
+    n = graph.n
+    if len(mapping) != n or sorted(mapping) != list(range(n)):
+        return False
+    # A permutation maps edges injectively, so "every edge maps to an
+    # edge" already implies the image edge set IS the edge set.
+    return all(graph.has_edge(mapping[u], mapping[v])
+               for u, v in graph.edges)
+
+
+def orbits(graph: Graph) -> List[Tuple[int, ...]]:
+    """Vertex orbits under the full automorphism group (small graphs)."""
+    n = graph.n
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for mapping in all_automorphisms(graph):
+        for v in range(n):
+            union(v, mapping[v])
+    groups: Dict[int, List[int]] = {}
+    for v in range(n):
+        groups.setdefault(find(v), []).append(v)
+    return [tuple(sorted(g)) for g in
+            sorted(groups.values(), key=lambda g: g[0])]

@@ -1,0 +1,235 @@
+"""Dumbbell graphs: the lower-bound family (Section 3.4) and the
+Dumbbell-Symmetry language DSym (Section 3.3, Definition 5).
+
+Two constructions share the shape "two n-vertex graphs joined by a
+path", but differ in detail:
+
+* :func:`lower_bound_dumbbell` — the family ``G(F_A, F_B)`` of the
+  Ω(log log n) lower bound: copies of rigid graphs ``F_A, F_B`` on
+  vertex sets ``V_A, V_B``, joined through two dedicated *bridge nodes*
+  ``x_A, x_B``.  Key property (tested):  ``G(F_A, F_B)`` has a
+  non-trivial automorphism iff ``F_A = F_B``.
+
+* :func:`dsym_graph` / :func:`in_dsym` — Definition 5's language DSym:
+  graphs on ``2n + 2r + 1`` vertices where ``x ↦ x + n`` is an
+  isomorphism between the two induced halves and the halves are joined
+  by the specific path ``0 - 2n - 2n+1 - ... - 2n+2r - n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .graph import Graph
+
+
+# ----------------------------------------------------------------------
+# Lower-bound dumbbells  G(F_A, F_B)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DumbbellLayout:
+    """Vertex layout of a lower-bound dumbbell on inner size ``n``.
+
+    Vertices ``0..n-1`` host the copy of ``F_A`` (set ``V_A``),
+    ``n..2n-1`` host ``F_B`` (set ``V_B``), ``2n`` is the bridge node
+    ``x_A`` and ``2n+1`` is ``x_B``.  The attachment points are
+    ``v_A = 0`` and ``v_B = n`` (fixed, as in the paper).
+    """
+
+    inner_n: int
+
+    @property
+    def total_n(self) -> int:
+        return 2 * self.inner_n + 2
+
+    @property
+    def v_a(self) -> int:
+        return 0
+
+    @property
+    def v_b(self) -> int:
+        return self.inner_n
+
+    @property
+    def x_a(self) -> int:
+        return 2 * self.inner_n
+
+    @property
+    def x_b(self) -> int:
+        return 2 * self.inner_n + 1
+
+    @property
+    def side_a(self) -> range:
+        return range(0, self.inner_n)
+
+    @property
+    def side_b(self) -> range:
+        return range(self.inner_n, 2 * self.inner_n)
+
+
+def lower_bound_dumbbell(f_a: Graph, f_b: Graph) -> Graph:
+    """The graph ``G(F_A, F_B)`` from Section 3.4.
+
+    Both inner graphs must have the same vertex count ``n``.  Edges:
+    the copy of ``F_A`` on ``0..n-1``, the copy of ``F_B`` on
+    ``n..2n-1``, and the bridge ``{v_A, x_A}, {x_A, x_B}, {x_B, v_B}``.
+    """
+    if f_a.n != f_b.n:
+        raise ValueError("both sides of the dumbbell must have equal size")
+    layout = DumbbellLayout(f_a.n)
+    n = f_a.n
+    edges = list(f_a.edges)
+    edges += [(u + n, v + n) for u, v in f_b.edges]
+    edges += [(layout.v_a, layout.x_a),
+              (layout.x_a, layout.x_b),
+              (layout.x_b, layout.v_b)]
+    return Graph(layout.total_n, edges)
+
+
+def dumbbell_mirror_map(inner_n: int) -> Tuple[int, ...]:
+    """The mirror permutation swapping the two sides of the dumbbell.
+
+    Maps ``i ↔ i + n`` for inner vertices and ``x_A ↔ x_B``.  This is
+    an automorphism of ``G(F, F)`` for any ``F`` — the witness the
+    honest prover uses on the symmetric lower-bound instances.
+    """
+    layout = DumbbellLayout(inner_n)
+    mapping = list(range(layout.total_n))
+    for i in range(inner_n):
+        mapping[i] = i + inner_n
+        mapping[i + inner_n] = i
+    mapping[layout.x_a] = layout.x_b
+    mapping[layout.x_b] = layout.x_a
+    return tuple(mapping)
+
+
+# ----------------------------------------------------------------------
+# DSym (Definition 5)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DSymLayout:
+    """Vertex layout of a DSym instance: parameters ``n`` (half size)
+    and ``r`` (the path has ``2r + 1`` internal vertices
+    ``2n .. 2n+2r``).  Total vertex count ``2n + 2r + 1``.
+    """
+
+    n: int
+    r: int
+
+    @property
+    def total_n(self) -> int:
+        return 2 * self.n + 2 * self.r + 1
+
+    @property
+    def half_a(self) -> range:
+        return range(0, self.n)
+
+    @property
+    def half_b(self) -> range:
+        return range(self.n, 2 * self.n)
+
+    @property
+    def path_vertices(self) -> range:
+        return range(2 * self.n, 2 * self.n + 2 * self.r + 1)
+
+    def path_sequence(self) -> List[int]:
+        """The full path as a vertex sequence, endpoints included:
+        ``0, 2n, 2n+1, ..., 2n+2r, n``."""
+        return [0] + list(self.path_vertices) + [self.n]
+
+    @classmethod
+    def from_total(cls, total_n: int, n: int) -> "DSymLayout":
+        """Recover the layout from total vertex count and half size."""
+        rest = total_n - 2 * n - 1
+        if rest < 0 or rest % 2 != 0:
+            raise ValueError(f"total {total_n} incompatible with half size {n}")
+        return cls(n, rest // 2)
+
+
+def dsym_automorphism(layout: DSymLayout) -> Tuple[int, ...]:
+    """The *fixed* automorphism σ of Definition 5 / Theorem 3.6.
+
+    σ swaps the halves (``x ↦ x ± n``) and reverses the path
+    (``2n + j ↦ 2n + 2r - j``).  Note the path midpoint ``2n + r`` is a
+    fixed point — σ is still non-trivial since it moves vertex 0.
+    """
+    mapping = list(range(layout.total_n))
+    for x in layout.half_a:
+        mapping[x] = x + layout.n
+    for x in layout.half_b:
+        mapping[x] = x - layout.n
+    for j in range(2 * layout.r + 1):
+        mapping[2 * layout.n + j] = 2 * layout.n + (2 * layout.r - j)
+    return tuple(mapping)
+
+
+def dsym_graph(half: Graph, r: int) -> Graph:
+    """A YES-instance of DSym: two copies of ``half`` joined by the path.
+
+    ``half`` lives on ``0..n-1``; its second copy on ``n..2n-1`` via
+    ``x ↦ x + n``; the connecting path uses ``2n..2n+2r``.
+    """
+    layout = DSymLayout(half.n, r)
+    n = half.n
+    edges = list(half.edges)
+    edges += [(u + n, v + n) for u, v in half.edges]
+    path = layout.path_sequence()
+    edges += list(zip(path, path[1:]))
+    return Graph(layout.total_n, edges)
+
+
+def dsym_no_instance(half_a: Graph, half_b: Graph, r: int) -> Graph:
+    """A dumbbell with the DSym wiring but (generally) different halves.
+
+    When ``half_a`` and ``half_b`` differ as *labeled* graphs the
+    result is not in DSym (the fixed map ``x ↦ x + n`` fails), which is
+    exactly what the separation experiment needs.
+    """
+    if half_a.n != half_b.n:
+        raise ValueError("halves must have equal size")
+    layout = DSymLayout(half_a.n, r)
+    n = half_a.n
+    edges = list(half_a.edges)
+    edges += [(u + n, v + n) for u, v in half_b.edges]
+    path = layout.path_sequence()
+    edges += list(zip(path, path[1:]))
+    return Graph(layout.total_n, edges)
+
+
+def in_dsym(graph: Graph, n: int) -> bool:
+    """Membership test for DSym (Definition 5), given the half size ``n``.
+
+    Checks the three conditions: (1) ``x ↦ x + n`` maps the induced
+    subgraph on ``0..n-1`` isomorphically onto the one on ``n..2n-1``;
+    (2) the connecting path is present; (3) no other edges exist.
+    """
+    try:
+        layout = DSymLayout.from_total(graph.n, n)
+    except ValueError:
+        return False
+
+    # Condition 2: the path is present.
+    path = layout.path_sequence()
+    path_edges = {(min(a, b), max(a, b)) for a, b in zip(path, path[1:])}
+    if not all(graph.has_edge(a, b) for a, b in path_edges):
+        return False
+
+    # Conditions 1 and 3 together: classify every edge.
+    half_a_set = set(layout.half_a)
+    half_b_set = set(layout.half_b)
+    edges_a = set()
+    edges_b = set()
+    for u, v in graph.edges:
+        if (u, v) in path_edges:
+            continue
+        if u in half_a_set and v in half_a_set:
+            edges_a.add((u, v))
+        elif u in half_b_set and v in half_b_set:
+            edges_b.add((u, v))
+        else:
+            return False  # condition 3 violated
+    shifted_a = {(u + n, v + n) for u, v in edges_a}
+    return shifted_a == edges_b

@@ -1,0 +1,116 @@
+"""Families of rigid (asymmetric), pairwise-non-isomorphic graphs.
+
+Section 3.4 of the paper needs "a large family F of graphs on vertices
+{1..n} ... all graphs in F are asymmetric, and no two graphs in F are
+isomorphic to each other"; for large n such families have size
+``2^Ω(n²)``.  The lower-bound machinery and its tests instantiate F at
+small n:
+
+* exhaustive enumeration for n = 6, 7 (the smallest asymmetric graphs
+  have 6 vertices);
+* randomized sampling with canonical-form deduplication for larger n,
+  where exhaustive enumeration is out of reach but rigid graphs are
+  overwhelmingly common (a G(n, 1/2) graph is asymmetric w.h.p.).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .automorphism import is_asymmetric
+from .generators import all_graphs, gnp_random_graph
+from .graph import Graph
+from .isomorphism import IsomorphismClassIndex
+
+#: A smallest asymmetric graph: 6 vertices, 6 edges (one of the 8
+#: connected rigid isomorphism classes on 6 vertices, found by
+#: exhaustive enumeration and pinned here; tests re-verify rigidity).
+SMALLEST_ASYMMETRIC = Graph(6, [(0, 2), (0, 3), (0, 5), (1, 2), (1, 4),
+                                (2, 3)])
+
+
+def rigid_family_exhaustive(n: int,
+                            max_size: Optional[int] = None,
+                            connected_only: bool = True) -> List[Graph]:
+    """All asymmetric graphs on ``n`` vertices, one per isomorphism class.
+
+    Enumerates all ``2^(n(n-1)/2)`` labeled graphs, so intended for
+    ``n <= 7`` (and n = 7 already takes a while; tests use n = 6).
+    Returns an empty list for n < 6, where no asymmetric graphs exist
+    (except the trivial n=1 graph, excluded because the protocols need
+    at least the bridge structure around them).
+    """
+    index = IsomorphismClassIndex()
+    result: List[Graph] = []
+    for graph in all_graphs(n):
+        if connected_only and not graph.is_connected():
+            continue
+        if not is_asymmetric(graph):
+            continue
+        if index.add(graph):
+            result.append(graph)
+            if max_size is not None and len(result) >= max_size:
+                break
+    return result
+
+
+def rigid_family_sampled(n: int, size: int, rng: random.Random,
+                         p: float = 0.5,
+                         max_tries: Optional[int] = None,
+                         connected_only: bool = True) -> List[Graph]:
+    """``size`` rigid, pairwise-non-isomorphic graphs on ``n`` vertices.
+
+    Samples G(n, p) graphs, keeps the asymmetric ones, and deduplicates
+    by canonical form.  For n >= 8 and p = 1/2 nearly every sample is
+    rigid and fresh, so this terminates quickly.
+
+    Raises ``RuntimeError`` if ``max_tries`` samples (default
+    ``200 * size``) do not produce enough classes — a sign ``n`` is too
+    small for the requested family size.
+    """
+    if n < 6:
+        raise ValueError(f"no asymmetric graphs exist on n={n} >= 2 vertices "
+                         "below 6")
+    if max_tries is None:
+        max_tries = 200 * size
+    index = IsomorphismClassIndex()
+    result: List[Graph] = []
+    for _ in range(max_tries):
+        graph = gnp_random_graph(n, p, rng)
+        if connected_only and not graph.is_connected():
+            continue
+        if not is_asymmetric(graph):
+            continue
+        if index.add(graph):
+            result.append(graph)
+            if len(result) >= size:
+                return result
+    raise RuntimeError(
+        f"only found {len(result)}/{size} rigid isomorphism classes on "
+        f"n={n} vertices after {max_tries} samples")
+
+
+def rigid_family(n: int, size: int,
+                 rng: Optional[random.Random] = None) -> List[Graph]:
+    """Convenience front-end: exhaustive for n <= 6, sampled above.
+
+    The returned family always has exactly ``size`` members; raises if
+    the isomorphism classes on ``n`` vertices cannot supply that many.
+    """
+    if n <= 6:
+        family = rigid_family_exhaustive(n, max_size=size)
+        if len(family) < size:
+            raise ValueError(
+                f"only {len(family)} rigid classes exist on {n} vertices; "
+                f"requested {size}")
+        return family
+    return rigid_family_sampled(n, size, rng or random.Random(0))
+
+
+def count_rigid_classes(n: int) -> int:
+    """Number of connected rigid isomorphism classes on ``n`` vertices.
+
+    Exhaustive; n <= 6 in practice (n=6 gives 8 connected classes).
+    """
+    return len(rigid_family_exhaustive(n))

@@ -1,0 +1,212 @@
+"""Graph generators used by the protocols, tests and benchmarks.
+
+All generators return :class:`repro.graphs.graph.Graph` instances on
+vertex set ``0..n-1``.  Randomized generators take an explicit
+``random.Random`` instance (never the global RNG) so every experiment
+is reproducible from a seed — this matters because acceptance
+probabilities are the quantity under test.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from .graph import Graph
+
+
+def empty_graph(n: int) -> Graph:
+    """The edgeless graph on ``n`` vertices."""
+    return Graph(n)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph K_n."""
+    return Graph(n, itertools.combinations(range(n), 2))
+
+
+def path_graph(n: int) -> Graph:
+    """The path 0 - 1 - ... - (n-1)."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """The star K_{1,n-1} with center 0."""
+    if n < 1:
+        raise ValueError("star needs at least one vertex")
+    return Graph(n, ((0, i) for i in range(1, n)))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with parts ``0..a-1`` and ``a..a+b-1``."""
+    return Graph(a + b, ((i, a + j) for i in range(a) for j in range(b)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid; vertex ``(r, c)`` is ``r*cols + c``."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def gnp_random_graph(n: int, p: float, rng: random.Random) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    edges = [e for e in itertools.combinations(range(n), 2)
+             if rng.random() < p]
+    return Graph(n, edges)
+
+
+def random_connected_graph(n: int, p: float, rng: random.Random,
+                           max_tries: int = 1000) -> Graph:
+    """A connected G(n, p) sample; falls back to adding a random spanning
+    tree's edges if sparse sampling keeps producing disconnected graphs.
+    """
+    for _ in range(max_tries):
+        graph = gnp_random_graph(n, p, rng)
+        if graph.is_connected():
+            return graph
+    # Guarantee connectivity: overlay a random spanning tree.
+    graph = gnp_random_graph(n, p, rng)
+    return graph.with_edges(random_tree(n, rng).edges)
+
+
+def random_tree(n: int, rng: random.Random) -> Graph:
+    """A uniformly random labeled tree (random attachment; n >= 1)."""
+    if n < 1:
+        raise ValueError("tree needs at least one vertex")
+    if n == 1:
+        return Graph(1)
+    # Random Prüfer sequence gives a uniform labeled tree.
+    if n == 2:
+        return Graph(2, [(0, 1)])
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return tree_from_prufer(prufer)
+
+
+def tree_from_prufer(prufer: Sequence[int]) -> Graph:
+    """Decode a Prüfer sequence into the tree it encodes."""
+    n = len(prufer) + 2
+    degree = [1] * n
+    for v in prufer:
+        if not 0 <= v < n:
+            raise ValueError(f"Prüfer entry {v} out of range for n={n}")
+        degree[v] += 1
+    edges: List[Tuple[int, int]] = []
+    # Min-leaf decoding (simple O(n^2); n here is small).
+    prufer = list(prufer)
+    leaves = sorted(v for v in range(n) if degree[v] == 1)
+    for v in prufer:
+        leaf = leaves.pop(0)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            # Insert keeping sorted order.
+            lo = 0
+            while lo < len(leaves) and leaves[lo] < v:
+                lo += 1
+            leaves.insert(lo, v)
+    edges.append((leaves[0], leaves[1]))
+    return Graph(n, edges)
+
+
+def random_regular_graph(n: int, d: int, rng: random.Random,
+                         max_tries: int = 200) -> Graph:
+    """A random d-regular simple graph via the configuration model.
+
+    Retries until a simple matching is found; raises ``RuntimeError``
+    if ``max_tries`` pairings all produce loops/multi-edges.
+    """
+    if (n * d) % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph")
+    if d >= n:
+        raise ValueError("degree must be below n")
+    stubs = [v for v in range(n) for _ in range(d)]
+    for _ in range(max_tries):
+        rng.shuffle(stubs)
+        pairs = list(zip(stubs[0::2], stubs[1::2]))
+        seen = set()
+        ok = True
+        for u, v in pairs:
+            if u == v or (min(u, v), max(u, v)) in seen:
+                ok = False
+                break
+            seen.add((min(u, v), max(u, v)))
+        if ok:
+            return Graph(n, pairs)
+    raise RuntimeError(f"failed to sample a simple {d}-regular graph on "
+                       f"{n} vertices after {max_tries} tries")
+
+
+def double_star(left_leaves: int, right_leaves: int) -> Graph:
+    """Two adjacent centers (0 and 1) with pendant leaves.
+
+    ``double_star(k, k)`` is a small symmetric graph (swap the two
+    stars); ``double_star(k, k+1)`` is asymmetric for k >= ... (the two
+    centers become distinguishable) — handy in tests.
+    """
+    n = 2 + left_leaves + right_leaves
+    edges = [(0, 1)]
+    edges += [(0, 2 + i) for i in range(left_leaves)]
+    edges += [(1, 2 + left_leaves + i) for i in range(right_leaves)]
+    return Graph(n, edges)
+
+
+def disjoint_copies(base: Graph, copies: int) -> Graph:
+    """``copies`` disjoint copies of ``base`` (a symmetric graph for >= 2)."""
+    result = base
+    for _ in range(copies - 1):
+        result = result.disjoint_union(base)
+    return result
+
+
+def symmetric_doubled_graph(base: Graph, bridge_length: int = 1) -> Graph:
+    """Two copies of ``base`` joined by a path between the two copies of
+    vertex 0 — symmetric by construction (mirror automorphism).
+
+    With ``bridge_length = r`` there are ``r`` intermediate path
+    vertices; ``r = 0`` joins the two copies of vertex 0 directly.
+    """
+    n = base.n
+    edges = list(base.edges)
+    edges += [(u + n, v + n) for u, v in base.edges]
+    prev = 0
+    for i in range(bridge_length):
+        mid = 2 * n + i
+        edges.append((prev, mid))
+        prev = mid
+    edges.append((prev, n))
+    return Graph(2 * n + bridge_length, edges)
+
+
+def all_graphs(n: int) -> Iterator[Graph]:
+    """Enumerate every labeled simple graph on ``n`` vertices.
+
+    There are ``2^(n(n-1)/2)`` of them; intended for ``n <= 6`` in tests
+    and family construction.
+    """
+    all_pairs = list(itertools.combinations(range(n), 2))
+    for bits in range(1 << len(all_pairs)):
+        yield Graph(n, (all_pairs[i] for i in range(len(all_pairs))
+                        if bits >> i & 1))
+
+
+def all_connected_graphs(n: int) -> Iterator[Graph]:
+    """Enumerate connected labeled graphs on ``n`` vertices (small n)."""
+    return (g for g in all_graphs(n) if g.is_connected())

@@ -1,0 +1,145 @@
+"""Isomorphism testing and canonical labeling.
+
+Used by:
+
+* the GNI honest prover (decide which of two scrambled graphs it was
+  shown, i.e. test isomorphism);
+* :mod:`repro.graphs.families` (deduplicate graphs up to isomorphism
+  via canonical forms);
+* tests, as an oracle cross-checked against ``networkx``.
+
+Canonical form: color refinement to fix an ordered partition, then
+branch-and-bound over refinement-compatible orderings minimizing the
+packed adjacency encoding.  Exact for all graphs; practical for the
+small ``n`` this library simulates (n ≲ 10 for canonical forms; the
+protocols themselves scale further since they never canonicalize).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .automorphism import _search_isomorphisms, refine_colors
+from .graph import Graph
+
+
+def find_isomorphism(g1: Graph, g2: Graph) -> Optional[Tuple[int, ...]]:
+    """An isomorphism ``g1 -> g2`` as a mapping tuple, or None."""
+    for mapping in _search_isomorphisms(g1, g2):
+        return mapping
+    return None
+
+
+def are_isomorphic(g1: Graph, g2: Graph) -> bool:
+    """Whether the two graphs are isomorphic."""
+    return find_isomorphism(g1, g2) is not None
+
+
+def is_isomorphism(g1: Graph, g2: Graph, mapping: Sequence[int]) -> bool:
+    """Verify that ``mapping`` is an isomorphism from ``g1`` to ``g2``."""
+    n = g1.n
+    if g2.n != n or len(mapping) != n or sorted(mapping) != list(range(n)):
+        return False
+    if g1.num_edges != g2.num_edges:
+        return False
+    return all(g2.has_edge(mapping[u], mapping[v]) for u, v in g1.edges)
+
+
+def canonical_labeling(graph: Graph) -> Tuple[int, ...]:
+    """A canonical vertex ordering: ``graph.relabel(result)`` is the
+    canonical form, identical for all graphs isomorphic to ``graph``.
+
+    Branch-and-bound: vertices are placed one at a time; candidates are
+    restricted to the smallest surviving refinement class, and partial
+    encodings are compared row-by-row so dominated branches are cut.
+    """
+    n = graph.n
+    if n == 0:
+        return ()
+    colors = refine_colors(graph)
+
+    best_perm: List[Optional[Tuple[int, ...]]] = [None]
+    best_rows: List[List[int]] = [[]]
+
+    def row_of(placed: List[int], v: int) -> int:
+        """Adjacency bits of v against already-placed vertices (and self)."""
+        row = 0
+        for i, u in enumerate(placed):
+            if graph.has_edge(v, u):
+                row |= 1 << i
+        return row
+
+    def backtrack(placed: List[int], rows: List[int], used: List[bool]) -> None:
+        depth = len(placed)
+        if depth == n:
+            if best_perm[0] is None or rows < best_rows[0]:
+                # mapping[v] = position of v in canonical order.
+                perm = [0] * n
+                for pos, v in enumerate(placed):
+                    perm[v] = pos
+                best_perm[0] = tuple(perm)
+                best_rows[0] = list(rows)
+            return
+        # Candidates: unplaced vertices, smallest color first (a fixed
+        # isomorphism-invariant target-cell rule keeps this canonical).
+        remaining = [v for v in range(n) if not used[v]]
+        min_color = min(colors[v] for v in remaining)
+        cands = [v for v in remaining if colors[v] == min_color]
+        scored = sorted((row_of(placed, v), v) for v in cands)
+        for row, v in scored:
+            new_rows = rows + [row]
+            if best_perm[0] is not None:
+                prefix = best_rows[0][:depth + 1]
+                if new_rows > prefix:
+                    break  # sorted by row; all further rows also worse
+            used[v] = True
+            backtrack(placed + [v], new_rows, used)
+            used[v] = False
+
+    backtrack([], [], [False] * n)
+    assert best_perm[0] is not None
+    return best_perm[0]
+
+
+def canonical_form(graph: Graph) -> Graph:
+    """The canonical representative of ``graph``'s isomorphism class.
+
+    ``canonical_form(g1) == canonical_form(g2)`` iff ``g1 ≅ g2``.
+    """
+    return graph.relabel(list(canonical_labeling(graph)))
+
+
+def canonical_key(graph: Graph) -> Tuple[int, int]:
+    """A hashable isomorphism-class key: (n, packed canonical adjacency)."""
+    cf = canonical_form(graph)
+    return (cf.n, cf.open_adjacency_bits())
+
+
+class IsomorphismClassIndex:
+    """A set of graphs deduplicated up to isomorphism.
+
+    Cheap invariants (degree sequence, refinement color histogram) are
+    checked before computing canonical forms, so bulk insertion of
+    random graphs stays fast.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[Tuple[int, int], Graph] = {}
+
+    def add(self, graph: Graph) -> bool:
+        """Insert; returns True if this isomorphism class is new."""
+        key = canonical_key(graph)
+        if key in self._keys:
+            return False
+        self._keys[key] = graph
+        return True
+
+    def __contains__(self, graph: Graph) -> bool:
+        return canonical_key(graph) in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def representatives(self) -> List[Graph]:
+        """One representative per isomorphism class, insertion order."""
+        return list(self._keys.values())

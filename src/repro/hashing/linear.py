@@ -1,0 +1,172 @@
+"""The linear hash family of Theorem 3.2.
+
+The family ``H = {h_s : s ∈ Z_p}`` hashes vectors ``x ∈ Z_p^m`` (in the
+protocols, characteristic vectors in {0,1}^m with m = n²) to Z_p by
+polynomial evaluation:
+
+    h_s(x) = Σ_{j=1..m} x_j · s^j   (mod p).
+
+Properties (both property-tested in ``tests/hashing``):
+
+* **Linearity** — ``h_s(x + x') = h_s(x) + h_s(x')`` where the left
+  sum is coordinate-wise mod p.  This is what lets the network hash the
+  full adjacency matrix by hashing one row per node and adding the
+  results up a spanning tree.
+* **Collision bound** — for ``x ≠ x'`` (mod p, coordinate-wise),
+  ``Pr_s[h_s(x) = h_s(x')] ≤ m/p``: the difference polynomial is a
+  nonzero polynomial of degree ≤ m with zero constant term, so it has
+  at most m roots among the p seeds.
+
+Row-matrix inputs: a single-row matrix ``[i, r]`` viewed as a vector in
+``{0,1}^{n²}`` (coordinate ``i·n + v`` holds ``r_v``) hashes to
+``s^{i·n} · h_s(r)``, computed with one modular exponentiation — no
+n²-length loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .rowmatrix import MatrixSum
+
+
+class LinearHashFamily:
+    """The Theorem-3.2 family for m-coordinate vectors mod a prime p.
+
+    ``seed_count == p``; drawing a random function costs ``⌈log₂ p⌉``
+    random bits, which is the protocols' O(log n) / O(n log n) budget.
+    """
+
+    __slots__ = ("m", "p")
+
+    def __init__(self, m: int, p: int) -> None:
+        if m < 1:
+            raise ValueError("dimension m must be positive")
+        if p < 2:
+            raise ValueError("modulus must be a prime >= 2")
+        self.m = m
+        self.p = p
+
+    # -- seed management -------------------------------------------------
+
+    @property
+    def seed_count(self) -> int:
+        """|H| = p."""
+        return self.p
+
+    @property
+    def seed_bits(self) -> int:
+        """Bits needed to name a seed: ⌈log₂ p⌉."""
+        return max(1, (self.p - 1).bit_length())
+
+    def sample_seed(self, rng: random.Random) -> int:
+        """A uniform seed index in [0, p)."""
+        return rng.randrange(self.p)
+
+    @property
+    def collision_bound(self) -> float:
+        """The Theorem-3.2 guarantee ``m/p`` (may exceed 1 if p is tiny)."""
+        return self.m / self.p
+
+    # -- hashing ---------------------------------------------------------
+
+    def hash_bits(self, seed: int, bits: int) -> int:
+        """Hash a characteristic vector packed as an integer bitmask.
+
+        Coordinate ``j`` (bit ``j`` of ``bits``) contributes ``s^(j+1)``.
+        """
+        self._check_seed(seed)
+        acc = 0
+        remaining = bits
+        while remaining:
+            low = remaining & -remaining
+            j = low.bit_length() - 1
+            if j >= self.m:
+                raise ValueError(f"bit {j} outside dimension m={self.m}")
+            acc = (acc + pow(seed, j + 1, self.p)) % self.p
+            remaining ^= low
+        return acc
+
+    def power_table(self, seed: int) -> Sequence[int]:
+        """``[s^1, s^2, ..., s^m] mod p`` — amortizes hashing many inputs
+        under one seed (the GNI prover hashes |S| ≈ 2·n! encodings)."""
+        self._check_seed(seed)
+        table = [0] * self.m
+        acc = 1
+        for j in range(self.m):
+            acc = acc * seed % self.p
+            table[j] = acc
+        return table
+
+    def hash_bits_with_table(self, table: Sequence[int], bits: int) -> int:
+        """Like :meth:`hash_bits` but using a precomputed power table."""
+        acc = 0
+        remaining = bits
+        while remaining:
+            low = remaining & -remaining
+            j = low.bit_length() - 1
+            acc += table[j]
+            remaining ^= low
+        return acc % self.p
+
+    def hash_vector(self, seed: int, coeffs: Sequence[int]) -> int:
+        """Hash an arbitrary coefficient vector (Horner's rule).
+
+        ``h_s(x) = Σ x_j s^(j+1) = s · (x_0 + s·(x_1 + ...))``.
+        """
+        self._check_seed(seed)
+        if len(coeffs) > self.m:
+            raise ValueError("vector longer than dimension m")
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * seed + c) % self.p
+        return acc * seed % self.p
+
+    def hash_row_matrix(self, seed: int, n: int, i: int, row_bits: int) -> int:
+        """Hash the single-row matrix ``[i, row_bits]`` of an n×n matrix.
+
+        The matrix is flattened to m = n² coordinates with coordinate
+        ``i·n + v`` holding entry (i, v); requires ``m >= n²``.
+        """
+        if n * n > self.m:
+            raise ValueError(f"matrix {n}x{n} does not fit dimension m={self.m}")
+        if not 0 <= i < n:
+            raise ValueError(f"row index {i} out of range")
+        if row_bits >> n:
+            raise ValueError("row has bits beyond column n")
+        return (pow(seed, i * n, self.p)
+                * self.hash_bits(seed, row_bits)) % self.p
+
+    def hash_matrix_sum(self, seed: int, matrix: MatrixSum) -> int:
+        """Hash a full ``MatrixSum`` (reference implementation for tests).
+
+        Equals the sum of ``hash_row_matrix`` over the constituent rows
+        by linearity; the protocols use the per-row form, tests compare
+        both.
+        """
+        if matrix.p != self.p:
+            raise ValueError("matrix modulus differs from hash modulus")
+        flat = [entry for row in matrix.rows for entry in row]
+        return self.hash_vector(seed, flat)
+
+    def add(self, *values: int) -> int:
+        """Sum hash values in the output group Z_p."""
+        return sum(values) % self.p
+
+    def _check_seed(self, seed: int) -> None:
+        if not 0 <= seed < self.p:
+            raise ValueError(f"seed {seed} outside [0, {self.p})")
+
+
+def collision_seed_count(family: LinearHashFamily,
+                         coeffs_a: Sequence[int],
+                         coeffs_b: Sequence[int]) -> int:
+    """Exactly count seeds with ``h_s(a) = h_s(b)`` (brute force over p).
+
+    Used by tests and the soundness experiments with *small* p to check
+    the ≤ m/p collision law exactly.
+    """
+    return sum(1 for s in range(family.p)
+               if family.hash_vector(s, coeffs_a)
+               == family.hash_vector(s, coeffs_b))

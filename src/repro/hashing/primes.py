@@ -1,0 +1,97 @@
+"""Primality testing and prime search.
+
+The hash family of Theorem 3.2 needs a prime modulus in a prescribed
+window: ``[10n³, 100n³]`` for Protocol 1 and ``[10·n^(n+2),
+100·n^(n+2)]`` for Protocol 2 (Bertrand's postulate guarantees one
+exists).  Protocol-2 primes have Θ(n log n) bits, so we need big-int
+primality testing: deterministic Miller–Rabin below 3.3 · 10²⁴ (known
+witness sets) and randomized Miller–Rabin with enough rounds above.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+# Deterministic witness sets (Sorenson & Webster; Jaeschke).  Testing
+# against these bases is *exact* for numbers below the listed bound.
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97)
+
+
+def _miller_rabin_witness(n: int, a: int) -> bool:
+    """True if ``a`` witnesses compositeness of odd ``n > 2``."""
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(s - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, rng: Optional[random.Random] = None,
+             rounds: int = 40) -> bool:
+    """Primality test: exact below ~3.3e24, Miller–Rabin with ``rounds``
+    random bases above (error probability ≤ 4^-rounds).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return not any(_miller_rabin_witness(n, a)
+                       for a in _DETERMINISTIC_WITNESSES if a < n)
+    rng = rng or random.Random(0x5EED ^ (n & 0xFFFFFFFF))
+    return not any(_miller_rabin_witness(n, rng.randrange(2, n - 1))
+                   for _ in range(rounds))
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime >= n."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # make odd
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prime_in_range(lo: int, hi: int) -> int:
+    """A prime in ``[lo, hi]`` — the smallest one, for determinism.
+
+    Raises ``ValueError`` if the interval contains none.  The paper's
+    windows ``[10x, 100x]`` always do (Bertrand's postulate).
+    """
+    if hi < lo:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    p = next_prime(max(lo, 2))
+    if p > hi:
+        raise ValueError(f"no prime in [{lo}, {hi}]")
+    return p
+
+
+def theorem32_prime_window(n: int, exponent: int = 3) -> int:
+    """The paper's prime windows: a prime in ``[10·n^e, 100·n^e]``.
+
+    ``exponent=3`` is Protocol 1's window (collision probability
+    ``m/p = n²/10n³ = 1/(10n)``); Protocol 2 passes ``exponent=n+2``
+    so that a union bound over all ``n^n`` mappings still leaves
+    error ≤ ``n²·n^n / 10·n^(n+2) = 1/10``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    base = n ** exponent
+    return prime_in_range(10 * base, 100 * base)

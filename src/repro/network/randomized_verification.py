@@ -1,0 +1,159 @@
+"""Randomized node-to-node verification — the RPLS phenomenon.
+
+The paper's related-work section contrasts its prover-charged model
+with *randomized proof-labeling schemes* (Baruch–Fraigniaud–Patt-Shamir
+[4]), where nodes exchange randomized messages with each other after
+receiving advice, buying an exponential reduction in verification
+communication (at the price of advice the prover is not charged for).
+
+This module reproduces that phenomenon on its canonical core: *edge
+equality checking*.  Many labeling schemes bottleneck on neighbors
+comparing large values (full advice strings, encodings, inputs);
+deterministically that costs the value's length per edge, randomized
+it costs O(log) bits via the Theorem-3.2 linear hash — each node draws
+a private seed, sends ``(seed, h_seed(value))``, and checks incoming
+fingerprints against its own value.
+
+The model here is deliberately minimal and *separate* from the
+interactive-proof stack: one round of simultaneous node-to-node
+messages over the graph edges, then a local decision.  It exists as a
+measured baseline (benchmark E10) for the paper's point that the [4]
+result "is not applicable to our setting, because we do charge the
+prover for its communication".
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..graphs.graph import Graph
+from ..hashing.linear import LinearHashFamily
+from ..hashing.primes import prime_in_range
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one edge-verification round."""
+
+    accepted: bool
+    decisions: Dict[int, bool]
+    #: bits each node sent to each neighbor.
+    message_bits: int
+
+    def rejecting_nodes(self):
+        return sorted(v for v, ok in self.decisions.items() if not ok)
+
+
+class EdgeEqualityScheme(ABC):
+    """One-round scheme for checking that adjacent values agree.
+
+    ``values[v]`` is the k-bit value node v holds (an input, or the
+    advice it received — the caller decides).  The network accepts iff
+    every edge's endpoints hold equal values, with some one-sided
+    error allowed for randomized schemes.
+    """
+
+    def __init__(self, value_bits: int) -> None:
+        if value_bits < 1:
+            raise ValueError("values must have at least one bit")
+        self.value_bits = value_bits
+
+    @property
+    @abstractmethod
+    def message_bits(self) -> int:
+        """Bits of one node-to-neighbor message."""
+
+    @abstractmethod
+    def node_message(self, value: int, rng: random.Random) -> Any:
+        """The message a node broadcasts to its neighbors."""
+
+    @abstractmethod
+    def check(self, own_value: int, received: Any) -> bool:
+        """Does a received message look consistent with our value?"""
+
+
+class DeterministicEquality(EdgeEqualityScheme):
+    """The baseline: ship the whole value (k bits per edge)."""
+
+    name = "deterministic"
+
+    @property
+    def message_bits(self) -> int:
+        return self.value_bits
+
+    def node_message(self, value: int, rng: random.Random) -> int:
+        return value
+
+    def check(self, own_value: int, received: int) -> bool:
+        return received == own_value
+
+
+class HashedEquality(EdgeEqualityScheme):
+    """The [4]-style scheme: a private seed plus a linear-hash
+    fingerprint — O(log k) bits per edge, one-sided error ≤ k/p per
+    differing edge."""
+
+    name = "hashed"
+
+    def __init__(self, value_bits: int, p: Optional[int] = None) -> None:
+        super().__init__(value_bits)
+        # p ~ poly(k) keeps the error ≤ k/p ≤ 1/(10k) and the
+        # fingerprint O(log k) bits.
+        self.family = LinearHashFamily(
+            m=value_bits,
+            p=p if p is not None
+            else prime_in_range(10 * value_bits ** 3,
+                                100 * value_bits ** 3))
+
+    @property
+    def message_bits(self) -> int:
+        return 2 * self.family.seed_bits  # seed + fingerprint
+
+    @property
+    def error_bound(self) -> float:
+        return self.family.collision_bound
+
+    def node_message(self, value: int,
+                     rng: random.Random) -> Tuple[int, int]:
+        seed = self.family.sample_seed(rng)
+        return (seed, self.family.hash_bits(seed, value))
+
+    def check(self, own_value: int, received: Tuple[int, int]) -> bool:
+        seed, fingerprint = received
+        return self.family.hash_bits(seed, own_value) == fingerprint
+
+
+def run_edge_verification(graph: Graph, values: Mapping[int, int],
+                          scheme: EdgeEqualityScheme,
+                          rng: random.Random) -> VerificationResult:
+    """One round: every node fingerprints its value to its neighbors,
+    every node checks everything it received."""
+    for v in graph.vertices:
+        value = values[v]
+        if not isinstance(value, int) or value >> scheme.value_bits:
+            raise ValueError(f"node {v} value does not fit "
+                             f"{scheme.value_bits} bits")
+    messages = {v: scheme.node_message(values[v], rng)
+                for v in graph.vertices}
+    decisions = {}
+    for v in graph.vertices:
+        decisions[v] = all(scheme.check(values[v], messages[u])
+                           for u in graph.neighbors(v))
+    return VerificationResult(
+        accepted=all(decisions.values()),
+        decisions=decisions,
+        message_bits=scheme.message_bits,
+    )
+
+
+def detection_probability(graph: Graph, values: Mapping[int, int],
+                          scheme: EdgeEqualityScheme, trials: int,
+                          rng: random.Random) -> float:
+    """Fraction of runs in which a non-uniform assignment is caught."""
+    rejected = sum(
+        not run_edge_verification(graph, values, scheme, rng).accepted
+        for _ in range(trials))
+    return rejected / trials

@@ -1,0 +1,122 @@
+"""The spanning-tree proof labeling scheme (Korman–Kutten–Peleg [23]).
+
+Protocols 1 and 2, the DSym protocol and the GNI protocol all make the
+prover supply a rooted spanning tree — per node: the root ``r``
+(broadcast), a parent pointer ``t_v`` and a distance ``d_v`` — and the
+nodes verify it locally (advice length Θ(log n)):
+
+* the root: ``d_r = 0`` and ``t_r = r``;
+* everyone else: ``t_v ∈ N(v)``, ``1 ≤ d_v < n`` and
+  ``d_{t_v} = d_v − 1``.
+
+If every node passes and the (connected) network agrees on ``r`` via
+the broadcast check, the parent pointers form a spanning tree rooted at
+``r``: distances strictly decrease along parent pointers, so chains
+terminate, and only the root may claim distance 0.
+
+Hardening note: the paper's box defines ``C(v) = {u ∈ N(v) | t_u = v}``
+and does not constrain the root's own parent pointer.  A prover that
+points the root *into* the tree (``t_r ∈ N(r)``) creates a cycle
+through the root that turns the hash-aggregation constraints of
+Protocols 1/2 into a degenerate linear system, adding an extra ~``m/p``
+soundness slack.  We close the hole at zero cost by requiring
+``t_r = r`` and excluding the root from every child set — exactly what
+the honest prover produces anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.model import LocalView
+from ..graphs.graph import Graph
+
+#: Canonical field names protocols use for the tree advice.
+FIELD_ROOT = "root"
+FIELD_PARENT = "parent"
+FIELD_DIST = "dist"
+
+
+@dataclass(frozen=True)
+class TreeAdvice:
+    """Per-node spanning tree advice: parent pointer and root distance."""
+
+    parent: int
+    dist: int
+
+
+def honest_tree_advice(graph: Graph, root: int) -> Dict[int, TreeAdvice]:
+    """BFS spanning tree advice rooted at ``root`` (graph must be connected).
+
+    The root's parent is itself, distance 0.
+    """
+    parents = graph.bfs_tree(root)
+    dists = graph.distances_from(root)
+    if len(dists) != graph.n:
+        raise ValueError("graph is not connected; no spanning tree exists")
+    advice = {root: TreeAdvice(parent=root, dist=0)}
+    for v, parent in parents.items():
+        advice[v] = TreeAdvice(parent=parent, dist=dists[v])
+    return advice
+
+
+def tree_check(view: LocalView, round_idx: int, root: int,
+               parent_field: str = FIELD_PARENT,
+               dist_field: str = FIELD_DIST) -> bool:
+    """Node-local spanning-tree verification (Protocol 1/2, line 1).
+
+    Reads this node's parent/dist from its round-``round_idx`` message
+    and the parent's dist from the parent's message (visible because
+    the parent must be a neighbor).
+    """
+    v = view.node
+    own = view.own_message(round_idx)
+    parent = own[parent_field]
+    dist = own[dist_field]
+    if not isinstance(dist, int) or not isinstance(parent, int):
+        return False
+    if v == root:
+        return dist == 0 and parent == v
+    if not view.has_edge(parent):
+        return False  # parent must be an actual graph neighbor
+    if not 1 <= dist < view.n:
+        return False
+    parent_dist = view.message_of(round_idx, parent)[dist_field]
+    return parent_dist == dist - 1
+
+
+def children_of(view: LocalView, round_idx: int, root: int,
+                parent_field: str = FIELD_PARENT) -> List[int]:
+    """``C(v)``: neighbors that claim this node as their tree parent.
+
+    The root is never anyone's child (see module hardening note).
+    """
+    v = view.node
+    result = []
+    for u in view.neighbors:
+        if u == root:
+            continue
+        msg = view.message_of(round_idx, u)
+        if msg.get(parent_field) == v:
+            result.append(u)
+    return result
+
+
+def subtree_vertices(advice: Dict[int, TreeAdvice], v: int) -> List[int]:
+    """All vertices in the subtree rooted at ``v`` (honest advice only).
+
+    Used by honest provers to compute the partial hash values they owe
+    each node, and by tests as the ground truth for Lemma 3.3.
+    """
+    children: Dict[int, List[int]] = {}
+    for u, adv in advice.items():
+        if adv.parent != u:
+            children.setdefault(adv.parent, []).append(u)
+    result = []
+    stack = [v]
+    while stack:
+        w = stack.pop()
+        result.append(w)
+        stack.extend(children.get(w, ()))
+    return sorted(result)

@@ -1,0 +1,123 @@
+"""Canonical instance batteries for each language.
+
+Experiments, tests and downstream users all need the same thing:
+curated YES and NO instances with known ground truth, at a given size.
+These builders are the single source of truth for "a representative
+battery", so every consumer measures against the same instances.
+
+Each battery is a list of :class:`LabeledInstance` — instance, truth
+bit, and a human-readable label for reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.model import Instance
+from ..graphs.dumbbell import DSymLayout, dsym_graph, dsym_no_instance
+from ..graphs.families import rigid_family
+from ..graphs.generators import (cycle_graph, gnp_random_graph,
+                                 symmetric_doubled_graph)
+from ..graphs.dumbbell import lower_bound_dumbbell
+from .gni import gni_instance
+
+
+@dataclass(frozen=True)
+class LabeledInstance:
+    """An instance with ground truth attached."""
+
+    label: str
+    instance: Instance
+    is_yes: bool
+
+
+def sym_battery(inner_n: int = 6,
+                rng: Optional[random.Random] = None) -> List[LabeledInstance]:
+    """Sym instances on ``2·inner_n + 2`` vertices: dumbbells over a
+    rigid family (the paper's own hard family) plus a structured
+    symmetric graph.
+
+    YES instances are ``G(F, F)`` dumbbells and a doubled random graph;
+    NO instances are ``G(F_i, F_j)`` with ``i ≠ j``.
+    """
+    rng = rng or random.Random(0)
+    family = rigid_family(inner_n, 4, rng)
+    items = [
+        LabeledInstance(
+            "dumbbell G(F0,F0)",
+            Instance(lower_bound_dumbbell(family[0], family[0])), True),
+        LabeledInstance(
+            "dumbbell G(F1,F1)",
+            Instance(lower_bound_dumbbell(family[1], family[1])), True),
+        LabeledInstance(
+            "dumbbell G(F0,F1)",
+            Instance(lower_bound_dumbbell(family[0], family[1])), False),
+        LabeledInstance(
+            "dumbbell G(F2,F3)",
+            Instance(lower_bound_dumbbell(family[2], family[3])), False),
+    ]
+    doubled = symmetric_doubled_graph(gnp_random_graph(inner_n, 0.4, rng),
+                                      bridge_length=2)
+    if doubled.is_connected():
+        items.append(LabeledInstance("doubled random graph",
+                                     Instance(doubled), True))
+    return items
+
+
+def dsym_battery(layout: DSymLayout,
+                 rng: Optional[random.Random] = None
+                 ) -> List[LabeledInstance]:
+    """DSym instances for a given layout: equal halves (YES), different
+    and relabeled halves (NO)."""
+    rng = rng or random.Random(1)
+    n = layout.n
+    half = gnp_random_graph(n, 0.5, rng)
+    while not dsym_graph(half, layout.r).is_connected():
+        half = gnp_random_graph(n, 0.5, rng)
+    other = gnp_random_graph(n, 0.5, rng)
+    items = [
+        LabeledInstance("equal random halves",
+                        Instance(dsym_graph(half, layout.r)), True),
+        LabeledInstance("equal cyclic halves",
+                        Instance(dsym_graph(cycle_graph(n), layout.r)),
+                        True),
+    ]
+    if other != half:
+        no_graph = dsym_no_instance(half, other, layout.r)
+        if no_graph.is_connected():
+            items.append(LabeledInstance(
+                "different halves", Instance(no_graph), False))
+    perm = list(range(n))
+    rng.shuffle(perm)
+    relabeled = half.relabel(perm)
+    if relabeled != half:
+        no_graph = dsym_no_instance(half, relabeled, layout.r)
+        if no_graph.is_connected():
+            items.append(LabeledInstance(
+                "relabeled half", Instance(no_graph), False))
+    return items
+
+
+def gni_battery(n: int = 6,
+                rng: Optional[random.Random] = None) -> List[LabeledInstance]:
+    """GNI instances over rigid graphs (the base protocol's domain):
+    non-isomorphic pairs (YES), relabelings and identical pairs (NO)."""
+    rng = rng or random.Random(2)
+    family = rigid_family(n, 3, rng)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    if perm == list(range(n)):
+        perm = [1, 0] + list(range(2, n))
+    return [
+        LabeledInstance("rigid F0 vs F1",
+                        gni_instance(family[0], family[1]), True),
+        LabeledInstance("rigid F1 vs F2",
+                        gni_instance(family[1], family[2]), True),
+        LabeledInstance("F0 vs relabeled F0",
+                        gni_instance(family[0], family[0].relabel(perm)),
+                        False),
+        LabeledInstance("F0 vs itself",
+                        gni_instance(family[0], family[0]), False),
+    ]

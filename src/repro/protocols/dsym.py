@@ -1,0 +1,88 @@
+"""The O(log n)-bit dAM protocol for Dumbbell Symmetry (Section 3.3).
+
+Theorem 1.2 / Theorem 3.6: the language DSym (Definition 5) is decided
+by a *one-round* Arthur–Merlin protocol with O(log n) bits per node,
+while any Locally Checkable Proof needs Ω(n²) bits — the exponential
+separation between distributed NP and distributed AM.
+
+Why one round suffices here but not for full Sym: DSym fixes the
+automorphism σ (halves swap, path reverses), so the prover has nothing
+to commit to — the first Merlin round of Protocol 1 disappears.  The
+hash comparison is between two matrices *determined by the graph
+alone*, so the prover learning the seed before responding gains
+nothing, and Protocol 1's small prime ``p ∈ [10·N³, 100·N³]`` still
+gives soundness ≤ m/p with no union bound.
+
+Structurally the protocol is the general
+:class:`~repro.protocols.fixed_map.FixedMappingProtocol` — "certify
+the public σ is an automorphism" — plus Definition 5's purely-local
+structure checks (conditions 2 and 3: the connecting path is present
+and no stray edges exist), which need no prover at all.  This module
+wires the two together; σ is computed by every node from the public
+layout (Definition 5's map swaps the halves and reverses the path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import LocalView
+from ..graphs.dumbbell import DSymLayout, dsym_automorphism
+from ..hashing.linear import LinearHashFamily
+from .fixed_map import FixedMappingProtocol, ForcedMappingProver
+
+#: σ moves vertex 0 (to n), so the fixed root 0 satisfies σ(root) ≠ root.
+DSYM_ROOT = 0
+
+
+def _dsym_structure_check(layout: DSymLayout) -> "callable":
+    """Definition 5's conditions 2 and 3 as a node-local predicate."""
+    path = layout.path_sequence()
+    position = {u: idx for idx, u in enumerate(path)}
+    half_a = set(layout.half_a)
+    half_b = set(layout.half_b)
+
+    def check(view: LocalView) -> bool:
+        v = view.node
+        neighbors = set(view.neighbors)
+        required = set()
+        allowed = set()
+        if v in position:
+            idx = position[v]
+            if idx > 0:
+                required.add(path[idx - 1])
+            if idx + 1 < len(path):
+                required.add(path[idx + 1])
+        if v in half_a:
+            allowed |= half_a
+        elif v in half_b:
+            allowed |= half_b
+        allowed |= required
+        allowed.discard(v)
+        return required <= neighbors and neighbors <= allowed
+
+    return check
+
+
+class DSymDAMProtocol(FixedMappingProtocol):
+    """The dAM protocol for DSym with public layout (n, r)."""
+
+    name = "dsym-dam"
+
+    def __init__(self, layout: DSymLayout,
+                 family: Optional[LinearHashFamily] = None) -> None:
+        if layout.n < 1 or layout.r < 0:
+            raise ValueError("invalid DSym layout")
+        self.layout = layout
+        super().__init__(sigma=dsym_automorphism(layout), root=DSYM_ROOT,
+                         structure_check=_dsym_structure_check(layout),
+                         family=family)
+
+    @property
+    def total_n(self) -> int:
+        return self.layout.total_n
+
+
+#: The DSym prover is exactly the generic forced prover: honest on YES
+#: instances, optimal (collision-only) cheater on NO instances.
+DSymForcedProver = ForcedMappingProver

@@ -1,0 +1,204 @@
+"""Certifying a *public* mapping: the reusable core of the DSym result.
+
+Section 3.3's key observation generalizes: whenever the automorphism
+to check is fixed and publicly known (rather than existentially
+quantified), the prover has nothing to commit to, so Protocol 1's
+verification collapses to a single Arthur–Merlin exchange with the
+*small* prime — O(log n) bits — even though the prover answers after
+seeing the challenge.  Soundness needs no union bound because both
+hashed matrices, ``Σ[v, N(v)]`` and ``Σ[σ(v), σ(N(v))]``, are
+determined by the graph alone.
+
+:class:`FixedMappingProtocol` implements exactly that: a dAM protocol
+deciding the language "σ is an automorphism of G" for a fixed public
+permutation σ.  The DSym protocol of Theorem 1.2 is this protocol plus
+Definition 5's purely-local structure checks (see
+``repro.protocols.dsym``); other uses include certifying replication
+layouts, ring rotations, or any designed-in symmetry.
+
+Practical use: a system that *constructs* its network with a known
+symmetry can have the construction certified with logarithmic
+communication, which is the "certifying distributed algorithms"
+motivation from the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence
+
+from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
+                          ProtocolViolation, Prover, PATTERN_DAM,
+                          bits_for_identifier, bits_for_value)
+from ..hashing.linear import LinearHashFamily
+from ..hashing.primes import theorem32_prime_window
+from ..hashing.rowmatrix import image_bits
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT,
+                                     honest_tree_advice, tree_check)
+from ._tree_hash import check_aggregate, closed_row_bits, honest_aggregates
+
+FIELD_SEED = "seed"
+FIELD_A = "a"
+FIELD_B = "b"
+
+ROUND_A0 = 0
+ROUND_M1 = 1
+
+
+class FixedMappingProtocol(Protocol):
+    """dAM[O(log n)] protocol for "σ ∈ Aut(G)", σ fixed and public.
+
+    Parameters
+    ----------
+    sigma:
+        The public permutation to certify (a tuple/list over ``0..n-1``;
+        it need not move the root — there is no non-triviality check
+        here, that is the caller's business if it has one).
+    root:
+        The (public) spanning-tree root; defaults to vertex 0.
+    structure_check:
+        Optional extra node-local predicate (``view -> bool``) ANDed
+        into every node's decision — how DSym adds Definition 5's
+        conditions 2 and 3.
+    family:
+        Hash family override for ablations; defaults to the paper's
+        ``p ∈ [10n³, 100n³]`` window with m = n².
+    """
+
+    name = "fixed-map-dam"
+    pattern = PATTERN_DAM
+
+    def __init__(self, sigma: Sequence[int], root: int = 0,
+                 structure_check: Optional[
+                     Callable[[LocalView], bool]] = None,
+                 family: Optional[LinearHashFamily] = None) -> None:
+        n = len(sigma)
+        if n < 1:
+            raise ValueError("mapping must cover at least one vertex")
+        if sorted(sigma) != list(range(n)):
+            raise ValueError("sigma must be a permutation of 0..n-1")
+        if not 0 <= root < n:
+            raise ValueError("root out of range")
+        self.n = n
+        self.sigma = tuple(sigma)
+        self.root = root
+        self.structure_check = structure_check
+        self.family = family or LinearHashFamily(
+            m=n * n, p=theorem32_prime_window(n, exponent=3))
+        if self.family.m < n * n:
+            raise ValueError("hash dimension must cover the n×n matrix")
+
+    def validate_instance(self, instance: Instance) -> None:
+        super().validate_instance(instance)
+        if instance.n != self.n:
+            raise ValueError(
+                f"protocol built for n={self.n}, instance has n={instance.n}")
+
+    # -- Arthur ----------------------------------------------------------
+
+    def arthur_value(self, instance: Instance, round_idx: int, v: int,
+                     rng: random.Random) -> int:
+        return self.family.sample_seed(rng)
+
+    def arthur_bits(self, instance: Instance, round_idx: int) -> int:
+        return self.family.seed_bits
+
+    # -- Merlin ----------------------------------------------------------
+
+    def broadcast_fields(self, round_idx: int) -> FrozenSet[str]:
+        return frozenset({FIELD_SEED})
+
+    def merlin_fields(self, round_idx: int) -> FrozenSet[str]:
+        return frozenset({FIELD_SEED, FIELD_PARENT, FIELD_DIST,
+                          FIELD_A, FIELD_B})
+
+    def merlin_bits(self, instance: Instance, round_idx: int,
+                    message: NodeMessage) -> int:
+        id_bits = bits_for_identifier(self.n)
+        return (self.family.seed_bits + 2 * id_bits
+                + 2 * bits_for_value(self.family.p))
+
+    # -- decision ----------------------------------------------------------
+
+    def decide(self, view: LocalView) -> bool:
+        if self.structure_check is not None \
+                and not self.structure_check(view):
+            return False
+        if not tree_check(view, ROUND_M1, self.root):
+            return False
+
+        m1 = view.own_message(ROUND_M1)
+        seed = m1[FIELD_SEED]
+        if not isinstance(seed, int) or not 0 <= seed < self.family.p:
+            return False
+
+        own_row = closed_row_bits(view)
+        a_term = self.family.hash_row_matrix(seed, view.n, view.node,
+                                             own_row)
+        b_row = image_bits(own_row, self.sigma, view.n)
+        b_term = self.family.hash_row_matrix(seed, view.n,
+                                             self.sigma[view.node], b_row)
+
+        if not check_aggregate(view, ROUND_M1, ROUND_M1, self.root, FIELD_A,
+                               a_term, self.family.p):
+            return False
+        if not check_aggregate(view, ROUND_M1, ROUND_M1, self.root, FIELD_B,
+                               b_term, self.family.p):
+            return False
+
+        if view.node == self.root:
+            if m1[FIELD_A] != m1[FIELD_B]:
+                return False
+            if seed != view.own_randomness(ROUND_A0):
+                return False
+        return True
+
+    # -- provers -----------------------------------------------------------
+
+    def honest_prover(self) -> Prover:
+        return ForcedMappingProver(self)
+
+
+class ForcedMappingProver(Prover):
+    """The unique sensible prover: echo the root's seed and report
+    truthful aggregates — the tree and aggregation checks leave no
+    other strategy alive.  On YES instances (σ really is an
+    automorphism) it always wins; on NO instances it wins exactly on a
+    hash collision (≤ m/p), making it simultaneously the completeness
+    witness and the optimal cheater.
+    """
+
+    def __init__(self, protocol: FixedMappingProtocol) -> None:
+        self.protocol = protocol
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, int]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        if round_idx != ROUND_M1:
+            raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
+        protocol = self.protocol
+        graph = instance.graph
+        n = graph.n
+        family = protocol.family
+        sigma = protocol.sigma
+        seed = randomness[ROUND_A0][protocol.root]
+        advice = honest_tree_advice(graph, protocol.root)
+
+        def a_term(v: int) -> int:
+            return family.hash_row_matrix(seed, n, v, graph.closed_row(v))
+
+        def b_term(v: int) -> int:
+            row = image_bits(graph.closed_row(v), sigma, n)
+            return family.hash_row_matrix(seed, n, sigma[v], row)
+
+        a_values = honest_aggregates(graph, advice, a_term, family.p)
+        b_values = honest_aggregates(graph, advice, b_term, family.p)
+        return {
+            v: {FIELD_SEED: seed,
+                FIELD_PARENT: advice[v].parent,
+                FIELD_DIST: advice[v].dist,
+                FIELD_A: a_values[v],
+                FIELD_B: b_values[v]}
+            for v in graph.vertices
+        }

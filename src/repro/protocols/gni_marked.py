@@ -1,0 +1,591 @@
+"""The paper's *alternative* GNI definition: marked induced subgraphs.
+
+Section 2.3, after Definition 4: "we have only one graph, the network
+graph G.  Each node in the graph is marked with an input from
+{0, 1, ⊥}, and the goal is to determine whether the subgraph induced
+by the nodes marked 0 is not isomorphic to the subgraph induced by the
+nodes marked 1."  The nodes communicate over all of G (this is what
+makes the variant weaker than Definition 4, which forbids using G₁'s
+edges).
+
+This protocol decides that language and, unlike our base GNI protocol,
+makes *essential* use of all four dAMAM rounds:
+
+* **A₀** — the Goldwasser–Sipser challenges (ε-API seed parts,
+  targets), exactly as in the base protocol.
+* **M₁** — the prover reveals the structure the nodes cannot see
+  locally: each node's claimed mark (self-verified: a node rejects if
+  its own mark is misstated, so neighbors may trust what they read),
+  spanning-tree advice, per-mark *subtree counts* (forced bottom-up,
+  giving the root the true sizes k₀, k₁), and per repetition a claim
+  ``(b, labeling)``: a bijection π from the marked-b vertices onto
+  ``{0..k-1}``, unicast as each node's own label.  ``σ(H_b)`` is then
+  determined: node v's row of the relabeled induced subgraph is
+  ``{π_u : u ∈ N(v), mark_u = b}`` (+ self-loop), all locally
+  computable from *neighbors'* labels and verified marks.
+* **A₂** — a fresh distinctness challenge ``z``: π was committed in
+  M₁, so a random-evaluation identity test is now sound.
+* **M₂** — per claimed repetition, two tree aggregates: the ε-API
+  partials of the relabeled matrix, and ``Σ_{marked b} z^{π_v}``,
+  which the root compares against ``Σ_{i<k} z^i`` — equal iff the
+  multiset of labels is exactly ``{0..k-1}``, i.e. π is a genuine
+  bijection (error ≤ n/P for the prime P of the test).
+
+Decision at the root: if the verified counts differ (k₀ ≠ k₁) the
+subgraphs are trivially non-isomorphic — accept.  Otherwise count the
+surviving GS claims against the usual threshold.
+
+Size promise: the GS output range must be calibrated to ``|S| = 2·k!``,
+so the protocol is parameterized by the *declared* common size ``k``
+(instances whose equal mark-counts differ from ``k`` are outside the
+promise; unequal counts are always handled correctly).  As in the
+paper's Section 4 we restrict to asymmetric induced subgraphs; the
+compensation of :mod:`repro.protocols.gni_general` composes the same
+way if needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.amplify import choose_threshold, threshold_guarantees
+from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
+                          ProtocolViolation, Prover, PATTERN_DAMAM,
+                          bits_for_identifier, bits_for_value)
+from ..graphs.graph import Graph
+from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
+from ..hashing.primes import prime_in_range
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT,
+                                     honest_tree_advice, tree_check)
+from ._tree_hash import honest_aggregates
+from .gni import GNIGuarantees
+
+MARK_ZERO = 0
+MARK_ONE = 1
+MARK_NONE = 2
+
+FIELD_MARK = "mark"
+FIELD_COUNT0 = "count0"
+FIELD_COUNT1 = "count1"
+FIELD_CLAIMS = "claims"
+FIELD_LABELS = "labels"
+FIELD_ECHO = "echo"
+FIELD_ZECHO = "zecho"
+FIELD_PARTIALS = "partials"
+FIELD_ZSUMS = "zsums"
+
+ROUND_A0 = 0
+ROUND_M1 = 1
+ROUND_A2 = 2
+ROUND_M3 = 3
+
+ROOT = 0
+
+
+def marked_instance(graph: Graph, marks: Mapping[int, int]) -> Instance:
+    """Build a marked-GNI instance; every vertex needs a mark in
+    {MARK_ZERO, MARK_ONE, MARK_NONE}."""
+    for v in graph.vertices:
+        if marks.get(v) not in (MARK_ZERO, MARK_ONE, MARK_NONE):
+            raise ValueError(f"vertex {v} needs a mark in {{0, 1, ⊥}}")
+    return Instance(graph=graph, inputs=dict(marks))
+
+
+def marked_subgraph(graph: Graph, marks: Mapping[int, int],
+                    mark: int) -> Tuple[Graph, List[int]]:
+    """The induced subgraph on ``mark``-marked vertices, plus the
+    vertex list mapping subgraph index → original vertex."""
+    vertices = [v for v in graph.vertices if marks[v] == mark]
+    return graph.induced_subgraph(vertices), vertices
+
+
+def relabeled_encoding(sub: Graph, labeling: Sequence[int],
+                       stride: int) -> int:
+    """The n-stride closed adjacency encoding of ``sub`` relabeled by
+    ``labeling`` (bit ``π_v·stride + π_u``)."""
+    bits = 0
+    for v in range(sub.n):
+        row = 0
+        mask = sub.closed_row(v)
+        for u in range(sub.n):
+            if (mask >> u) & 1:
+                row |= 1 << labeling[u]
+        bits |= row << (labeling[v] * stride)
+    return bits
+
+
+class MarkedGNIProtocol(Protocol):
+    """dAMAM protocol for marked-subgraph non-isomorphism.
+
+    ``n`` is the network size; ``k`` the declared common size of the
+    two marked sets (the size promise — see module docstring).
+    """
+
+    name = "gni-marked-damam"
+    pattern = PATTERN_DAMAM
+
+    def __init__(self, n: int, k: int, repetitions: int = 60,
+                 q: Optional[int] = None, big_q: Optional[int] = None,
+                 z_prime: Optional[int] = None,
+                 threshold: Optional[int] = None) -> None:
+        if n < 2:
+            raise ValueError("need at least 2 network nodes")
+        if not 0 <= k <= n:
+            raise ValueError("declared size must fit the network")
+        self.n = n
+        self.k = k
+        self.set_size_yes = 2 * math.factorial(k)
+        self.q = q if q is not None else gs_output_modulus(self.set_size_yes)
+        # Encodings use stride n, so the hash domain is n² bits.
+        self.hash = DistributedAPIHash(m=n * n, q=self.q, big_q=big_q)
+        # The label-distinctness test: degree < n polynomial identity,
+        # generous prime so the per-repetition slack is ~1e-6.
+        self.z_prime = z_prime if z_prime is not None \
+            else prime_in_range(10 * n ** 6, 100 * n ** 6)
+        self.batch_sizes = (repetitions - repetitions // 2,
+                            repetitions // 2)
+        p_yes, p_no = self.repetition_bounds()
+        self.threshold = (threshold if threshold is not None
+                          else choose_threshold(repetitions, p_yes, p_no))
+
+    # -- analysis ----------------------------------------------------------
+
+    @property
+    def repetitions(self) -> int:
+        return sum(self.batch_sizes)
+
+    @property
+    def z_test_slack(self) -> float:
+        """Per-repetition probability of a bogus labeling surviving."""
+        return self.n / self.z_prime
+
+    def repetition_bounds(self) -> Tuple[float, float]:
+        eps, delta = self.hash.epsilon, self.hash.delta
+        s_yes = self.set_size_yes
+        s_no = s_yes // 2
+        p_yes = (s_yes * (1 - delta) / self.q
+                 - (1 + eps) * s_yes * s_yes / (2 * self.q * self.q))
+        p_no = s_no * (1 + delta) / self.q + self.z_test_slack
+        return p_yes, p_no
+
+    def guarantees(self) -> GNIGuarantees:
+        p_yes, p_no = self.repetition_bounds()
+        completeness, soundness = threshold_guarantees(
+            self.repetitions, self.threshold, p_yes, p_no)
+        return GNIGuarantees(
+            p_yes_lower=p_yes, p_no_upper=p_no,
+            repetitions=self.repetitions, threshold=self.threshold,
+            completeness=completeness, soundness_error=soundness)
+
+    # -- model -------------------------------------------------------------
+
+    def validate_instance(self, instance: Instance) -> None:
+        super().validate_instance(instance)
+        if instance.n != self.n:
+            raise ValueError(
+                f"protocol built for n={self.n}, instance has n={instance.n}")
+        if instance.inputs is None:
+            raise ValueError("marked GNI instances carry marks as inputs")
+        for v in instance.graph.vertices:
+            if instance.input_of(v) not in (MARK_ZERO, MARK_ONE, MARK_NONE):
+                raise ValueError(f"vertex {v} has an invalid mark")
+
+    def _batch(self, a_round: int) -> int:
+        return 0 if a_round == ROUND_A0 else 1
+
+    # -- Arthur ----------------------------------------------------------
+
+    def arthur_value(self, instance: Instance, round_idx: int, v: int,
+                     rng: random.Random):
+        reps = self.batch_sizes[self._batch(round_idx)]
+        if round_idx == ROUND_A0:
+            # GS challenges for both batches are drawn here; the z
+            # challenges come later (they must postdate the labelings).
+            total = self.repetitions
+            return tuple(
+                (self.hash.sample_node_offset(rng),)
+                + self.hash.sample_root_part(rng)
+                for _ in range(total))
+        # A2: one distinctness evaluation point per repetition.
+        return tuple(rng.randrange(self.z_prime)
+                     for _ in range(self.repetitions))
+
+    def arthur_bits(self, instance: Instance, round_idx: int) -> int:
+        if round_idx == ROUND_A0:
+            return self.repetitions * (self.hash.node_seed_bits
+                                       + self.hash.root_seed_bits)
+        return self.repetitions * bits_for_value(self.z_prime)
+
+    # -- Merlin ----------------------------------------------------------
+
+    def broadcast_fields(self, round_idx: int) -> FrozenSet[str]:
+        if round_idx == ROUND_M1:
+            return frozenset({FIELD_ECHO, FIELD_CLAIMS})
+        return frozenset({FIELD_ZECHO})
+
+    def merlin_fields(self, round_idx: int) -> FrozenSet[str]:
+        if round_idx == ROUND_M1:
+            return frozenset({FIELD_MARK, FIELD_PARENT, FIELD_DIST,
+                              FIELD_COUNT0, FIELD_COUNT1, FIELD_ECHO,
+                              FIELD_CLAIMS, FIELD_LABELS})
+        return frozenset({FIELD_ZECHO, FIELD_PARTIALS, FIELD_ZSUMS})
+
+    def merlin_bits(self, instance: Instance, round_idx: int,
+                    message: NodeMessage) -> int:
+        id_bits = bits_for_identifier(self.n)
+        total = 0
+        if round_idx == ROUND_M1:
+            total += 2 + 2 * id_bits          # mark + parent + dist
+            total += 2 * bits_for_identifier(self.n + 1)  # the counts
+            total += self.repetitions * self.hash.root_seed_bits  # echo
+            for claim in message.get(FIELD_CLAIMS, ()):
+                total += 1
+                if claim is not None:
+                    total += 1                 # the graph bit
+            for label in message.get(FIELD_LABELS, ()):
+                if label is not None:
+                    total += id_bits
+        else:
+            total += self.repetitions * bits_for_value(self.z_prime)
+            q_bits = bits_for_value(self.hash.big_q)
+            z_bits = bits_for_value(self.z_prime)
+            for partial in message.get(FIELD_PARTIALS, ()):
+                if partial is not None:
+                    total += q_bits
+            for zsum in message.get(FIELD_ZSUMS, ()):
+                if zsum is not None:
+                    total += z_bits
+        return total
+
+    # -- decision ----------------------------------------------------------
+
+    def decide(self, view: LocalView) -> bool:
+        m1 = view.own_message(ROUND_M1)
+        # Self-verified mark: a prover that misstates any node's mark
+        # loses that node immediately, so neighbors may trust marks.
+        if m1[FIELD_MARK] != view.node_input:
+            return False
+        if not tree_check(view, ROUND_M1, ROOT):
+            return False
+
+        children = self._children(view)
+        counts = self._check_counts(view, children)
+        if counts is None:
+            return False
+
+        verified = self._check_claims(view, children)
+        if verified is None:
+            return False
+
+        if view.node == ROOT:
+            k0, k1 = counts
+            if k0 != k1:
+                return True   # unequal sizes: trivially non-isomorphic
+            if k0 != self.k:
+                return False  # outside the size promise: reject
+            if verified < self.threshold:
+                return False
+        return True
+
+    def _children(self, view: LocalView) -> List[int]:
+        result = []
+        for u in view.neighbors:
+            if u == ROOT:
+                continue
+            if view.message_of(ROUND_M1, u).get(FIELD_PARENT) == view.node:
+                result.append(u)
+        return result
+
+    def _check_counts(self, view: LocalView,
+                      children: List[int]) -> Optional[Tuple[int, int]]:
+        """Verify the per-mark subtree counts; returns the root's pair."""
+        m1 = view.own_message(ROUND_M1)
+        totals = []
+        for mark, field in ((MARK_ZERO, FIELD_COUNT0),
+                            (MARK_ONE, FIELD_COUNT1)):
+            own = m1[field]
+            if not isinstance(own, int) or not 0 <= own <= view.n:
+                return None
+            expected = 1 if view.node_input == mark else 0
+            for u in children:
+                child = view.message_of(ROUND_M1, u)[field]
+                if not isinstance(child, int) or not 0 <= child <= view.n:
+                    return None
+                expected += child
+            if own != expected:
+                return None
+            totals.append(own)
+        return (totals[0], totals[1])
+
+    def _check_claims(self, view: LocalView,
+                      children: List[int]) -> Optional[int]:
+        m1 = view.own_message(ROUND_M1)
+        m3 = view.own_message(ROUND_M3)
+        reps = self.repetitions
+        echo = m1[FIELD_ECHO]
+        claims = m1[FIELD_CLAIMS]
+        labels = m1[FIELD_LABELS]
+        zecho = m3[FIELD_ZECHO]
+        partials = m3[FIELD_PARTIALS]
+        zsums = m3[FIELD_ZSUMS]
+        for seq in (echo, claims, labels, zecho, partials, zsums):
+            if not isinstance(seq, tuple) or len(seq) != reps:
+                return None
+
+        own_random0 = view.own_randomness(ROUND_A0)
+        own_random2 = view.own_randomness(ROUND_A2)
+        if view.node == ROOT:
+            for j in range(reps):
+                if tuple(echo[j]) != tuple(own_random0[j][1:]):
+                    return None
+                if zecho[j] != own_random2[j]:
+                    return None
+
+        n = view.n
+        big_q = self.hash.big_q
+        p_z = self.z_prime
+        verified = 0
+        for j in range(reps):
+            claim = claims[j]
+            if claim is None:
+                continue
+            (graph_bit,) = claim
+            if graph_bit not in (0, 1):
+                return None
+            s, a, b, y = echo[j]
+            z = zecho[j]
+            if not (0 <= s < big_q and 0 <= a < big_q and 0 <= b < big_q
+                    and 0 <= y < self.q and 0 <= z < p_z):
+                return None
+
+            in_side = view.node_input == graph_bit
+            own_label = labels[j]
+            if in_side:
+                if not isinstance(own_label, int) \
+                        or not 0 <= own_label < n:
+                    return None
+            elif own_label is not None:
+                return None
+
+            # Own ε-API term: the relabeled row if we are in the
+            # subgraph, else just our seed offset.
+            c = own_random0[j][0]
+            if in_side:
+                row = 1 << own_label
+                for u in view.neighbors:
+                    u_m1 = view.message_of(ROUND_M1, u)
+                    if u_m1.get(FIELD_MARK) == graph_bit:
+                        u_label = u_m1[FIELD_LABELS][j]
+                        if not isinstance(u_label, int) \
+                                or not 0 <= u_label < n:
+                            return None
+                        row |= 1 << u_label
+                own_term = self.hash.row_term(s, c, n, own_label, row)
+            else:
+                own_term = c % big_q
+
+            own_partial = partials[j]
+            if not isinstance(own_partial, int) \
+                    or not 0 <= own_partial < big_q:
+                return None
+            total = own_term
+            for u in children:
+                child = view.message_of(ROUND_M3, u)[FIELD_PARTIALS][j]
+                if not isinstance(child, int) or not 0 <= child < big_q:
+                    return None
+                total = (total + child) % big_q
+            if own_partial != total:
+                return None
+
+            # Distinctness aggregate: Σ z^{π_v} over marked-b vertices.
+            own_zsum = zsums[j]
+            if not isinstance(own_zsum, int) or not 0 <= own_zsum < p_z:
+                return None
+            z_total = pow(z, own_label, p_z) if in_side else 0
+            for u in children:
+                child = view.message_of(ROUND_M3, u)[FIELD_ZSUMS][j]
+                if not isinstance(child, int) or not 0 <= child < p_z:
+                    return None
+                z_total = (z_total + child) % p_z
+            if own_zsum != z_total:
+                return None
+
+            if view.node == ROOT:
+                if self.hash.finalize(a, b, own_partial) != y:
+                    return None
+                target = sum(pow(z, i, p_z)
+                             for i in range(self.k)) % p_z
+                if own_zsum != target:
+                    return None
+            verified += 1
+        return verified
+
+    # -- provers -----------------------------------------------------------
+
+    def honest_prover(self) -> Prover:
+        return MarkedGSProver(self)
+
+
+class MarkedGSProver(Prover):
+    """Honest-and-optimal prover for the marked protocol."""
+
+    def __init__(self, protocol: MarkedGNIProtocol) -> None:
+        self.protocol = protocol
+        self._state = None
+        self.last_claim_flags: List[bool] = []
+
+    def reset(self) -> None:
+        self._state = None
+        self.last_claim_flags = []
+
+    def _prepare(self, instance: Instance,
+                 randomness: Mapping[int, Mapping[int, tuple]]) -> None:
+        """Everything M₁ needs, plus the per-repetition witnesses."""
+        protocol = self.protocol
+        graph = instance.graph
+        n = graph.n
+        marks = {v: instance.input_of(v) for v in graph.vertices}
+        advice = honest_tree_advice(graph, ROOT)
+
+        sub0, verts0 = marked_subgraph(graph, marks, MARK_ZERO)
+        sub1, verts1 = marked_subgraph(graph, marks, MARK_ONE)
+        sides = ((sub0, verts0), (sub1, verts1))
+
+        reps = protocol.repetitions
+        batch0 = randomness[ROUND_A0]
+        echo = tuple(tuple(batch0[ROOT][j][1:]) for j in range(reps))
+
+        claims: List[Optional[Tuple[int]]] = [None] * reps
+        labelings: List[Optional[Dict[int, int]]] = [None] * reps
+        if sub0.n == sub1.n and sub0.n == protocol.k:
+            # Build the witness catalog: encoding -> (b, labeling).
+            catalog: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+            k = protocol.k
+            for b, (sub, _verts) in enumerate(sides):
+                for labeling in itertools.permutations(range(k)):
+                    encoding = relabeled_encoding(sub, labeling, n)
+                    catalog.setdefault(encoding, (b, labeling))
+            for j in range(reps):
+                s, a, b_aff, y = echo[j]
+                offsets = tuple(batch0[v][j][0] for v in range(n))
+                challenge = APIChallenge(s=s, a=a, b=b_aff, y=y,
+                                         offsets=offsets)
+                encoding = protocol.hash.preimage_exists(
+                    challenge, catalog.keys())
+                if encoding is None:
+                    self.last_claim_flags.append(False)
+                    continue
+                graph_bit, labeling = catalog[encoding]
+                claims[j] = (graph_bit,)
+                _sub, verts = sides[graph_bit]
+                labelings[j] = {verts[i]: labeling[i]
+                                for i in range(len(verts))}
+                self.last_claim_flags.append(True)
+        else:
+            self.last_claim_flags = [False] * reps
+
+        counts = {v: [1 if marks[v] == MARK_ZERO else 0,
+                      1 if marks[v] == MARK_ONE else 0]
+                  for v in graph.vertices}
+        order = sorted(graph.vertices, key=lambda v: advice[v].dist,
+                       reverse=True)
+        for v in order:
+            parent = advice[v].parent
+            if parent != v:
+                counts[parent][0] += counts[v][0]
+                counts[parent][1] += counts[v][1]
+
+        self._state = {
+            "marks": marks, "advice": advice, "echo": echo,
+            "claims": claims, "labelings": labelings, "counts": counts,
+        }
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, tuple]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        protocol = self.protocol
+        graph = instance.graph
+        n = graph.n
+        if round_idx == ROUND_M1:
+            self._prepare(instance, randomness)
+            state = self._state
+            reps = protocol.repetitions
+            response = {}
+            for v in graph.vertices:
+                labels = tuple(
+                    state["labelings"][j][v]
+                    if (state["labelings"][j] is not None
+                        and v in state["labelings"][j]) else None
+                    for j in range(reps))
+                response[v] = {
+                    FIELD_MARK: state["marks"][v],
+                    FIELD_PARENT: state["advice"][v].parent,
+                    FIELD_DIST: state["advice"][v].dist,
+                    FIELD_COUNT0: state["counts"][v][0],
+                    FIELD_COUNT1: state["counts"][v][1],
+                    FIELD_ECHO: state["echo"],
+                    FIELD_CLAIMS: tuple(state["claims"]),
+                    FIELD_LABELS: labels,
+                }
+            return response
+
+        if round_idx != ROUND_M3:
+            raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
+        state = self._state
+        assert state is not None
+        reps = protocol.repetitions
+        batch0 = randomness[ROUND_A0]
+        z_values = randomness[ROUND_A2][ROOT]
+
+        partials_per_rep: List[Optional[Dict[int, int]]] = []
+        zsums_per_rep: List[Optional[Dict[int, int]]] = []
+        for j in range(reps):
+            claim = state["claims"][j]
+            if claim is None:
+                partials_per_rep.append(None)
+                zsums_per_rep.append(None)
+                continue
+            (graph_bit,) = claim
+            labeling = state["labelings"][j]
+            s = state["echo"][j][0]
+            z = z_values[j]
+            marks = state["marks"]
+
+            def term(v: int, _s=s, _bit=graph_bit, _labeling=labeling,
+                     _marks=marks) -> int:
+                c = batch0[v][j][0]
+                if _marks[v] != _bit:
+                    return c % protocol.hash.big_q
+                row = 1 << _labeling[v]
+                for u in graph.neighbors(v):
+                    if _marks[u] == _bit:
+                        row |= 1 << _labeling[u]
+                return protocol.hash.row_term(_s, c, n, _labeling[v], row)
+
+            def zterm(v: int, _z=z, _bit=graph_bit, _labeling=labeling,
+                      _marks=marks) -> int:
+                if _marks[v] != _bit:
+                    return 0
+                return pow(_z, _labeling[v], protocol.z_prime)
+
+            partials_per_rep.append(honest_aggregates(
+                graph, state["advice"], term, protocol.hash.big_q))
+            zsums_per_rep.append(honest_aggregates(
+                graph, state["advice"], zterm, protocol.z_prime))
+
+        response = {}
+        for v in graph.vertices:
+            response[v] = {
+                FIELD_ZECHO: tuple(z_values),
+                FIELD_PARTIALS: tuple(
+                    None if per is None else per[v]
+                    for per in partials_per_rep),
+                FIELD_ZSUMS: tuple(
+                    None if per is None else per[v]
+                    for per in zsums_per_rep),
+            }
+        return response

@@ -1,0 +1,311 @@
+"""Protocol 2: the O(n log n)-bit dAM protocol for Graph Symmetry.
+
+Theorem 1.3 / Section 3.2 of the paper.  Round structure:
+
+* **A₀** — each node sends a uniformly random hash index
+  ``i_v ∈ [|H|]``, where ``H`` is the Theorem-3.2 family for
+  ``m = n²`` and a prime ``p ∈ [10·n^{n+2}, 100·n^{n+2}]`` — so a seed
+  index costs Θ(n log n) bits.
+* **M₁** — the prover broadcasts the *entire* mapping
+  ``ρ : V → V`` (n identifiers), an index ``i`` (claimed ``i_r``) and
+  the root ``r``; it unicasts the spanning-tree advice ``t_v, d_v``
+  and the two subtree aggregates ``a_v, b_v``.
+
+Because the prover moves *after* seeing the challenge, it can choose ρ
+adaptively; soundness instead comes from a union bound over all ``n^n``
+mappings (Lemma 3.1 holds for arbitrary mappings, which is why the
+nodes never need to check that ρ is a permutation): for each fixed
+non-identity σ the collision probability is ≤ m/p ≤ 1/(10·n^n), so
+even the best adaptive prover succeeds with probability ≤ 1/10.
+
+The ``family`` parameter exists for experiment E6: running this
+protocol with Protocol 1's small prime hands the adaptive prover a
+feasible collision search and demonstrably *breaks* soundness —
+the reason interaction order matters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
+                          ProtocolViolation, Prover, PATTERN_DAM,
+                          bits_for_identifier, bits_for_value)
+from ..graphs.automorphism import find_nontrivial_automorphism
+from ..graphs.graph import Graph
+from ..hashing.linear import LinearHashFamily
+from ..hashing.primes import prime_in_range
+from ..hashing.rowmatrix import image_bits
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT, FIELD_ROOT,
+                                     honest_tree_advice, tree_check)
+from ._tree_hash import check_aggregate, closed_row_bits, honest_aggregates
+
+FIELD_RHO_TABLE = "rho_table"
+FIELD_SEED = "seed"
+FIELD_A = "a"
+FIELD_B = "b"
+
+ROUND_A0 = 0
+ROUND_M1 = 1
+
+
+def protocol2_hash_family(n: int) -> LinearHashFamily:
+    """The paper's Protocol-2 family: prime in [10·n^(n+2), 100·n^(n+2)].
+
+    The union bound over all n^n mappings leaves total soundness error
+    ≤ n^n · n²/p ≤ 1/10.
+    """
+    base = n ** (n + 2)
+    return LinearHashFamily(m=n * n, p=prime_in_range(10 * base, 100 * base))
+
+
+class SymDAMProtocol(Protocol):
+    """Protocol 2 (dAM for Sym) on ``n`` vertices."""
+
+    name = "sym-dam"
+    pattern = PATTERN_DAM
+
+    def __init__(self, n: int,
+                 family: Optional[LinearHashFamily] = None) -> None:
+        if n < 2:
+            raise ValueError("Sym needs at least 2 vertices")
+        self.n = n
+        self.family = family or protocol2_hash_family(n)
+        if self.family.m < n * n:
+            raise ValueError("hash dimension must cover the n×n matrix")
+
+    def validate_instance(self, instance: Instance) -> None:
+        super().validate_instance(instance)
+        if instance.n != self.n:
+            raise ValueError(
+                f"protocol built for n={self.n}, instance has n={instance.n}")
+
+    # -- Arthur ----------------------------------------------------------
+
+    def arthur_value(self, instance: Instance, round_idx: int, v: int,
+                     rng: random.Random) -> int:
+        return self.family.sample_seed(rng)
+
+    def arthur_bits(self, instance: Instance, round_idx: int) -> int:
+        return self.family.seed_bits
+
+    # -- Merlin ----------------------------------------------------------
+
+    def broadcast_fields(self, round_idx: int) -> FrozenSet[str]:
+        return frozenset({FIELD_RHO_TABLE, FIELD_SEED, FIELD_ROOT})
+
+    def merlin_fields(self, round_idx: int) -> FrozenSet[str]:
+        return frozenset({FIELD_RHO_TABLE, FIELD_SEED, FIELD_ROOT,
+                          FIELD_PARENT, FIELD_DIST, FIELD_A, FIELD_B})
+
+    def merlin_bits(self, instance: Instance, round_idx: int,
+                    message: NodeMessage) -> int:
+        id_bits = bits_for_identifier(self.n)
+        rho_bits = self.n * id_bits           # the full mapping table
+        return (rho_bits + self.family.seed_bits + 3 * id_bits
+                + 2 * bits_for_value(self.family.p))
+
+    # -- decision ----------------------------------------------------------
+
+    def decide(self, view: LocalView) -> bool:
+        m1 = view.own_message(ROUND_M1)
+        root = m1[FIELD_ROOT]
+        if not isinstance(root, int) or not 0 <= root < view.n:
+            return False
+        rho = m1[FIELD_RHO_TABLE]
+        if (not isinstance(rho, tuple) or len(rho) != view.n
+                or any(not isinstance(x, int) or not 0 <= x < view.n
+                       for x in rho)):
+            return False
+        seed = m1[FIELD_SEED]
+        if not isinstance(seed, int) or not 0 <= seed < self.family.p:
+            return False
+        if not tree_check(view, ROUND_M1, root):
+            return False
+
+        own_row = closed_row_bits(view)
+        a_term = self.family.hash_row_matrix(seed, view.n, view.node, own_row)
+        # With the full table broadcast, each node computes ρ(N(v))
+        # directly (no need to read neighbors' unicasts for ρ).
+        b_row = image_bits(own_row, rho, view.n)
+        b_term = self.family.hash_row_matrix(seed, view.n, rho[view.node],
+                                             b_row)
+
+        if not check_aggregate(view, ROUND_M1, ROUND_M1, root, FIELD_A,
+                               a_term, self.family.p):
+            return False
+        if not check_aggregate(view, ROUND_M1, ROUND_M1, root, FIELD_B,
+                               b_term, self.family.p):
+            return False
+
+        if view.node == root:
+            if m1[FIELD_A] != m1[FIELD_B]:
+                return False
+            if rho[root] == root:
+                return False
+            if seed != view.own_randomness(ROUND_A0):
+                return False
+        return True
+
+    # -- provers -----------------------------------------------------------
+
+    def honest_prover(self) -> Prover:
+        return HonestSymDAMProver(self)
+
+
+def _mapping_response(protocol: SymDAMProtocol, graph: Graph,
+                      rho: Tuple[int, ...], seed: int
+                      ) -> Dict[int, NodeMessage]:
+    """Build the full M₁ response for a committed mapping: truthful
+    spanning tree and truthful aggregates (the prover has no slack in
+    the aggregates; see Protocol 1's cheating-prover docstring)."""
+    n = graph.n
+    family = protocol.family
+    root = min(v for v in graph.vertices if rho[v] != v)
+    advice = honest_tree_advice(graph, root)
+
+    def a_term(v: int) -> int:
+        return family.hash_row_matrix(seed, n, v, graph.closed_row(v))
+
+    def b_term(v: int) -> int:
+        row = image_bits(graph.closed_row(v), rho, n)
+        return family.hash_row_matrix(seed, n, rho[v], row)
+
+    a_values = honest_aggregates(graph, advice, a_term, family.p)
+    b_values = honest_aggregates(graph, advice, b_term, family.p)
+    return {
+        v: {FIELD_RHO_TABLE: rho,
+            FIELD_SEED: seed,
+            FIELD_ROOT: root,
+            FIELD_PARENT: advice[v].parent,
+            FIELD_DIST: advice[v].dist,
+            FIELD_A: a_values[v],
+            FIELD_B: b_values[v]}
+        for v in graph.vertices
+    }
+
+
+class HonestSymDAMProver(Prover):
+    """Completeness witness for Protocol 2."""
+
+    def __init__(self, protocol: SymDAMProtocol) -> None:
+        self.protocol = protocol
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, int]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        if round_idx != ROUND_M1:
+            raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
+        graph = instance.graph
+        rho = find_nontrivial_automorphism(graph)
+        if rho is None:
+            raise ProtocolViolation(
+                "honest prover run on an asymmetric graph — "
+                "completeness only applies to YES instances")
+        root = min(v for v in graph.vertices if rho[v] != v)
+        seed = randomness[ROUND_A0][root]
+        return _mapping_response(self.protocol, graph, rho, seed)
+
+
+def _hash_of_mapping(family: LinearHashFamily, graph: Graph, seed: int,
+                     rho: Sequence[int]) -> int:
+    """``h_seed(Σ_v [ρ(v), ρ(N(v))])`` computed row by row."""
+    n = graph.n
+    total = 0
+    for v in graph.vertices:
+        row = image_bits(graph.closed_row(v), rho, n)
+        total = (total + family.hash_row_matrix(seed, n, rho[v], row)) \
+            % family.p
+    return total
+
+
+class AdaptiveCollisionProver(Prover):
+    """The adaptive cheating prover for Protocol 2 (experiment E6).
+
+    Unlike Protocol 1's prover, this one sees the root's hash index
+    *before* committing to a mapping, so it searches a candidate set of
+    non-identity mappings for one whose permuted matrix collides with
+    the adjacency matrix under ``h_{i_r}``.  With the paper's huge
+    prime the search fails (soundness holds); with a small prime it
+    frequently succeeds — quantifying why dAM needs the union-bound
+    sized hash while dMAM does not.
+
+    ``search``:
+      * ``"swaps"`` — all transpositions (n·(n-1)/2 candidates);
+      * ``"permutations"`` — all n! permutations (tiny n only);
+      * ``"mappings"`` — all n^n mappings (tinier n only).
+    """
+
+    def __init__(self, protocol: SymDAMProtocol,
+                 search: str = "swaps",
+                 candidate_cap: int = 200_000) -> None:
+        if search not in ("swaps", "permutations", "mappings"):
+            raise ValueError(f"unknown search mode {search!r}")
+        self.protocol = protocol
+        self.search = search
+        self.candidate_cap = candidate_cap
+        #: Set by each respond() call: did the collision search succeed?
+        self.last_search_succeeded = False
+
+    def _candidates(self, n: int) -> Iterable[Tuple[int, ...]]:
+        identity = tuple(range(n))
+        if self.search == "swaps":
+            for u in range(n):
+                for w in range(u + 1, n):
+                    mapping = list(identity)
+                    mapping[u], mapping[w] = w, u
+                    yield tuple(mapping)
+        elif self.search == "permutations":
+            for perm in itertools.permutations(range(n)):
+                if perm != identity:
+                    yield perm
+        else:
+            for mapping in itertools.product(range(n), repeat=n):
+                if mapping != identity:
+                    yield mapping
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, int]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        if round_idx != ROUND_M1:
+            raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
+        graph = instance.graph
+        family = self.protocol.family
+        n = graph.n
+
+        fallback: Optional[Tuple[int, ...]] = None
+        self.last_search_succeeded = False
+        chosen: Optional[Tuple[int, ...]] = None
+        chosen_seed: Optional[int] = None
+        count = 0
+        for rho in self._candidates(n):
+            if fallback is None:
+                fallback = rho
+            count += 1
+            if count > self.candidate_cap:
+                break
+            # The root is determined by the candidate (the protocol's
+            # root check ties the seed to the root's challenge).
+            root = min(v for v in range(n) if rho[v] != v)
+            seed = randomness[ROUND_A0][root]
+            a_total = 0
+            for v in graph.vertices:
+                a_total = (a_total + family.hash_row_matrix(
+                    seed, n, v, graph.closed_row(v))) % family.p
+            if _hash_of_mapping(family, graph, seed, rho) == a_total:
+                chosen = rho
+                chosen_seed = seed
+                self.last_search_succeeded = True
+                break
+
+        if chosen is None:
+            assert fallback is not None
+            chosen = fallback
+            root = min(v for v in range(n) if chosen[v] != v)
+            chosen_seed = randomness[ROUND_A0][root]
+        assert chosen_seed is not None
+        return _mapping_response(self.protocol, graph, chosen, chosen_seed)

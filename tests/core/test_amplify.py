@@ -1,0 +1,140 @@
+"""Tests for amplification: exact binomial arithmetic and the
+AND-amplified protocol wrapper."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (AndAmplifiedProtocol, Instance, binomial_pmf,
+                        binomial_tail, choose_threshold, repetitions_for_gap,
+                        run_protocol, threshold_guarantees)
+from repro.graphs import SMALLEST_ASYMMETRIC, cycle_graph
+from repro.protocols import (CommittedMappingProver, SymDMAMProtocol)
+from repro.hashing import LinearHashFamily
+
+
+class TestBinomial:
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(10, 0.3, k) for k in range(11))
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_pmf_known_value(self):
+        assert math.isclose(binomial_pmf(4, 0.5, 2), 6 / 16, rel_tol=1e-12)
+
+    def test_pmf_extremes(self):
+        assert binomial_pmf(5, 0.0, 0) == 1.0
+        assert binomial_pmf(5, 1.0, 5) == 1.0
+        assert binomial_pmf(5, 0.3, 7) == 0.0
+        assert binomial_pmf(5, 0.3, -1) == 0.0
+
+    def test_tail_monotone_in_k(self):
+        tails = [binomial_tail(20, 0.4, k) for k in range(22)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))
+
+    def test_tail_extremes(self):
+        assert binomial_tail(10, 0.5, 0) == 1.0
+        assert binomial_tail(10, 0.5, 11) == 0.0
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.floats(min_value=0.01, max_value=0.99),
+           st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_tail_in_unit_interval(self, t, p, k):
+        tail = binomial_tail(t, p, k)
+        assert 0.0 <= tail <= 1.0
+
+    def test_tail_monotone_in_p(self):
+        assert binomial_tail(30, 0.5, 15) > binomial_tail(30, 0.3, 15)
+
+
+class TestThresholds:
+    def test_guarantees_shape(self):
+        completeness, soundness = threshold_guarantees(60, 19, 0.37, 0.25)
+        assert completeness > 2 / 3
+        assert soundness < 1 / 3
+
+    def test_choose_threshold_beats_endpoints(self):
+        t, p_yes, p_no = 60, 0.37, 0.25
+        k = choose_threshold(t, p_yes, p_no)
+        best = max(1 - threshold_guarantees(t, k, p_yes, p_no)[0],
+                   threshold_guarantees(t, k, p_yes, p_no)[1])
+        for other in (1, t):
+            err = max(1 - threshold_guarantees(t, other, p_yes, p_no)[0],
+                      threshold_guarantees(t, other, p_yes, p_no)[1])
+            assert best <= err + 1e-12
+
+    def test_choose_threshold_rejects_inverted_gap(self):
+        with pytest.raises(ValueError):
+            choose_threshold(10, 0.3, 0.5)
+
+    def test_repetitions_for_gap(self):
+        t, k = repetitions_for_gap(0.37, 0.25)
+        completeness, soundness = threshold_guarantees(t, k, 0.37, 0.25)
+        assert completeness >= 2 / 3 and soundness <= 1 / 3
+
+    def test_repetitions_tiny_gap_needs_more(self):
+        t_small_gap, _ = repetitions_for_gap(0.40, 0.35)
+        t_big_gap, _ = repetitions_for_gap(0.70, 0.10)
+        assert t_small_gap > t_big_gap
+
+
+class TestAndAmplification:
+    def make(self, copies):
+        base = SymDMAMProtocol(6)
+        return base, AndAmplifiedProtocol(base, copies)
+
+    def test_completeness_preserved(self, rng):
+        _, amplified = self.make(3)
+        g = cycle_graph(6)
+        result = run_protocol(amplified, Instance(g),
+                              amplified.honest_prover(), rng)
+        assert result.accepted
+
+    def test_cost_scales_linearly(self, rng):
+        base, amplified = self.make(3)
+        g = cycle_graph(6)
+        cost_base = run_protocol(base, Instance(g), base.honest_prover(),
+                                 rng).max_cost_bits
+        cost_amp = run_protocol(amplified, Instance(g),
+                                amplified.honest_prover(),
+                                rng).max_cost_bits
+        assert cost_amp == 3 * cost_base
+
+    def test_soundness_error_decays(self):
+        """With a deliberately tiny prime the base protocol has sizeable
+        collision probability; 3 copies must cube it (approximately)."""
+        family = LinearHashFamily(m=36, p=101)
+        base = SymDMAMProtocol(6, family=family)
+        amplified = AndAmplifiedProtocol(base, 3)
+        g = SMALLEST_ASYMMETRIC
+        trials = 400
+        base_rng, amp_rng = random.Random(1), random.Random(2)
+        base_acc = sum(
+            run_protocol(base, Instance(g), CommittedMappingProver(base),
+                         base_rng).accepted
+            for _ in range(trials)) / trials
+        adversary = amplified.amplified_prover(
+            [CommittedMappingProver(base) for _ in range(3)])
+        amp_acc = sum(
+            run_protocol(amplified, Instance(g), adversary,
+                         amp_rng).accepted
+            for _ in range(trials)) / trials
+        # The cheater needs all three independent collisions at once.
+        assert amp_acc <= base_acc ** 2 + 0.02
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ValueError):
+            AndAmplifiedProtocol(SymDMAMProtocol(4), 0)
+
+    def test_prover_count_validated(self):
+        base, amplified = self.make(2)
+        with pytest.raises(ValueError):
+            amplified.amplified_prover([base.honest_prover()])
+
+    def test_name_and_pattern(self):
+        base, amplified = self.make(4)
+        assert amplified.pattern == base.pattern
+        assert "x4" in amplified.name

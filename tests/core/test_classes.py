@@ -1,0 +1,79 @@
+"""Tests for class-membership checking utilities."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (Instance, check_completeness, check_soundness,
+                        measure_cost_scaling)
+from repro.core.classes import CostScalingRow
+from repro.graphs import SMALLEST_ASYMMETRIC, cycle_graph, rigid_family_exhaustive
+from repro.protocols import CommittedMappingProver, SymDMAMProtocol
+
+
+class TestCompleteness:
+    def test_report_on_yes_instances(self, rng):
+        protocol = SymDMAMProtocol(6)
+        instances = [("cycle6", Instance(cycle_graph(6)))]
+        report = check_completeness(protocol, instances, trials=10, rng=rng)
+        assert report.all_pass
+        assert report.instances[0].estimate.probability == 1.0
+        assert report.instances[0].is_yes
+        assert report.max_cost_bits > 0
+
+    def test_summary_lines(self, rng):
+        protocol = SymDMAMProtocol(6)
+        report = check_completeness(
+            protocol, [("cycle6", Instance(cycle_graph(6)))],
+            trials=5, rng=rng)
+        lines = report.summary_lines()
+        assert any("PASS" in line for line in lines)
+        assert any("cycle6" in line for line in lines)
+
+
+class TestSoundness:
+    def test_report_on_no_instances(self, rng):
+        protocol = SymDMAMProtocol(6)
+        instances = [("rigid", Instance(SMALLEST_ASYMMETRIC))]
+        report = check_soundness(
+            protocol, instances,
+            adversaries=[lambda: CommittedMappingProver(protocol)],
+            trials=30, rng=rng)
+        assert report.all_pass
+        assert not report.instances[0].is_yes
+        assert report.instances[0].estimate.probability < 1 / 3
+
+    def test_best_adversary_reported(self, rng):
+        protocol = SymDMAMProtocol(6)
+        report = check_soundness(
+            protocol, [("rigid", Instance(SMALLEST_ASYMMETRIC))],
+            adversaries=[lambda: CommittedMappingProver(protocol),
+                         lambda: CommittedMappingProver(
+                             protocol, mapping=(1, 0, 2, 3, 4, 5))],
+            trials=20, rng=rng)
+        assert len(report.instances) == 1
+
+    def test_worst_selectors(self, rng):
+        protocol = SymDMAMProtocol(6)
+        yes_report = check_completeness(
+            protocol, [("c6", Instance(cycle_graph(6)))], trials=5, rng=rng)
+        assert yes_report.worst_yes() is not None
+        assert yes_report.worst_no() is None
+
+
+class TestCostScaling:
+    def test_logarithmic_protocol(self, rng):
+        rows = measure_cost_scaling(
+            make_protocol=lambda n: SymDMAMProtocol(n),
+            make_instance=lambda n: Instance(cycle_graph(n)),
+            sizes=[8, 16, 32, 64],
+            rng=rng)
+        assert [r.n for r in rows] == [8, 16, 32, 64]
+        # Normalized against c*log n the cost must stay bounded.
+        normalized = [r.normalized(lambda n: math.log2(n)) for r in rows]
+        assert max(normalized) <= 2.5 * min(normalized)
+
+    def test_row_normalization(self):
+        row = CostScalingRow(n=16, max_cost_bits=64)
+        assert row.normalized(lambda n: n) == 4.0

@@ -1,0 +1,82 @@
+"""Tests for model-level types: Instance, LocalView, bit helpers."""
+
+import pytest
+
+from repro.core import (Instance, LocalView, PATTERN_DAM, PATTERN_DAMAM,
+                        PATTERN_DMAM, PATTERN_DNP, bits_for_identifier,
+                        bits_for_value)
+from repro.graphs import cycle_graph, path_graph
+from repro.protocols import SymDAMProtocol, SymDMAMProtocol
+
+
+class TestInstance:
+    def test_pure_graph_property_inputs(self):
+        inst = Instance(cycle_graph(4))
+        assert inst.input_of(0) is None
+        assert inst.n == 4
+
+    def test_inputs_lookup(self):
+        inst = Instance(path_graph(3), inputs={0: "a", 2: "b"})
+        assert inst.input_of(0) == "a"
+        assert inst.input_of(1) is None
+        assert inst.input_of(2) == "b"
+
+    def test_hashable(self):
+        assert Instance(cycle_graph(4)) == Instance(cycle_graph(4))
+
+
+class TestLocalView:
+    def make_view(self):
+        return LocalView(
+            node=1, n=4, closed_neighborhood=(0, 1, 2), node_input=None,
+            randomness={0: {0: 5, 1: 6, 2: 7}},
+            messages={1: {0: {"x": 1}, 1: {"x": 2}, 2: {"x": 3}}})
+
+    def test_neighbors_excludes_self(self):
+        assert self.make_view().neighbors == (0, 2)
+
+    def test_own_accessors(self):
+        view = self.make_view()
+        assert view.own_randomness(0) == 6
+        assert view.own_message(1) == {"x": 2}
+        assert view.message_of(1, 2) == {"x": 3}
+
+    def test_has_edge(self):
+        view = self.make_view()
+        assert view.has_edge(0) and view.has_edge(2)
+        assert not view.has_edge(1)  # self
+        assert not view.has_edge(3)  # outside neighborhood
+
+
+class TestPatterns:
+    def test_pattern_constants(self):
+        assert PATTERN_DAM == "AM"
+        assert PATTERN_DMAM == "MAM"
+        assert PATTERN_DAMAM == "AMAM"
+        assert PATTERN_DNP == "M"
+
+    def test_round_indices(self):
+        p = SymDMAMProtocol(4)
+        assert p.pattern == "MAM"
+        assert p.merlin_round_indices() == [0, 2]
+        assert p.arthur_round_indices() == [1]
+        assert p.num_rounds == 3
+
+    def test_dam_round_indices(self):
+        p = SymDAMProtocol(4)
+        assert p.merlin_round_indices() == [1]
+        assert p.arthur_round_indices() == [0]
+
+    def test_repr(self):
+        assert "sym-dmam" in repr(SymDMAMProtocol(4))
+
+
+class TestBitHelpers:
+    @pytest.mark.parametrize("n,bits", [
+        (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11),
+    ])
+    def test_bits_for_identifier(self, n, bits):
+        assert bits_for_identifier(n) == bits
+
+    def test_bits_for_value(self):
+        assert bits_for_value(1009) == 10

@@ -1,0 +1,111 @@
+"""Tests for the generic adversarial provers: garbage, tampering, replay."""
+
+import random
+
+import pytest
+
+from repro.core import (Instance, RandomGarbageProver, ReplayProver,
+                        TamperingProver, estimate_acceptance,
+                        record_responses, run_protocol)
+from repro.graphs import cycle_graph
+from repro.protocols import SymDMAMProtocol
+from repro.protocols.sym_dmam import (FIELD_A, FIELD_B, FIELD_RHO,
+                                      FIELD_SEED, ROUND_M0, ROUND_M2)
+from repro.network.spanning_tree import FIELD_DIST, FIELD_PARENT, FIELD_ROOT
+
+
+@pytest.fixture
+def protocol():
+    return SymDMAMProtocol(8)
+
+
+@pytest.fixture
+def instance():
+    return Instance(cycle_graph(8))
+
+
+class TestRandomGarbage:
+    def test_garbage_never_accepted(self, protocol, instance, rng):
+        prover = RandomGarbageProver(protocol)
+        estimate = estimate_acceptance(protocol, instance, prover,
+                                       trials=50, rng=rng)
+        assert estimate.probability == 0.0
+
+    def test_garbage_covers_all_fields(self, protocol, instance, rng):
+        prover = RandomGarbageProver(protocol)
+        result = run_protocol(protocol, instance, prover, rng)
+        for round_idx in protocol.merlin_round_indices():
+            for v in instance.graph.vertices:
+                msg = result.transcript.messages[round_idx][v]
+                assert set(msg) == set(protocol.merlin_fields(round_idx))
+
+    def test_tuple_fields(self, protocol, instance, rng):
+        prover = RandomGarbageProver(protocol, tuple_fields={FIELD_A: 3})
+        result = run_protocol(protocol, instance, prover, rng)
+        msg = result.transcript.messages[ROUND_M2][0]
+        assert isinstance(msg[FIELD_A], tuple) and len(msg[FIELD_A]) == 3
+
+
+class TestTampering:
+    """Mutation testing of Protocol 1's verification: corrupt one field
+    at one node and the protocol must reject (every check is
+    load-bearing)."""
+
+    @pytest.mark.parametrize("round_idx,field", [
+        (ROUND_M0, FIELD_RHO),
+        (ROUND_M0, FIELD_PARENT),
+        (ROUND_M0, FIELD_DIST),
+        (ROUND_M2, FIELD_A),
+        (ROUND_M2, FIELD_B),
+    ])
+    def test_single_field_corruption_rejected(self, protocol, instance,
+                                              round_idx, field, rng):
+        prover = TamperingProver(
+            protocol.honest_prover(),
+            {(round_idx, 3, field): lambda value: value + 1})
+        rejections = sum(
+            not run_protocol(protocol, instance, prover, rng).accepted
+            for _ in range(10))
+        assert rejections == 10
+
+    def test_root_field_corruption_rejected(self, protocol, instance, rng):
+        prover = TamperingProver(
+            protocol.honest_prover(),
+            {(ROUND_M0, 0, FIELD_ROOT): lambda value: (value + 1) % 8})
+        result = run_protocol(protocol, instance, prover, rng)
+        assert not result.accepted
+
+    def test_seed_echo_corruption_rejected(self, protocol, instance, rng):
+        corruptions = {(ROUND_M2, v, FIELD_SEED):
+                       (lambda value: (value + 1) % protocol.family.p)
+                       for v in range(8)}
+        prover = TamperingProver(protocol.honest_prover(), corruptions)
+        result = run_protocol(protocol, instance, prover, rng)
+        assert not result.accepted
+
+    def test_identity_mutation_accepted(self, protocol, instance, rng):
+        """Sanity check of the harness itself: a no-op corruption must
+        leave the honest run accepted."""
+        prover = TamperingProver(protocol.honest_prover(),
+                                 {(ROUND_M0, 3, FIELD_RHO): lambda v: v})
+        assert run_protocol(protocol, instance, prover, rng).accepted
+
+
+class TestReplay:
+    def test_replay_rejected_whp(self, protocol, instance):
+        """Replaying a previous execution's messages must fail: the new
+        root challenge differs from the replayed echo whp."""
+        recorded = record_responses(protocol, instance,
+                                    protocol.honest_prover(),
+                                    random.Random(11))
+        replayer = ReplayProver(recorded)
+        accepted = sum(
+            run_protocol(protocol, instance, replayer,
+                         random.Random(100 + i)).accepted
+            for i in range(20))
+        assert accepted == 0
+
+    def test_replay_of_missing_round(self, protocol, instance, rng):
+        replayer = ReplayProver({})
+        with pytest.raises(KeyError):
+            replayer.respond(instance, 0, {}, {}, rng)

@@ -1,0 +1,159 @@
+"""Tests for automorphism search, cross-checked against networkx."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (Graph, all_automorphisms, automorphism_group_order,
+                          complete_graph, cycle_graph,
+                          find_nontrivial_automorphism, gnp_random_graph,
+                          is_asymmetric, is_automorphism, is_symmetric,
+                          orbits, path_graph, refine_colors, star_graph)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges)
+    return h
+
+
+def brute_force_automorphisms(g: Graph):
+    """All automorphisms by checking every permutation (n <= 6)."""
+    result = []
+    for perm in itertools.permutations(range(g.n)):
+        if is_automorphism(g, perm):
+            result.append(perm)
+    return result
+
+
+class TestRefinement:
+    def test_regular_graph_single_color(self):
+        colors = refine_colors(cycle_graph(6))
+        assert len(set(colors)) == 1
+
+    def test_star_two_colors(self):
+        colors = refine_colors(star_graph(5))
+        assert colors[0] != colors[1]
+        assert len({colors[v] for v in range(1, 5)}) == 1
+
+    def test_path_colors_mirror(self):
+        colors = refine_colors(path_graph(5))
+        assert colors[0] == colors[4]
+        assert colors[1] == colors[3]
+        assert colors[2] != colors[0]
+
+    def test_invariant_under_relabeling(self, rng):
+        g = gnp_random_graph(7, 0.4, rng)
+        perm = list(range(7))
+        rng.shuffle(perm)
+        h = g.relabel(perm)
+        c_g = refine_colors(g)
+        c_h = refine_colors(h)
+        # Color of v in g equals color of perm[v] in h (invariant ids).
+        assert all(c_g[v] == c_h[perm[v]] for v in range(7))
+
+    def test_bad_initial_length(self):
+        with pytest.raises(ValueError):
+            refine_colors(path_graph(3), initial=[0, 0])
+
+
+class TestAutomorphismPredicates:
+    def test_identity_is_automorphism(self):
+        g = path_graph(4)
+        assert is_automorphism(g, (0, 1, 2, 3))
+
+    def test_path_reversal(self):
+        g = path_graph(4)
+        assert is_automorphism(g, (3, 2, 1, 0))
+
+    def test_non_permutation_rejected(self):
+        g = path_graph(3)
+        assert not is_automorphism(g, (0, 0, 2))
+        assert not is_automorphism(g, (0, 1))
+
+    def test_edge_breaking_map_rejected(self):
+        g = path_graph(3)  # 0-1-2; swapping 0,1 breaks edge (1,2)
+        assert not is_automorphism(g, (1, 0, 2))
+
+
+class TestSymmetryDecision:
+    @pytest.mark.parametrize("graph", [
+        cycle_graph(5), complete_graph(4), star_graph(6), path_graph(4),
+        Graph(2, [(0, 1)]), Graph(3),
+    ])
+    def test_symmetric_graphs(self, graph):
+        assert is_symmetric(graph)
+        rho = find_nontrivial_automorphism(graph)
+        assert rho is not None
+        assert is_automorphism(graph, rho)
+        assert any(rho[v] != v for v in graph)
+
+    def test_asymmetric_graph(self, asym6):
+        assert is_asymmetric(asym6)
+        assert find_nontrivial_automorphism(asym6) is None
+
+    def test_all_rigid6_are_rigid(self, rigid6):
+        for g in rigid6:
+            assert automorphism_group_order(g) == 1
+
+    def test_single_vertex(self):
+        assert is_asymmetric(Graph(1))
+
+    def test_two_isolated_vertices_symmetric(self):
+        assert is_symmetric(Graph(2))
+
+
+class TestEnumerationAgainstBruteForce:
+    @pytest.mark.parametrize("graph", [
+        path_graph(4), cycle_graph(5), star_graph(5), complete_graph(4),
+        Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]),
+    ])
+    def test_matches_brute_force(self, graph):
+        ours = sorted(all_automorphisms(graph))
+        brute = sorted(brute_force_automorphisms(graph))
+        assert ours == brute
+
+    def test_group_orders(self):
+        assert automorphism_group_order(complete_graph(4)) == 24
+        assert automorphism_group_order(cycle_graph(5)) == 10  # dihedral
+        assert automorphism_group_order(path_graph(4)) == 2
+        assert automorphism_group_order(star_graph(5)) == 24  # S_4 on leaves
+
+    @given(st.integers(min_value=0, max_value=2**15 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_match_brute_force(self, mask):
+        pairs = list(itertools.combinations(range(6), 2))
+        g = Graph(6, [pairs[i] for i in range(len(pairs)) if mask >> i & 1])
+        assert sorted(all_automorphisms(g)) == \
+            sorted(brute_force_automorphisms(g))
+
+
+class TestOrbits:
+    def test_cycle_single_orbit(self):
+        assert orbits(cycle_graph(5)) == [(0, 1, 2, 3, 4)]
+
+    def test_star_orbits(self):
+        assert orbits(star_graph(4)) == [(0,), (1, 2, 3)]
+
+    def test_rigid_graph_singleton_orbits(self, asym6):
+        assert orbits(asym6) == [(v,) for v in range(6)]
+
+    def test_path_orbits(self):
+        assert orbits(path_graph(4)) == [(0, 3), (1, 2)]
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=2**15 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_agrees_with_networkx(self, mask):
+        pairs = list(itertools.combinations(range(6), 2))
+        g = Graph(6, [pairs[i] for i in range(len(pairs)) if mask >> i & 1])
+        gm = nx.algorithms.isomorphism.GraphMatcher(to_nx(g), to_nx(g))
+        nontrivial = any(any(m[k] != k for k in m)
+                         for m in gm.isomorphisms_iter())
+        assert is_symmetric(g) == nontrivial

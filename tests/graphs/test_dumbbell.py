@@ -1,0 +1,154 @@
+"""Tests for the dumbbell constructions (lower-bound family and DSym)."""
+
+import pytest
+
+from repro.graphs import (DSymLayout, DumbbellLayout, cycle_graph,
+                          dsym_automorphism, dsym_graph, dsym_no_instance,
+                          dumbbell_mirror_map, in_dsym, is_asymmetric,
+                          is_automorphism, is_symmetric,
+                          lower_bound_dumbbell, path_graph)
+from repro.graphs.graph import Graph
+
+
+class TestDumbbellLayout:
+    def test_vertex_arithmetic(self):
+        layout = DumbbellLayout(6)
+        assert layout.total_n == 14
+        assert layout.v_a == 0 and layout.v_b == 6
+        assert layout.x_a == 12 and layout.x_b == 13
+        assert list(layout.side_a) == list(range(6))
+        assert list(layout.side_b) == list(range(6, 12))
+
+
+class TestLowerBoundDumbbell:
+    def test_structure(self, rigid6):
+        f = rigid6[0]
+        g = lower_bound_dumbbell(f, f)
+        layout = DumbbellLayout(6)
+        assert g.n == 14
+        assert g.has_edge(layout.v_a, layout.x_a)
+        assert g.has_edge(layout.x_a, layout.x_b)
+        assert g.has_edge(layout.x_b, layout.v_b)
+        assert g.is_connected()
+
+    def test_side_edges_embedded(self, rigid6):
+        f_a, f_b = rigid6[0], rigid6[1]
+        g = lower_bound_dumbbell(f_a, f_b)
+        for u, v in f_a.edges:
+            assert g.has_edge(u, v)
+        for u, v in f_b.edges:
+            assert g.has_edge(u + 6, v + 6)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lower_bound_dumbbell(path_graph(3), path_graph(4))
+
+    def test_mirror_is_automorphism_of_equal_sides(self, rigid6):
+        for f in rigid6:
+            g = lower_bound_dumbbell(f, f)
+            mirror = dumbbell_mirror_map(6)
+            assert is_automorphism(g, mirror)
+            assert mirror[0] == 6  # moves v_A
+
+    def test_key_property_symmetric_iff_equal(self, rigid6):
+        """The crux of the Section-3.4 family: G(F_A, F_B) ∈ Sym iff
+        F_A = F_B (for rigid, pairwise-non-isomorphic F's)."""
+        for i, f_a in enumerate(rigid6[:4]):
+            for j, f_b in enumerate(rigid6[:4]):
+                g = lower_bound_dumbbell(f_a, f_b)
+                assert is_symmetric(g) == (i == j)
+
+    def test_distinct_pairs_give_distinct_graphs(self, rigid6):
+        seen = set()
+        for f_a in rigid6[:3]:
+            for f_b in rigid6[:3]:
+                g = lower_bound_dumbbell(f_a, f_b)
+                assert g not in seen
+                seen.add(g)
+
+
+class TestDSymLayout:
+    def test_arithmetic(self):
+        layout = DSymLayout(6, 2)
+        assert layout.total_n == 17
+        assert list(layout.path_vertices) == [12, 13, 14, 15, 16]
+        assert layout.path_sequence() == [0, 12, 13, 14, 15, 16, 6]
+
+    def test_from_total(self):
+        layout = DSymLayout.from_total(17, 6)
+        assert layout.r == 2
+
+    def test_from_total_rejects_bad(self):
+        with pytest.raises(ValueError):
+            DSymLayout.from_total(16, 6)
+        with pytest.raises(ValueError):
+            DSymLayout.from_total(10, 6)
+
+
+class TestDSymAutomorphism:
+    def test_is_permutation(self):
+        sigma = dsym_automorphism(DSymLayout(6, 2))
+        assert sorted(sigma) == list(range(17))
+
+    def test_swaps_halves(self):
+        sigma = dsym_automorphism(DSymLayout(6, 2))
+        for x in range(6):
+            assert sigma[x] == x + 6
+            assert sigma[x + 6] == x
+
+    def test_reverses_path(self):
+        layout = DSymLayout(6, 2)
+        sigma = dsym_automorphism(layout)
+        path = layout.path_sequence()
+        # The path must map onto its own reversal.
+        assert [sigma[v] for v in path] == list(reversed(path))
+
+    def test_moves_vertex_zero(self):
+        sigma = dsym_automorphism(DSymLayout(4, 1))
+        assert sigma[0] != 0
+
+    def test_is_automorphism_of_yes_instance(self, asym6):
+        layout = DSymLayout(6, 2)
+        g = dsym_graph(asym6, 2)
+        assert is_automorphism(g, dsym_automorphism(layout))
+
+
+class TestDSymMembership:
+    def test_yes_instance(self, asym6):
+        g = dsym_graph(asym6, 2)
+        assert in_dsym(g, 6)
+
+    def test_yes_instance_zero_r(self, asym6):
+        g = dsym_graph(asym6, 0)
+        assert in_dsym(g, 6)
+
+    def test_different_halves_rejected(self, asym6):
+        g = dsym_no_instance(asym6, cycle_graph(6), 2)
+        assert not in_dsym(g, 6)
+
+    def test_missing_path_edge_rejected(self, asym6):
+        g = dsym_graph(asym6, 2)
+        path_edge = (0, 12)
+        edges = [e for e in g.edges if e != path_edge]
+        assert not in_dsym(Graph(g.n, edges), 6)
+
+    def test_stray_edge_rejected(self, asym6):
+        g = dsym_graph(asym6, 2)
+        bad = g.with_edges([(1, 13)])  # half-A vertex to a path vertex
+        assert not in_dsym(bad, 6)
+
+    def test_cross_half_edge_rejected(self, asym6):
+        g = dsym_graph(asym6, 2)
+        bad = g.with_edges([(1, 7)])
+        assert not in_dsym(bad, 6)
+
+    def test_wrong_size_rejected(self, asym6):
+        g = dsym_graph(asym6, 2)
+        assert not in_dsym(g, 5)
+
+    def test_isomorphic_but_mislabeled_halves_rejected(self, asym6):
+        # Same graph up to relabeling on side B, but the FIXED map
+        # x -> x + n is not an isomorphism: that is a NO instance.
+        relabeled = asym6.relabel([1, 0, 2, 3, 4, 5])
+        g = dsym_no_instance(asym6, relabeled, 2)
+        assert not in_dsym(g, 6)

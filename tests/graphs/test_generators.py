@@ -1,0 +1,150 @@
+"""Tests for graph generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (all_connected_graphs, all_graphs,
+                          complete_bipartite_graph, complete_graph,
+                          cycle_graph, disjoint_copies, double_star,
+                          empty_graph, gnp_random_graph, grid_graph,
+                          path_graph, random_connected_graph,
+                          random_regular_graph, random_tree, star_graph,
+                          symmetric_doubled_graph, tree_from_prufer)
+from repro.graphs.automorphism import is_symmetric
+
+
+class TestDeterministic:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.n == 5 and g.num_edges == 0
+
+    def test_complete_edge_count(self):
+        assert complete_graph(6).num_edges == 15
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3 and g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.num_edges == 6
+        assert not g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert g.is_connected()
+
+    def test_double_star(self):
+        g = double_star(2, 3)
+        assert g.n == 7
+        assert g.degree(0) == 3 and g.degree(1) == 4
+
+
+class TestRandom:
+    def test_gnp_extremes(self, rng):
+        assert gnp_random_graph(6, 0.0, rng).num_edges == 0
+        assert gnp_random_graph(6, 1.0, rng) == complete_graph(6)
+
+    def test_gnp_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            gnp_random_graph(4, 1.5, rng)
+
+    def test_random_connected_is_connected(self, rng):
+        for _ in range(10):
+            assert random_connected_graph(10, 0.3, rng).is_connected()
+
+    def test_random_tree_edge_count(self, rng):
+        for n in (1, 2, 3, 8, 15):
+            t = random_tree(n, rng)
+            assert t.n == n and t.num_edges == n - 1 if n > 1 else True
+            assert t.is_connected()
+
+    def test_random_regular(self, rng):
+        g = random_regular_graph(8, 3, rng)
+        assert all(g.degree(v) == 3 for v in g)
+
+    def test_random_regular_parity(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, rng)
+
+    def test_random_regular_degree_bound(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4, rng)
+
+    def test_determinism_from_seed(self):
+        g1 = gnp_random_graph(10, 0.5, random.Random(7))
+        g2 = gnp_random_graph(10, 0.5, random.Random(7))
+        assert g1 == g2
+
+
+class TestPrufer:
+    def test_known_sequence(self):
+        # Prüfer sequence (3, 3) encodes the star with center 3 on 4 nodes.
+        t = tree_from_prufer([3, 3])
+        assert t.degree(3) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            tree_from_prufer([5])
+
+    @given(st.lists(st.integers(min_value=0, max_value=7),
+                    min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_prufer_always_tree(self, seq):
+        n = len(seq) + 2
+        seq = [v % n for v in seq]
+        t = tree_from_prufer(seq)
+        assert t.n == n
+        assert t.num_edges == n - 1
+        assert t.is_connected()
+
+
+class TestSymmetricConstructions:
+    def test_disjoint_copies_symmetric(self):
+        g = disjoint_copies(path_graph(3), 2)
+        assert g.n == 6
+        assert is_symmetric(g)
+
+    def test_symmetric_doubled_graph(self, asym6):
+        g = symmetric_doubled_graph(asym6, bridge_length=1)
+        assert g.n == 13
+        assert g.is_connected()
+        assert is_symmetric(g)
+
+    def test_symmetric_doubled_no_bridge_vertices(self, asym6):
+        g = symmetric_doubled_graph(asym6, bridge_length=0)
+        assert g.n == 12
+        assert g.is_connected()
+        assert is_symmetric(g)
+
+
+class TestEnumeration:
+    def test_all_graphs_count(self):
+        assert sum(1 for _ in all_graphs(3)) == 8  # 2^3
+
+    def test_all_graphs_distinct(self):
+        graphs = list(all_graphs(4))
+        assert len(set(graphs)) == len(graphs) == 64
+
+    def test_all_connected_graphs_count_n3(self):
+        # On 3 vertices: the triangle and 3 paths are connected.
+        assert sum(1 for _ in all_connected_graphs(3)) == 4

@@ -1,0 +1,97 @@
+"""Tests for graph6 serialization, cross-checked against networkx."""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (Graph, complete_graph, cycle_graph, path_graph,
+                          star_graph)
+from repro.graphs.graph6 import (graph_from_graph6, graph_to_graph6,
+                                 read_graph6_file, write_graph6_file)
+
+
+def random_graph(mask: int, n: int = 7) -> Graph:
+    pairs = list(itertools.combinations(range(n), 2))
+    return Graph(n, [pairs[i] for i in range(len(pairs)) if mask >> i & 1])
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("graph", [
+        Graph(0), Graph(1), Graph(2), Graph(2, [(0, 1)]),
+        path_graph(5), cycle_graph(6), complete_graph(7), star_graph(9),
+    ], ids=lambda g: f"n{g.n}e{g.num_edges}")
+    def test_roundtrip(self, graph):
+        assert graph_from_graph6(graph_to_graph6(graph)) == graph
+
+    @given(st.integers(min_value=0, max_value=2**21 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_random(self, mask):
+        graph = random_graph(mask)
+        assert graph_from_graph6(graph_to_graph6(graph)) == graph
+
+    def test_known_strings(self):
+        """Spot values from the nauty formats specification."""
+        # K4 is 'C~' (n=4, all six bits set).
+        assert graph_to_graph6(complete_graph(4)) == "C~"
+        assert graph_from_graph6("C~") == complete_graph(4)
+        # The empty graph on 5 vertices: 'D??'.
+        assert graph_to_graph6(Graph(5)) == "D??"
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=2**21 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_encoding(self, mask):
+        graph = random_graph(mask)
+        h = nx.Graph()
+        h.add_nodes_from(range(graph.n))
+        h.add_edges_from(graph.edges)
+        theirs = nx.to_graph6_bytes(h, header=False).decode().strip()
+        assert graph_to_graph6(graph) == theirs
+
+    @given(st.integers(min_value=0, max_value=2**21 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_decodes_networkx_output(self, mask):
+        graph = random_graph(mask)
+        h = nx.Graph()
+        h.add_nodes_from(range(graph.n))
+        h.add_edges_from(graph.edges)
+        text = nx.to_graph6_bytes(h, header=False).decode().strip()
+        assert graph_from_graph6(text) == graph
+
+
+class TestValidation:
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            graph_to_graph6(Graph(63))
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_graph6("")
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_graph6("C\x01")
+
+    def test_truncated_rejected(self):
+        text = graph_to_graph6(complete_graph(10))
+        with pytest.raises(ValueError):
+            graph_from_graph6(text[:-1])
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path, rigid6):
+        path = str(tmp_path / "family.g6")
+        assert write_graph6_file(rigid6, path) == len(rigid6)
+        loaded = read_graph6_file(path)
+        assert loaded == list(rigid6)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graphs.g6"
+        path.write_text(graph_to_graph6(path_graph(4)) + "\n\n"
+                        + graph_to_graph6(cycle_graph(5)) + "\n")
+        loaded = read_graph6_file(str(path))
+        assert loaded == [path_graph(4), cycle_graph(5)]

@@ -1,0 +1,141 @@
+"""Tests for isomorphism testing and canonical labeling."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (Graph, IsomorphismClassIndex, are_isomorphic,
+                          canonical_form, canonical_key, canonical_labeling,
+                          complete_graph, cycle_graph, find_isomorphism,
+                          gnp_random_graph, is_isomorphism, path_graph,
+                          star_graph)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges)
+    return h
+
+
+def random_graph_pair(mask: int, perm_seed: int, n: int = 6):
+    pairs = list(itertools.combinations(range(n), 2))
+    g = Graph(n, [pairs[i] for i in range(len(pairs)) if mask >> i & 1])
+    perm = list(range(n))
+    random.Random(perm_seed).shuffle(perm)
+    return g, g.relabel(perm), perm
+
+
+class TestFindIsomorphism:
+    def test_identical_graphs(self):
+        g = cycle_graph(5)
+        mapping = find_isomorphism(g, g)
+        assert mapping is not None and is_isomorphism(g, g, mapping)
+
+    def test_relabeled_graphs(self, rng):
+        g = gnp_random_graph(7, 0.5, rng)
+        perm = list(range(7))
+        rng.shuffle(perm)
+        h = g.relabel(perm)
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None and is_isomorphism(g, h, mapping)
+
+    def test_non_isomorphic_different_edges(self):
+        assert find_isomorphism(path_graph(4), star_graph(4)) is None
+
+    def test_non_isomorphic_same_degree_sequence(self):
+        # C6 vs two triangles: both 2-regular on 6 vertices.
+        c6 = cycle_graph(6)
+        triangles = Graph(6, [(0, 1), (1, 2), (0, 2),
+                              (3, 4), (4, 5), (3, 5)])
+        assert not are_isomorphic(c6, triangles)
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(path_graph(3), path_graph(4))
+
+    def test_is_isomorphism_validation(self):
+        g, h = path_graph(3), path_graph(3)
+        assert is_isomorphism(g, h, (2, 1, 0))
+        assert not is_isomorphism(g, h, (1, 0, 2))
+        assert not is_isomorphism(g, h, (0, 0, 2))
+        assert not is_isomorphism(g, h, (0, 1))
+
+
+class TestCanonicalForm:
+    def test_canonical_fixed_point(self):
+        g = cycle_graph(5)
+        cf = canonical_form(g)
+        assert canonical_form(cf) == cf
+
+    def test_canonical_invariance(self, rng):
+        g = gnp_random_graph(7, 0.4, rng)
+        perm = list(range(7))
+        rng.shuffle(perm)
+        assert canonical_form(g) == canonical_form(g.relabel(perm))
+
+    def test_canonical_separates(self):
+        assert canonical_form(path_graph(4)) != canonical_form(star_graph(4))
+
+    def test_canonical_labeling_is_permutation(self):
+        labeling = canonical_labeling(cycle_graph(6))
+        assert sorted(labeling) == list(range(6))
+
+    def test_empty_graph(self):
+        assert canonical_labeling(Graph(0)) == ()
+        assert canonical_form(Graph(1)) == Graph(1)
+
+    @given(st.integers(min_value=0, max_value=2**15 - 1),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_iff_isomorphic(self, mask, perm_seed):
+        g, h, _ = random_graph_pair(mask, perm_seed)
+        assert canonical_form(g) == canonical_form(h)
+        assert canonical_key(g) == canonical_key(h)
+
+    @given(st.integers(min_value=0, max_value=2**15 - 1),
+           st.integers(min_value=0, max_value=2**15 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_classes_distinct_keys(self, mask1, mask2):
+        pairs = list(itertools.combinations(range(6), 2))
+        g1 = Graph(6, [pairs[i] for i in range(len(pairs)) if mask1 >> i & 1])
+        g2 = Graph(6, [pairs[i] for i in range(len(pairs)) if mask2 >> i & 1])
+        assert (canonical_key(g1) == canonical_key(g2)) \
+            == are_isomorphic(g1, g2)
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=2**15 - 1),
+           st.integers(min_value=0, max_value=2**15 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_networkx(self, mask1, mask2):
+        pairs = list(itertools.combinations(range(6), 2))
+        g1 = Graph(6, [pairs[i] for i in range(len(pairs)) if mask1 >> i & 1])
+        g2 = Graph(6, [pairs[i] for i in range(len(pairs)) if mask2 >> i & 1])
+        assert are_isomorphic(g1, g2) == nx.is_isomorphic(to_nx(g1),
+                                                          to_nx(g2))
+
+
+class TestIndex:
+    def test_dedup(self):
+        index = IsomorphismClassIndex()
+        assert index.add(path_graph(4))
+        assert not index.add(path_graph(4).relabel([3, 2, 1, 0]))
+        assert index.add(star_graph(4))
+        assert len(index) == 2
+
+    def test_contains(self):
+        index = IsomorphismClassIndex()
+        index.add(cycle_graph(5))
+        assert cycle_graph(5).relabel([2, 3, 4, 0, 1]) in index
+        assert path_graph(5) not in index
+
+    def test_representatives_insertion_order(self):
+        index = IsomorphismClassIndex()
+        index.add(path_graph(4))
+        index.add(star_graph(4))
+        reps = index.representatives()
+        assert reps[0] == path_graph(4) and reps[1] == star_graph(4)

@@ -1,0 +1,113 @@
+"""Tests for primality testing and prime search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import is_prime, next_prime, prime_in_range, \
+    theorem32_prime_window
+
+
+def sieve(limit):
+    flags = [True] * (limit + 1)
+    flags[0] = flags[1] = False
+    for i in range(2, int(limit ** 0.5) + 1):
+        if flags[i]:
+            for j in range(i * i, limit + 1, i):
+                flags[j] = False
+    return flags
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        known = sieve(2000)
+        for n in range(2000):
+            assert is_prime(n) == known[n], n
+
+    def test_negative_and_edge(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+        assert is_prime(2)
+
+    def test_carmichael_numbers(self):
+        # Fermat pseudoprimes to many bases; Miller-Rabin must reject.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_prime(n)
+
+    def test_large_known_primes(self):
+        assert is_prime(2 ** 61 - 1)      # Mersenne
+        assert is_prime(2 ** 89 - 1)      # Mersenne, above deterministic bound
+        assert not is_prime(2 ** 67 - 1)  # famously composite Mersenne
+
+    def test_big_semiprime(self):
+        p = 2 ** 61 - 1
+        assert not is_prime(p * p)
+
+    @given(st.integers(min_value=2, max_value=10 ** 6))
+    @settings(max_examples=80, deadline=None)
+    def test_factors_of_composites(self, n):
+        if not is_prime(n):
+            return
+        # A prime must have no divisor among small primes other than itself.
+        for d in (2, 3, 5, 7, 11, 13):
+            assert n == d or n % d != 0
+
+
+class TestNextPrime:
+    def test_small(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+        assert next_prime(4) == 5
+        assert next_prime(90) == 97
+
+    @given(st.integers(min_value=2, max_value=10 ** 9))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_prime_and_minimal(self, n):
+        p = next_prime(n)
+        assert p >= n and is_prime(p)
+        # No prime in [n, p): spot-check a window (p - n is tiny).
+        for k in range(n, p):
+            assert not is_prime(k)
+
+
+class TestPrimeInRange:
+    def test_finds_prime(self):
+        p = prime_in_range(100, 200)
+        assert 100 <= p <= 200 and is_prime(p)
+
+    def test_empty_interval(self):
+        with pytest.raises(ValueError):
+            prime_in_range(200, 100)
+
+    def test_primeless_interval(self):
+        with pytest.raises(ValueError):
+            prime_in_range(24, 28)
+
+    def test_deterministic(self):
+        assert prime_in_range(1000, 2000) == prime_in_range(1000, 2000)
+
+
+class TestTheorem32Window:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 50])
+    def test_protocol1_window(self, n):
+        p = theorem32_prime_window(n, exponent=3)
+        assert 10 * n ** 3 <= p <= 100 * n ** 3
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+    def test_protocol2_window(self, n):
+        p = theorem32_prime_window(n, exponent=n + 2)
+        assert 10 * n ** (n + 2) <= p <= 100 * n ** (n + 2)
+        assert is_prime(p)
+
+    def test_collision_bound_below_third(self):
+        # The point of the window: m/p = n^2/p <= 1/(10n) < 1/3.
+        for n in (2, 4, 10, 30):
+            p = theorem32_prime_window(n, exponent=3)
+            assert n * n / p <= 1 / (10 * n) < 1 / 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            theorem32_prime_window(0)

@@ -1,0 +1,100 @@
+"""Tests for the Toeplitz PI family — exhaustive pairwise-independence
+verification at tiny sizes, and the seed-length comparison the paper's
+Section 4 argument rests on."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.hashing import DistributedAPIHash, gs_output_modulus
+from repro.hashing.toeplitz import ToeplitzHash
+
+
+class TestConstruction:
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            ToeplitzHash(0, 2)
+        with pytest.raises(ValueError):
+            ToeplitzHash(2, 0)
+
+    def test_seed_bits_formula(self):
+        h = ToeplitzHash(input_bits=9, output_bits=4)
+        assert h.seed_bits == 9 + 2 * 4 - 1
+
+    def test_seed_index_bijection(self):
+        h = ToeplitzHash(3, 2)
+        seeds = {h.seed_from_index(i) for i in range(h.seed_count)}
+        assert len(seeds) == h.seed_count
+        with pytest.raises(ValueError):
+            h.seed_from_index(h.seed_count)
+
+    def test_input_width_enforced(self):
+        h = ToeplitzHash(3, 2)
+        with pytest.raises(ValueError):
+            h.apply(h.seed_from_index(0), 0b1000)
+
+
+class TestExactPairwiseIndependence:
+    """The definitional properties, by full enumeration of the seed
+    space (tiny parameters: 3→2 bits, 2^8 seeds)."""
+
+    @pytest.fixture(scope="class")
+    def family(self):
+        return ToeplitzHash(input_bits=3, output_bits=2)
+
+    def test_axiom2_exact_uniformity(self, family):
+        """Pr[h(x) = y] = 2^-m_out exactly, for every x, y."""
+        for x in range(8):
+            counts = Counter(
+                family.apply(family.seed_from_index(i), x)
+                for i in range(family.seed_count))
+            assert set(counts) == {0, 1, 2, 3}
+            assert all(c == family.seed_count // 4
+                       for c in counts.values())
+
+    def test_axiom1_exact_pairwise(self, family):
+        """Pr[h(x1)=y1 ∧ h(x2)=y2] = 2^-2m_out exactly — ε = 0."""
+        for x1 in range(8):
+            for x2 in range(x1 + 1, 8):
+                joint = Counter(
+                    (family.apply(family.seed_from_index(i), x1),
+                     family.apply(family.seed_from_index(i), x2))
+                    for i in range(family.seed_count))
+                assert len(joint) == 16
+                assert all(c == family.seed_count // 16
+                           for c in joint.values())
+
+    def test_sampled_behavior_matches(self, family, rng):
+        """The random-seed path agrees with the enumerated family."""
+        for _ in range(50):
+            seed = family.sample_seed(rng)
+            value = family.apply(seed, 0b101)
+            assert 0 <= value < 4
+
+
+class TestSeedLengthArgument:
+    """Section 4's quantitative point: for the GS parameters, the PI
+    seed is Θ(n²) bits while the ε-API seed budget is Θ(n log n)."""
+
+    @pytest.mark.parametrize("n", [16, 24, 32])
+    def test_pi_seed_dominates_api_seed(self, n):
+        """At protocol scale the PI seed (Θ(n²), unsplittable) exceeds
+        the ε-API budget (Θ(n log n), split across nodes); the
+        crossover sits around n ≈ 12 for these constants."""
+        q = gs_output_modulus(2 * math.factorial(min(n, 10)))
+        output_bits = max(1, math.ceil(math.log2(q)))
+        toeplitz = ToeplitzHash(input_bits=n * n, output_bits=output_bits)
+        api = DistributedAPIHash(m=n * n, q=q)
+        assert toeplitz.seed_bits >= n * n
+        assert api.node_seed_bits + api.root_seed_bits \
+            < toeplitz.seed_bits
+
+    def test_gap_grows_quadratically(self):
+        gaps = []
+        for n in (8, 32, 128):
+            toeplitz = ToeplitzHash(input_bits=n * n, output_bits=8)
+            gaps.append(toeplitz.seed_bits / (n * math.log2(n)))
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > 3 * gaps[0]

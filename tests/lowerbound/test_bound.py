@@ -1,0 +1,88 @@
+"""Tests for the Theorem-1.4 implied-bound computation."""
+
+import math
+
+import pytest
+
+from repro.lowerbound import (LowerBoundRow, log2_rigid_family_size,
+                              lower_bound_table, min_length_for_family,
+                              rigid_family_size, sym_dam_lower_bound)
+
+
+class TestFamilySizes:
+    def test_exact_small_counts(self):
+        assert rigid_family_size(6) == 8.0
+        assert rigid_family_size(5) == 0.0
+        assert rigid_family_size(1) == 1.0
+
+    def test_counting_bound_large(self):
+        # log2 |F(n)| ~ n²/2 for large n.
+        log_size = log2_rigid_family_size(100)
+        assert 0.7 * (100 * 99 / 2) < log_size < 100 * 99 / 2
+
+    def test_log_of_exact(self):
+        assert log2_rigid_family_size(6) == math.log2(8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            rigid_family_size(0)
+
+    def test_quadratic_growth(self):
+        """|F| = 2^Ω(n²): doubling n roughly quadruples the exponent."""
+        a = log2_rigid_family_size(50)
+        b = log2_rigid_family_size(100)
+        assert 3.0 < b / a < 5.0
+
+
+class TestImpliedBound:
+    def test_inversion_consistency(self):
+        """The returned L is the least one satisfying the packing
+        inequality 5^(2^(2^L)) >= |F| — verified in log-log space
+        (the raw quantities overflow floats for large families)."""
+        for log2_size in (10.0, 100.0, 1e4, 1e8):
+            L = min_length_for_family(log2_size)
+            log5_family = log2_size / math.log2(5)
+            inner = math.log2(log5_family)  # = log2 log5 |F|
+            # 5^(2^(2^L)) >= |F|  <=>  2^L >= inner.
+            assert 2.0 ** L >= inner - 1e-9
+            if L > 1:
+                # L-1 must NOT suffice.
+                assert 2.0 ** (L - 1) < inner
+
+    def test_tiny_family_no_bound(self):
+        assert min_length_for_family(0.0) == 0
+        assert min_length_for_family(-1.0) == 0
+
+    def test_bound_grows_like_loglog(self):
+        """The headline scaling of Theorem 1.4."""
+        sizes = [10, 100, 10 ** 4, 10 ** 8]
+        bounds = [sym_dam_lower_bound(n) for n in sizes]
+        assert bounds == sorted(bounds)  # monotone
+        assert bounds[-1] > bounds[0]    # actually grows
+        # ... but extremely slowly: squaring n adds at most ~1.
+        for small, large in zip(bounds, bounds[1:]):
+            assert large - small <= 2
+
+    def test_six_vertex_bound_positive(self):
+        assert sym_dam_lower_bound(6) >= 1
+
+
+class TestTable:
+    def test_table_rows(self):
+        rows = lower_bound_table([6, 10, 100])
+        assert [r.inner_n for r in rows] == [6, 10, 100]
+        assert all(r.total_n == 2 * r.inner_n + 2 for r in rows)
+        assert all(r.min_simple_length >= 1 for r in rows[1:])
+
+    def test_loglog_column(self):
+        row = LowerBoundRow(inner_n=7, total_n=16, log2_family_size=20.0,
+                            min_simple_length=2)
+        assert row.loglog_n == math.log2(4)
+
+    def test_bound_tracks_loglog_within_constant(self):
+        """Ω(log log n) means bound / loglog(n) is bounded away from 0
+        and the ratio stays within a constant band across sizes."""
+        rows = lower_bound_table([10, 100, 10 ** 3, 10 ** 5, 10 ** 8])
+        ratios = [r.min_simple_length / r.loglog_n for r in rows]
+        assert min(ratios) > 0.3
+        assert max(ratios) / min(ratios) < 4.0

@@ -1,0 +1,141 @@
+"""Tests for the Lemma 3.12 packing machinery."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbound import (check_pairwise_separation,
+                              empirical_distribution, event_gap_lower_bound,
+                              l1_ball_volume, l1_distance,
+                              max_far_apart_family, packing_bound,
+                              total_variation, verify_balls_disjoint)
+
+
+def distributions(domain_size=4):
+    @st.composite
+    def build(draw):
+        raw = draw(st.lists(st.floats(min_value=0.001, max_value=1.0),
+                            min_size=domain_size, max_size=domain_size))
+        total = sum(raw)
+        return {i: x / total for i, x in enumerate(raw)}
+    return build()
+
+
+class TestL1Distance:
+    def test_identical(self):
+        mu = {0: 0.5, 1: 0.5}
+        assert l1_distance(mu, mu) == 0.0
+
+    def test_disjoint_supports(self):
+        assert l1_distance({0: 1.0}, {1: 1.0}) == 2.0
+
+    def test_known_value(self):
+        mu = {0: 0.7, 1: 0.3}
+        eta = {0: 0.4, 1: 0.6}
+        assert math.isclose(l1_distance(mu, eta), 0.6)
+
+    def test_total_variation_is_half(self):
+        mu, eta = {0: 1.0}, {1: 1.0}
+        assert total_variation(mu, eta) == 1.0
+
+    @given(distributions(), distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_metric_axioms(self, mu, eta):
+        d = l1_distance(mu, eta)
+        assert 0.0 <= d <= 2.0 + 1e-9
+        assert math.isclose(d, l1_distance(eta, mu))
+
+    @given(distributions(), distributions(), distributions())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert l1_distance(a, c) <= \
+            l1_distance(a, b) + l1_distance(b, c) + 1e-9
+
+
+class TestEventGap:
+    def test_gap_bound(self):
+        # The paper's fact: an event with probability gap p forces
+        # L1 distance >= 2p.  Check on an explicit example.
+        mu = {0: 0.9, 1: 0.1}
+        eta = {0: 0.2, 1: 0.8}
+        gap = event_gap_lower_bound(mu[0], eta[0])
+        assert gap == pytest.approx(1.4)
+        assert l1_distance(mu, eta) >= gap - 1e-9
+
+    @given(distributions(), distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_gap_never_exceeds_distance(self, mu, eta):
+        for event in ({0}, {0, 1}, {2, 3}):
+            p_mu = sum(mu.get(w, 0) for w in event)
+            p_eta = sum(eta.get(w, 0) for w in event)
+            assert event_gap_lower_bound(p_mu, p_eta) <= \
+                l1_distance(mu, eta) + 1e-9
+
+
+class TestVolumes:
+    def test_paper_formula(self):
+        assert l1_ball_volume(1, 0.25) == pytest.approx(1.0 / 2)
+        assert l1_ball_volume(2, 0.25) == pytest.approx(1.0 / 6)
+
+    def test_ratio_is_5_to_d(self):
+        for d in (1, 2, 5, 10):
+            ratio = l1_ball_volume(d, 5 / 4) / l1_ball_volume(d, 1 / 4)
+            assert ratio == pytest.approx(5.0 ** d)
+
+    def test_packing_bound_matches(self):
+        for d in (1, 3, 7):
+            assert packing_bound(d) == pytest.approx(5.0 ** d)
+        assert max_far_apart_family(3) == 125
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            l1_ball_volume(0, 1.0)
+        with pytest.raises(ValueError):
+            l1_ball_volume(2, -1.0)
+        with pytest.raises(ValueError):
+            packing_bound(0)
+
+
+class TestSeparationChecks:
+    def test_pairwise_separation(self):
+        far = [{0: 1.0}, {1: 1.0}, {2: 1.0}]
+        assert check_pairwise_separation(far, 0.5)
+        near = [{0: 0.6, 1: 0.4}, {0: 0.5, 1: 0.5}]
+        assert not check_pairwise_separation(near, 0.5)
+
+    def test_balls_disjoint_for_far_family(self, rng):
+        far = [{0: 1.0}, {1: 1.0}, {2: 1.0}]  # pairwise distance 2
+        assert verify_balls_disjoint(far, radius=0.25, probes=40, rng=rng)
+
+    def test_balls_overlap_for_near_family(self, rng):
+        near = [{0: 0.52, 1: 0.48}, {0: 0.50, 1: 0.50}]
+        # Distance 0.04 << 2 * 0.25: probes from one ball land in the
+        # other essentially always.
+        assert not verify_balls_disjoint(near, radius=0.25, probes=60,
+                                         rng=rng)
+
+    def test_cannot_pack_more_than_bound(self):
+        """Constructive sanity check of Lemma 3.12 at d=1: on a single-
+        point domain all distributions coincide, so no two can be far
+        apart — family size 1 < 5."""
+        assert packing_bound(1) == 5.0
+        mus = [{0: 1.0}, {0: 1.0}]
+        assert not check_pairwise_separation(mus, 0.5)
+
+
+class TestEmpirical:
+    def test_empirical_distribution(self):
+        dist = empirical_distribution(["a", "a", "b", "a"])
+        assert dist == {"a": 0.75, "b": 0.25}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([])
+
+    def test_sums_to_one(self, rng):
+        samples = [rng.randrange(5) for _ in range(100)]
+        dist = empirical_distribution(samples)
+        assert math.isclose(sum(dist.values()), 1.0)

@@ -1,0 +1,158 @@
+"""Tests for the simple-protocol framework (Lemmas 3.8–3.11 in code)."""
+
+import random
+
+import pytest
+
+from repro.graphs import DumbbellLayout, lower_bound_dumbbell
+from repro.lowerbound import (AlwaysAcceptProtocol, EncodingProtocol,
+                              LocalHashProtocol, direct_acceptance,
+                              l1_distance, lemma39_acceptance, mu_a,
+                              response_set_a, response_set_b,
+                              sample_challenge)
+
+
+class TestResponseSets:
+    def test_always_accept_full_set(self, rigid6, rng):
+        protocol = AlwaysAcceptProtocol(length=1)
+        challenge = sample_challenge(DumbbellLayout(6), 1, rng)
+        assert response_set_a(protocol, rigid6[0], challenge) == \
+            frozenset({0, 1})
+
+    def test_localhash_singleton_sets(self, rigid6, rng):
+        """Side nodes pin their own messages; the bridge message is
+        unconstrained, so M_A is the full message space."""
+        protocol = LocalHashProtocol(length=1)
+        challenge = sample_challenge(DumbbellLayout(6), 1, rng)
+        set_a = response_set_a(protocol, rigid6[0], challenge)
+        assert set_a == frozenset({0, 1})
+
+    def test_encoding_response_set_is_singleton(self, rigid6, rng):
+        protocol = EncodingProtocol(6)
+        challenge = sample_challenge(DumbbellLayout(6), protocol.length, rng)
+        set_a = response_set_a(protocol, rigid6[0], challenge)
+        assert set_a == frozenset({protocol.encode_side_graph(rigid6[0])})
+
+    def test_encoding_analytic_matches_brute_force_tiny(self, rng):
+        """Cross-check the analytic override against brute force on a
+        3-vertex inner graph (message space 2^3)."""
+        from repro.graphs.graph import Graph
+        protocol = EncodingProtocol(3)
+        inner = Graph(3, [(0, 1)])
+        challenge = sample_challenge(DumbbellLayout(3), protocol.length, rng)
+        analytic = protocol.analytic_response_set(inner, challenge, "A")
+
+        class NoAnalytic(EncodingProtocol):
+            def analytic_response_set(self, f_side, challenge, side):
+                return None
+
+        brute = response_set_a(NoAnalytic(3), inner, challenge)
+        assert analytic == brute
+
+    def test_side_b_mirrors_side_a_for_encoding(self, rigid6, rng):
+        protocol = EncodingProtocol(6)
+        challenge = sample_challenge(DumbbellLayout(6), protocol.length, rng)
+        assert response_set_a(protocol, rigid6[0], challenge) == \
+            response_set_b(protocol, rigid6[0], challenge)
+
+
+class TestLemma39:
+    """Lemma 3.9: the intersection characterization equals the direct
+    best-prover search — checked with identical challenge streams."""
+
+    def test_equivalence_localhash(self, rigid6):
+        protocol = LocalHashProtocol(length=1)
+        f1, f2 = rigid6[0], rigid6[1]
+        via_lemma = lemma39_acceptance(protocol, f1, f2, 15,
+                                       random.Random(3))
+        direct = direct_acceptance(protocol, f1, f2, 15, random.Random(3))
+        assert via_lemma == direct
+
+    def test_equivalence_always_accept(self, rigid6):
+        protocol = AlwaysAcceptProtocol(length=1)
+        via_lemma = lemma39_acceptance(protocol, rigid6[0], rigid6[1], 5,
+                                       random.Random(1))
+        direct = direct_acceptance(protocol, rigid6[0], rigid6[1], 5,
+                                   random.Random(1))
+        assert via_lemma == direct == 1.0
+
+    def test_encoding_protocol_is_correct_for_family(self, rigid6):
+        """The encoding protocol decides Sym on the dumbbell family:
+        accept iff the two sides are the same labeled graph."""
+        protocol = EncodingProtocol(6)
+        rng = random.Random(9)
+        for i in (0, 1):
+            for j in (0, 1):
+                acc = lemma39_acceptance(protocol, rigid6[i], rigid6[j],
+                                         5, rng)
+                assert acc == (1.0 if i == j else 0.0)
+
+
+class TestLemma311:
+    def test_encoding_distributions_maximally_far(self, rigid6, rng):
+        """For the correct protocol, μ_A(F₁) and μ_A(F₂) are point
+        masses at distinct sets: L1 distance 2 ≥ 2/3 (Lemma 3.11)."""
+        protocol = EncodingProtocol(6)
+        mu1 = mu_a(protocol, rigid6[0], 5, rng)
+        mu2 = mu_a(protocol, rigid6[1], 5, rng)
+        assert l1_distance(mu1, mu2) == 2.0
+
+    def test_localhash_distributions_collapse(self, rigid6, rng):
+        """For the broken protocol the distributions coincide —
+        violating Lemma 3.11's conclusion, hence (by the framework) the
+        protocol cannot decide Sym on the family.  And indeed it
+        accepts non-symmetric dumbbells (see TestLemma39)."""
+        protocol = LocalHashProtocol(length=1)
+        mu1 = mu_a(protocol, rigid6[0], 10, rng)
+        mu2 = mu_a(protocol, rigid6[1], 10, rng)
+        assert l1_distance(mu1, mu2) < 2.0 / 3.0
+
+    def test_mu_is_distribution(self, rigid6, rng):
+        protocol = LocalHashProtocol(length=1)
+        mu = mu_a(protocol, rigid6[0], 20, rng)
+        assert abs(sum(mu.values()) - 1.0) < 1e-9
+        assert all(p >= 0 for p in mu.values())
+
+
+class TestFrameworkBasics:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            LocalHashProtocol(length=0)
+
+    def test_sample_challenge_covers_all_nodes(self, rng):
+        layout = DumbbellLayout(6)
+        challenge = sample_challenge(layout, 2, rng)
+        assert set(challenge) == set(range(layout.total_n))
+        assert all(0 <= r < 4 for r in challenge.values())
+
+
+class TestExactDistributions:
+    """mu_a_exact upgrades the Lemma 3.11 measurements from sampled to
+    exact (L = 1 protocols only; larger spaces raise)."""
+
+    def test_localhash_exact_distance_zero(self, rigid6):
+        from repro.lowerbound import mu_a_exact
+        protocol = LocalHashProtocol(length=1)
+        mu1 = mu_a_exact(protocol, rigid6[0])
+        mu2 = mu_a_exact(protocol, rigid6[1])
+        assert l1_distance(mu1, mu2) == 0.0  # exactly indistinguishable
+
+    def test_exact_is_a_distribution(self, rigid6):
+        from repro.lowerbound import mu_a_exact
+        mu = mu_a_exact(LocalHashProtocol(length=1), rigid6[0])
+        assert abs(sum(mu.values()) - 1.0) < 1e-12
+
+    def test_sampled_converges_to_exact(self, rigid6):
+        from repro.lowerbound import mu_a_exact
+        import random as _random
+        protocol = AlwaysAcceptProtocol(length=1)
+        exact = mu_a_exact(protocol, rigid6[0])
+        sampled = mu_a(protocol, rigid6[0], 30, _random.Random(3))
+        # AlwaysAccept's response set is challenge-independent, so the
+        # sampled distribution must equal the exact one identically.
+        assert sampled == exact
+
+    def test_oversized_space_rejected(self, rigid6):
+        from repro.lowerbound import mu_a_exact
+        with pytest.raises(ValueError):
+            mu_a_exact(EncodingProtocol(6), rigid6[0])

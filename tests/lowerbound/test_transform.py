@@ -1,0 +1,132 @@
+"""Tests for the Lemma 3.7 transformation (general → simple protocols).
+
+The lemma's claim is acceptance-preservation: for every challenge, the
+simplified protocol admits an all-accepting prover response iff the
+base protocol does.  We verify it challenge-by-challenge with
+exhaustive searches on small dumbbells (inner side size 3, L = 1 —
+rigidity is irrelevant to this lemma, only the dumbbell shape is).
+"""
+
+import random
+
+import pytest
+
+from repro.graphs import DumbbellLayout, Graph, lower_bound_dumbbell, \
+    path_graph
+from repro.lowerbound import direct_acceptance, sample_challenge
+from repro.lowerbound.transform import (BridgeChallengeProtocol,
+                                        BridgeDAMProtocol,
+                                        NeighborSumProtocol,
+                                        base_direct_acceptance,
+                                        lemma37_simplify)
+
+INNER = 3  # side graphs on 3 vertices keep the brute force affordable
+
+
+@pytest.fixture
+def side_pair():
+    return Graph(3, [(0, 1)]), Graph(3, [(0, 1), (1, 2)])
+
+
+class TestScaffolding:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            BridgeChallengeProtocol(0)
+
+    def test_simplified_length_is_4x(self):
+        base = BridgeChallengeProtocol(1)
+        simple = lemma37_simplify(base, INNER)
+        assert simple.length == 4
+
+    def test_pack_roundtrip(self):
+        base = BridgeChallengeProtocol(2)
+        simple = lemma37_simplify(base, INNER)
+        packed = simple.pack(1, 2, 3, 0)
+        layout = DumbbellLayout(INNER)
+        assert simple._chunk(packed, layout.v_a) == 1
+        assert simple._chunk(packed, layout.x_a) == 2
+        assert simple._chunk(packed, layout.x_b) == 3
+        assert simple._chunk(packed, layout.v_b) == 0
+
+
+class TestAcceptancePreservation:
+    """Lemma 3.7's content, checked exhaustively per challenge."""
+
+    @pytest.mark.parametrize("protocol_cls", [BridgeChallengeProtocol,
+                                              NeighborSumProtocol])
+    def test_simplified_matches_base(self, protocol_cls, side_pair):
+        base = protocol_cls(1)
+        simple = lemma37_simplify(base, INNER)
+        f_a, f_b = side_pair
+        graph = lower_bound_dumbbell(f_a, f_b)
+        layout = DumbbellLayout(INNER)
+        rng = random.Random(1)
+        agreements = 0
+        for _ in range(12):
+            challenge = sample_challenge(layout, base.length, rng)
+            base_accepts = base_direct_acceptance(base, graph, challenge)
+            # The simplified protocol reads L-bit challenges too; reuse
+            # the same challenge values.
+            simple_accepts = _simple_direct(simple, f_a, f_b, challenge)
+            assert base_accepts == simple_accepts
+            agreements += 1
+        assert agreements == 12
+
+    def test_equal_sides_also_match(self, side_pair):
+        base = NeighborSumProtocol(1)
+        simple = lemma37_simplify(base, INNER)
+        f_a, _ = side_pair
+        graph = lower_bound_dumbbell(f_a, f_a)
+        layout = DumbbellLayout(INNER)
+        rng = random.Random(2)
+        for _ in range(8):
+            challenge = sample_challenge(layout, base.length, rng)
+            assert base_direct_acceptance(base, graph, challenge) == \
+                _simple_direct(simple, f_a, f_a, challenge)
+
+
+def _simple_direct(simple, f_a, f_b, challenge):
+    """Single-challenge direct acceptance of the simplified protocol
+    (direct_acceptance drives sampling internally; here we pin one
+    challenge by wrapping the rng)."""
+
+    class FixedChallengeRandom(random.Random):
+        def __init__(self, values):
+            super().__init__(0)
+            self._values = list(values)
+            self._index = 0
+
+        def randrange(self, *args, **kwargs):
+            value = self._values[self._index % len(self._values)]
+            self._index += 1
+            return value
+
+    layout = DumbbellLayout(f_a.n)
+    ordered = [challenge[v] for v in range(layout.total_n)]
+    rate = direct_acceptance(simple, f_a, f_b, 1,
+                             FixedChallengeRandom(ordered))
+    return rate == 1.0
+
+
+class TestSimplifiedStructure:
+    def test_interior_nodes_must_zero_top_bits(self, side_pair):
+        base = BridgeChallengeProtocol(1)
+        simple = lemma37_simplify(base, INNER)
+        f_a, _ = side_pair
+        graph = lower_bound_dumbbell(f_a, f_a)
+        layout = DumbbellLayout(INNER)
+        challenge = {v: 0 for v in range(layout.total_n)}
+        # Interior node 1 with a message using high bits must reject.
+        m_local = {1: 0b0010, 0: 0, 2: 0}
+        assert not simple.out_side(graph, 1, challenge, m_local)
+
+    def test_attachment_node_checks_agreement(self, side_pair):
+        base = BridgeChallengeProtocol(1)
+        simple = lemma37_simplify(base, INNER)
+        f_a, _ = side_pair
+        graph = lower_bound_dumbbell(f_a, f_a)
+        layout = DumbbellLayout(INNER)
+        challenge = {v: 0 for v in range(layout.total_n)}
+        # v_A = 0 holds packed value 5 but its bridge neighbor holds 6.
+        m_local = {layout.v_a: 5, layout.x_a: 6, 1: 0}
+        assert not simple.out_side(graph, layout.v_a, challenge, m_local)

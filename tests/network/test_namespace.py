@@ -1,0 +1,107 @@
+"""Tests for the named-node namespace bridge."""
+
+import random
+
+import pytest
+
+from repro.core import run_protocol
+from repro.network.namespace import Namespace
+from repro.protocols import FixedMappingProtocol, SymDMAMProtocol
+
+
+HOSTS = ["db-1", "db-2", "web-1", "web-2", "cache-1", "cache-2"]
+
+#: A 6-node ring over the hosts (symmetric: rotations).
+RING = list(zip(HOSTS, HOSTS[1:] + HOSTS[:1]))
+
+
+@pytest.fixture
+def namespace():
+    return Namespace(HOSTS)
+
+
+class TestLookups:
+    def test_bidirectional(self, namespace):
+        for i, host in enumerate(HOSTS):
+            assert namespace.index_of(host) == i
+            assert namespace.id_of(i) == host
+
+    def test_contains_and_iter(self, namespace):
+        assert "db-1" in namespace and "db-9" not in namespace
+        assert list(namespace) == HOSTS
+        assert len(namespace) == 6
+
+    def test_unknown_id(self, namespace):
+        with pytest.raises(KeyError):
+            namespace.index_of("nope")
+
+    def test_bad_index(self, namespace):
+        with pytest.raises(IndexError):
+            namespace.id_of(6)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace(["a", "a"])
+
+
+class TestCostAccounting:
+    def test_default_universe(self, namespace):
+        assert namespace.universe_size == 6
+        assert namespace.identifier_overhead() == 1.0
+
+    def test_polynomial_universe(self):
+        ns = Namespace(HOSTS, universe_size=6 ** 3)
+        # log(N)/log(n) = 8/3 for N = n³ — the paper's constant factor.
+        assert ns.identifier_bits == 8
+        assert ns.identifier_overhead() == pytest.approx(8 / 3)
+
+    def test_universe_too_small(self):
+        with pytest.raises(ValueError):
+            Namespace(HOSTS, universe_size=3)
+
+
+class TestProtocolBridge:
+    def test_instance_and_run(self, namespace, rng):
+        instance = namespace.instance(RING)
+        protocol = SymDMAMProtocol(namespace.n)
+        result = run_protocol(protocol, instance, protocol.honest_prover(),
+                              rng)
+        assert result.accepted
+        assert namespace.decisions_by_id(result) == {
+            host: True for host in HOSTS}
+        costs = namespace.costs_by_id(result)
+        assert set(costs) == set(HOSTS)
+        assert namespace.rejecting_ids(result) == []
+
+    def test_inputs_translated(self, namespace):
+        instance = namespace.instance(RING, inputs={"db-1": 42})
+        assert instance.input_of(0) == 42
+        assert instance.input_of(1) is None
+
+    def test_mapping_from_ids(self, namespace, rng):
+        """Certify the ring's designed rotation given as an id→id map."""
+        rotation = {host: nxt for host, nxt in RING}
+        sigma = namespace.mapping_from_ids(rotation)
+        protocol = FixedMappingProtocol(sigma)
+        instance = namespace.instance(RING)
+        assert run_protocol(protocol, instance, protocol.honest_prover(),
+                            rng).accepted
+
+    def test_mapping_must_cover_all(self, namespace):
+        with pytest.raises(ValueError):
+            namespace.mapping_from_ids({"db-1": "db-2"})
+
+    def test_rejecting_ids_surface(self, namespace, rng):
+        """A broken claimed symmetry names the complaining hosts."""
+        not_automorphism = {h: h for h in HOSTS}
+        not_automorphism["db-1"], not_automorphism["web-1"] = \
+            "web-1", "db-1"
+        sigma = namespace.mapping_from_ids(not_automorphism)
+        protocol = FixedMappingProtocol(sigma)
+        instance = namespace.instance(RING)
+        result = run_protocol(protocol, instance, protocol.honest_prover(),
+                              rng)
+        assert not result.accepted
+        assert result.rejecting_nodes()
+        assert all(isinstance(h, str)
+                   for h in namespace.rejecting_ids(result))

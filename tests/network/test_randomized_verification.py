@@ -1,0 +1,114 @@
+"""Tests for the RPLS-style randomized edge-equality verification."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.network.randomized_verification import (DeterministicEquality,
+                                                   HashedEquality,
+                                                   detection_probability,
+                                                   run_edge_verification)
+
+
+@pytest.fixture
+def k():
+    return 128  # value width in bits
+
+
+class TestDeterministic:
+    def test_uniform_accepted(self, k, rng):
+        g = cycle_graph(6)
+        values = {v: (1 << 100) | 5 for v in g.vertices}
+        result = run_edge_verification(g, values,
+                                       DeterministicEquality(k), rng)
+        assert result.accepted
+        assert result.message_bits == k
+
+    def test_single_deviation_caught_always(self, k, rng):
+        g = path_graph(5)
+        values = {v: 7 for v in g.vertices}
+        values[2] = 8
+        result = run_edge_verification(g, values,
+                                       DeterministicEquality(k), rng)
+        assert not result.accepted
+        # Exactly the deviant and its neighbors reject.
+        assert result.rejecting_nodes() == [1, 2, 3]
+
+    def test_value_width_enforced(self, rng):
+        g = path_graph(2)
+        with pytest.raises(ValueError):
+            run_edge_verification(g, {0: 4, 1: 4},
+                                  DeterministicEquality(2), rng)
+
+
+class TestHashed:
+    def test_uniform_accepted_always(self, k, rng):
+        g = star_graph(7)
+        scheme = HashedEquality(k)
+        values = {v: (1 << 90) ^ 12345 for v in g.vertices}
+        for _ in range(20):
+            assert run_edge_verification(g, values, scheme, rng).accepted
+
+    def test_deviation_caught_whp(self, k):
+        g = path_graph(6)
+        scheme = HashedEquality(k)
+        values = {v: 99 for v in g.vertices}
+        values[3] = 100
+        rate = detection_probability(g, values, scheme, trials=200,
+                                     rng=random.Random(3))
+        assert rate >= 1 - 4 * scheme.error_bound - 0.02
+
+    def test_exponential_cost_gap(self, rng):
+        """The [4] phenomenon: k bits vs O(log k) bits per edge."""
+        for k in (64, 256, 1024, 4096):
+            det = DeterministicEquality(k)
+            hashed = HashedEquality(k)
+            assert hashed.message_bits <= 8 * math.log2(k) + 16
+            assert det.message_bits == k
+        # At k=4096 the gap is two orders of magnitude.
+        assert DeterministicEquality(4096).message_bits \
+            >= 40 * HashedEquality(4096).message_bits
+
+    def test_error_bound_definition(self):
+        scheme = HashedEquality(64)
+        assert scheme.error_bound == 64 / scheme.family.p
+        assert scheme.error_bound <= 1 / 640
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_fingerprint_collision_rare(self, x, y):
+        """Fingerprints of differing values collide only on unlucky
+        seeds; equal values always verify."""
+        scheme = HashedEquality(32)
+        rng = random.Random(x ^ y)
+        message = scheme.node_message(x, rng)
+        assert scheme.check(x, message)
+        if x != y:
+            collisions = sum(
+                scheme.check(y, scheme.node_message(x, rng))
+                for _ in range(20))
+            assert collisions <= 2
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("builder", [
+        lambda: path_graph(8), lambda: cycle_graph(9),
+        lambda: star_graph(10),
+    ])
+    def test_detection_localized_to_cut_edges(self, builder, rng):
+        """With two value-blocks, rejection happens exactly at nodes on
+        block-crossing edges."""
+        g = builder()
+        half = g.n // 2
+        values = {v: 1 if v < half else 2 for v in g.vertices}
+        result = run_edge_verification(g, values,
+                                       DeterministicEquality(8), rng)
+        expected_rejecting = {
+            v for v in g.vertices
+            if any((u < half) != (v < half) for u in g.neighbors(v))}
+        assert set(result.rejecting_nodes()) == expected_rejecting

@@ -1,0 +1,169 @@
+"""Tests for the spanning-tree proof labeling scheme."""
+
+import pytest
+
+from repro.core import LocalView
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+from repro.network import (FIELD_DIST, FIELD_PARENT, TreeAdvice, children_of,
+                           honest_tree_advice, subtree_vertices, tree_check)
+
+ROUND = 0
+
+
+def view_for(graph, v, messages):
+    """Build a LocalView for node v with round-0 messages for everyone
+    (restricted to v's closed neighborhood, as the runner would)."""
+    closed = graph.closed_neighborhood(v)
+    return LocalView(
+        node=v,
+        n=graph.n,
+        closed_neighborhood=closed,
+        node_input=None,
+        randomness={},
+        messages={ROUND: {u: messages[u] for u in closed}},
+    )
+
+
+def advice_messages(advice):
+    return {v: {FIELD_PARENT: a.parent, FIELD_DIST: a.dist}
+            for v, a in advice.items()}
+
+
+class TestHonestAdvice:
+    def test_root_self_parent(self):
+        advice = honest_tree_advice(path_graph(4), 0)
+        assert advice[0] == TreeAdvice(parent=0, dist=0)
+
+    def test_bfs_distances(self):
+        advice = honest_tree_advice(cycle_graph(6), 0)
+        assert advice[3].dist == 3
+        assert {advice[v].dist for v in range(6)} == {0, 1, 2, 3}
+
+    def test_parents_are_edges(self):
+        g = star_graph(5)
+        advice = honest_tree_advice(g, 2)
+        for v, a in advice.items():
+            if v != 2:
+                assert g.has_edge(v, a.parent)
+
+    def test_disconnected_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            honest_tree_advice(g, 0)
+
+
+class TestTreeCheck:
+    def test_honest_advice_passes_everywhere(self):
+        for g, root in ((path_graph(5), 2), (cycle_graph(7), 0),
+                        (star_graph(6), 0), (star_graph(6), 3)):
+            advice = honest_tree_advice(g, root)
+            msgs = advice_messages(advice)
+            for v in g.vertices:
+                assert tree_check(view_for(g, v, msgs), ROUND, root), (g, v)
+
+    def test_root_nonzero_distance_rejected(self):
+        g = path_graph(3)
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        msgs[0] = {FIELD_PARENT: 0, FIELD_DIST: 1}
+        assert not tree_check(view_for(g, 0, msgs), ROUND, 0)
+
+    def test_root_pointing_into_tree_rejected(self):
+        """The hardening: t_root must equal root (see module docstring
+        of repro.network.spanning_tree)."""
+        g = path_graph(3)
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        msgs[0] = {FIELD_PARENT: 1, FIELD_DIST: 0}
+        assert not tree_check(view_for(g, 0, msgs), ROUND, 0)
+
+    def test_non_neighbor_parent_rejected(self):
+        g = path_graph(4)  # 0-1-2-3
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        msgs[3] = {FIELD_PARENT: 0, FIELD_DIST: 1}  # 0 is not 3's neighbor
+        assert not tree_check(view_for(g, 3, msgs), ROUND, 0)
+
+    def test_wrong_distance_rejected(self):
+        g = path_graph(4)
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        msgs[2] = {FIELD_PARENT: 1, FIELD_DIST: 3}  # should be 2
+        assert not tree_check(view_for(g, 2, msgs), ROUND, 0)
+
+    def test_zero_distance_nonroot_rejected(self):
+        g = path_graph(3)
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        msgs[2] = {FIELD_PARENT: 1, FIELD_DIST: 0}
+        assert not tree_check(view_for(g, 2, msgs), ROUND, 0)
+
+    def test_distance_at_least_n_rejected(self):
+        g = path_graph(3)
+        msgs = {0: {FIELD_PARENT: 0, FIELD_DIST: 0},
+                1: {FIELD_PARENT: 0, FIELD_DIST: 3},
+                2: {FIELD_PARENT: 1, FIELD_DIST: 4}}
+        assert not tree_check(view_for(g, 1, msgs), ROUND, 0)
+
+    def test_non_integer_fields_rejected(self):
+        g = path_graph(2)
+        msgs = {0: {FIELD_PARENT: 0, FIELD_DIST: 0},
+                1: {FIELD_PARENT: "0", FIELD_DIST: 1}}
+        assert not tree_check(view_for(g, 1, msgs), ROUND, 0)
+
+    def test_cycle_claim_rejected_somewhere(self):
+        """A 'tree' with a parent cycle must fail at some node: the
+        distance-decrease rule is what makes cycles impossible."""
+        g = cycle_graph(4)
+        msgs = {0: {FIELD_PARENT: 0, FIELD_DIST: 0},
+                1: {FIELD_PARENT: 2, FIELD_DIST: 2},
+                2: {FIELD_PARENT: 3, FIELD_DIST: 2},
+                3: {FIELD_PARENT: 2, FIELD_DIST: 3}}
+        results = [tree_check(view_for(g, v, msgs), ROUND, 0)
+                   for v in range(4)]
+        assert not all(results)
+
+
+class TestChildren:
+    def test_children_of_root(self):
+        g = star_graph(5)
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        assert children_of(view_for(g, 0, msgs), ROUND, 0) == [1, 2, 3, 4]
+
+    def test_leaf_has_no_children(self):
+        g = path_graph(4)
+        advice = honest_tree_advice(g, 0)
+        msgs = advice_messages(advice)
+        assert children_of(view_for(g, 3, msgs), ROUND, 0) == []
+
+    def test_root_never_a_child(self):
+        """Even if the prover points the root at a neighbor, the child
+        sets exclude it (hardening)."""
+        g = path_graph(3)
+        msgs = {0: {FIELD_PARENT: 1, FIELD_DIST: 0},
+                1: {FIELD_PARENT: 0, FIELD_DIST: 1},
+                2: {FIELD_PARENT: 1, FIELD_DIST: 2}}
+        assert children_of(view_for(g, 1, msgs), ROUND, root=0) == [2]
+
+
+class TestSubtreeVertices:
+    def test_path_subtrees(self):
+        advice = honest_tree_advice(path_graph(4), 0)
+        assert subtree_vertices(advice, 0) == [0, 1, 2, 3]
+        assert subtree_vertices(advice, 2) == [2, 3]
+        assert subtree_vertices(advice, 3) == [3]
+
+    def test_star_subtrees(self):
+        advice = honest_tree_advice(star_graph(4), 0)
+        assert subtree_vertices(advice, 0) == [0, 1, 2, 3]
+        for leaf in (1, 2, 3):
+            assert subtree_vertices(advice, leaf) == [leaf]
+
+    def test_subtrees_partition_under_root_children(self):
+        g = cycle_graph(8)
+        advice = honest_tree_advice(g, 0)
+        children = [v for v, a in advice.items()
+                    if a.parent == 0 and v != 0]
+        union = sorted(v for c in children for v in subtree_vertices(advice, c))
+        assert union == [v for v in range(1, 8)]

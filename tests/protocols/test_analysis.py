@@ -1,0 +1,125 @@
+"""Tests for the exact soundness analysis of commit-style protocols."""
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Instance, run_protocol
+from repro.graphs import cycle_graph, path_graph
+from repro.hashing import LinearHashFamily
+from repro.protocols import (CommittedMappingProver, SymDMAMProtocol)
+from repro.protocols.analysis import (all_swaps, collision_seeds,
+                                      difference_coefficients,
+                                      exact_commit_acceptance,
+                                      exact_soundness_bound,
+                                      optimal_committed_cheater)
+
+
+@pytest.fixture
+def small_family():
+    return LinearHashFamily(m=36, p=211)
+
+
+class TestDifference:
+    def test_automorphism_zero_difference(self):
+        g = cycle_graph(6)
+        rotation = [(v + 1) % 6 for v in range(6)]
+        assert not any(difference_coefficients(g, rotation, 211))
+
+    def test_non_automorphism_nonzero(self, asym6):
+        swap = [1, 0, 2, 3, 4, 5]
+        assert any(difference_coefficients(asym6, swap, 211))
+
+    def test_length_is_n_squared(self, asym6):
+        coeffs = difference_coefficients(asym6, [1, 0, 2, 3, 4, 5], 211)
+        assert len(coeffs) == 36
+
+
+class TestCollisionSeeds:
+    def test_automorphism_all_seeds(self, small_family):
+        g = cycle_graph(6)
+        rotation = [(v + 1) % 6 for v in range(6)]
+        assert len(collision_seeds(g, rotation, small_family)) == 211
+
+    def test_seed_count_below_theorem_cap(self, asym6, small_family):
+        for mapping in itertools.islice(all_swaps(6), 8):
+            seeds = collision_seeds(asym6, mapping, small_family)
+            assert len(seeds) <= 36  # Theorem 3.2
+
+    def test_seeds_actually_collide(self, asym6, small_family):
+        from repro.hashing import graph_matrix_sum, mapped_matrix_sum
+        mapping = (1, 0, 2, 3, 4, 5)
+        a = graph_matrix_sum(asym6, 211)
+        b = mapped_matrix_sum(asym6, mapping, 211)
+        seeds = collision_seeds(asym6, mapping, small_family)
+        for s in seeds:
+            assert small_family.hash_matrix_sum(s, a) == \
+                small_family.hash_matrix_sum(s, b)
+        # And every non-listed seed must NOT collide.
+        listed = set(seeds)
+        for s in range(211):
+            if s not in listed:
+                assert small_family.hash_matrix_sum(s, a) != \
+                    small_family.hash_matrix_sum(s, b)
+
+
+class TestExactAcceptance:
+    def test_matches_protocol_monte_carlo(self, asym6, small_family):
+        """The committed prover's measured acceptance must equal the
+        exact collision fraction, up to binomial noise."""
+        mapping = (1, 0, 2, 3, 4, 5)
+        exact = exact_commit_acceptance(asym6, mapping, small_family)
+        protocol = SymDMAMProtocol(6, family=small_family)
+        adversary = CommittedMappingProver(protocol, mapping=mapping)
+        trials = 600
+        measured = sum(
+            run_protocol(protocol, Instance(asym6), adversary,
+                         random.Random(i)).accepted
+            for i in range(trials)) / trials
+        expected = float(exact)
+        sigma = (max(expected, 1 / trials) * 1 / trials) ** 0.5
+        assert abs(measured - expected) <= 6 * sigma + 0.01
+
+    def test_fraction_type(self, asym6, small_family):
+        result = exact_commit_acceptance(asym6, (1, 0, 2, 3, 4, 5),
+                                         small_family)
+        assert isinstance(result, Fraction)
+        assert 0 <= result <= Fraction(36, 211)
+
+
+class TestOptimalCheater:
+    def test_finds_automorphism_when_present(self, small_family):
+        """On a star, swapping two leaves IS an automorphism, so the
+        optimal committed 'cheater' reaches probability 1 (i.e. it is
+        simply honest — Sym holds)."""
+        from repro.graphs import star_graph
+        mapping, probability = optimal_committed_cheater(star_graph(6),
+                                                         small_family)
+        assert probability == 1
+        from repro.graphs import is_automorphism
+        assert is_automorphism(star_graph(6), mapping)
+
+    def test_cycle_swaps_are_not_automorphisms(self, small_family):
+        """No transposition is an automorphism of C6, so the swap-only
+        optimum stays at collision level even though C6 ∈ Sym."""
+        mapping, probability = optimal_committed_cheater(cycle_graph(6),
+                                                         small_family)
+        assert probability <= Fraction(36, 211)
+
+    def test_rigid_graph_bounded(self, asym6, small_family):
+        mapping, probability = optimal_committed_cheater(asym6,
+                                                         small_family)
+        assert probability <= Fraction(36, 211)
+
+    def test_empty_candidates_rejected(self, asym6, small_family):
+        with pytest.raises(ValueError):
+            optimal_committed_cheater(asym6, small_family, candidates=[])
+
+    def test_exhaustive_soundness_bound(self, asym6, small_family):
+        bound = exact_soundness_bound(asym6, small_family)
+        assert 0 <= bound <= Fraction(36, 211)
+        # The exhaustive optimum dominates the swap-only optimum.
+        swap_best = optimal_committed_cheater(asym6, small_family)[1]
+        assert bound >= swap_best

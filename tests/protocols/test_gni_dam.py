@@ -1,0 +1,74 @@
+"""Tests for the two-round (dAM) GNI variant."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import run_protocol
+from repro.protocols import (GNIDAMProtocol, GNIGoldwasserSipserProtocol,
+                             gni_instance)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return GNIDAMProtocol(6, repetitions=40)
+
+
+class TestStructure:
+    def test_two_rounds_only(self, protocol):
+        assert protocol.pattern == "AM"
+        assert protocol.batch_sizes == (40,)
+        assert protocol.round_pairs() == ((0, 1),)
+
+    def test_same_analysis_as_damam(self):
+        dam = GNIDAMProtocol(6, repetitions=40)
+        damam = GNIGoldwasserSipserProtocol(6, repetitions=40)
+        assert dam.repetition_bounds() == damam.repetition_bounds()
+        assert dam.threshold == damam.threshold
+        assert dam.guarantees().completeness == \
+            damam.guarantees().completeness
+
+
+class TestCorrectness:
+    def test_yes_accepted(self, protocol, rigid6):
+        instance = gni_instance(rigid6[0], rigid6[1])
+        accepted = sum(
+            run_protocol(protocol, instance, protocol.honest_prover(),
+                         random.Random(i)).accepted
+            for i in range(10))
+        assert accepted >= 7
+
+    def test_no_rejected(self, protocol, rigid6):
+        g0 = rigid6[0]
+        instance = gni_instance(g0, g0.relabel([2, 0, 1, 4, 3, 5]))
+        accepted = sum(
+            run_protocol(protocol, instance, protocol.honest_prover(),
+                         random.Random(i)).accepted
+            for i in range(10))
+        assert accepted <= 3
+
+    def test_transcript_shape(self, protocol, rigid6):
+        instance = gni_instance(rigid6[0], rigid6[1])
+        result = run_protocol(protocol, instance,
+                              protocol.honest_prover(), random.Random(0))
+        assert set(result.transcript.randomness) == {0}
+        assert set(result.transcript.messages) == {1}
+
+
+class TestCostParity:
+    def test_cost_matches_damam(self, rigid6, rng):
+        """Collapsing the rounds must not change the total bits — the
+        same challenges and responses flow, just in fewer exchanges."""
+        instance = gni_instance(rigid6[0], rigid6[1])
+        dam = GNIDAMProtocol(6, repetitions=16)
+        damam = GNIGoldwasserSipserProtocol(6, repetitions=16)
+        dam_cost = run_protocol(dam, instance, dam.honest_prover(),
+                                rng).max_cost_bits
+        damam_cost = run_protocol(damam, instance, damam.honest_prover(),
+                                  rng).max_cost_bits
+        # Identical per-repetition content; the count of *claimed*
+        # repetitions (which carry σ tables and aggregates) varies with
+        # the challenges, so allow a few repetitions' worth of slack.
+        per_claim = 2 + 6 * 3 + (dam.hash.big_q - 1).bit_length()
+        assert abs(dam_cost - damam_cost) <= 4 * per_claim

@@ -1,0 +1,49 @@
+"""Smoke tests for the ``python -m repro`` command-line demos."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_sym(self, capsys):
+        assert main(["sym", "--n", "8", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "YES (8-cycle): accepted=True" in out
+        assert "NO (rigid 6-vertex graph)" in out
+
+    def test_costs(self, capsys):
+        assert main(["costs", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "sym-dmam" in out and "sym-lcp" in out
+
+    def test_separation(self, capsys):
+        assert main(["separation", "--n", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "LCP bits" in out
+        assert "17" in out
+
+    def test_lowerbound(self, capsys):
+        assert main(["lowerbound"]) == 0
+        out = capsys.readouterr().out
+        assert "log2|F|" in out
+
+    def test_gni_base(self, capsys):
+        assert main(["gni", "--repetitions", "8", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "base (asymmetric inputs" in out
+        assert "YES (non-isomorphic)" in out
+
+    def test_gni_general(self, capsys):
+        assert main(["gni", "--general", "--repetitions", "8",
+                     "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "general (symmetric inputs allowed)" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,126 @@
+"""Cross-cutting property-based tests: protocol verdicts must track
+ground truth on randomly generated instances."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, run_protocol
+from repro.graphs import (Graph, dsym_no_instance, dsym_graph, in_dsym,
+                          is_symmetric, DSymLayout)
+from repro.protocols import (CommittedMappingProver, DSymDAMProtocol,
+                             SymDMAMProtocol, SymLCP)
+
+
+def connected_graph_strategy(n=7):
+    @st.composite
+    def build(draw):
+        pairs = list(itertools.combinations(range(n), 2))
+        mask = draw(st.integers(min_value=0, max_value=(1 << len(pairs)) - 1))
+        edges = [pairs[i] for i in range(len(pairs)) if mask >> i & 1]
+        graph = Graph(n, edges)
+        if not graph.is_connected():
+            # Connect minimally and deterministically via a path.
+            graph = graph.with_edges((i, i + 1) for i in range(n - 1))
+        return graph
+    return build()
+
+
+class TestSymGroundTruth:
+    @given(connected_graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_protocol1_tracks_symmetry(self, graph):
+        """Honest prover accepts exactly the symmetric graphs; the
+        committed cheater on rigid graphs loses (3 runs, at most one
+        collision tolerated — the bound is ~1/70 per run)."""
+        protocol = SymDMAMProtocol(graph.n)
+        instance = Instance(graph)
+        if is_symmetric(graph):
+            result = run_protocol(protocol, instance,
+                                  protocol.honest_prover(),
+                                  random.Random(1))
+            assert result.accepted
+        else:
+            cheater = CommittedMappingProver(protocol)
+            accepted = sum(
+                run_protocol(protocol, instance, cheater,
+                             random.Random(i)).accepted
+                for i in range(3))
+            assert accepted <= 1
+
+    @given(connected_graph_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_lcp_matches_dmam_on_yes(self, graph):
+        """Two very different proof systems must agree on YES instances."""
+        if not is_symmetric(graph):
+            return
+        lcp = SymLCP(graph.n)
+        dmam = SymDMAMProtocol(graph.n)
+        instance = Instance(graph)
+        assert run_protocol(lcp, instance, lcp.honest_prover(),
+                            random.Random(2)).accepted
+        assert run_protocol(dmam, instance, dmam.honest_prover(),
+                            random.Random(2)).accepted
+
+
+class TestDSymGroundTruth:
+    @given(connected_graph_strategy(n=6),
+           connected_graph_strategy(n=6))
+    @settings(max_examples=20, deadline=None)
+    def test_dsym_protocol_tracks_membership(self, half_a, half_b):
+        layout = DSymLayout(6, 1)
+        protocol = DSymDAMProtocol(layout)
+        graph = dsym_no_instance(half_a, half_b, 1)
+        instance = Instance(graph)
+        member = in_dsym(graph, 6)
+        assert member == (half_a == half_b)
+        accepted = sum(
+            run_protocol(protocol, instance, protocol.honest_prover(),
+                         random.Random(i)).accepted
+            for i in range(3))
+        if member:
+            assert accepted == 3
+        else:
+            assert accepted <= 1  # hash-collision slack
+
+    @given(connected_graph_strategy(n=6),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_dsym_yes_instances_always_members(self, half, r):
+        graph = dsym_graph(half, r)
+        assert in_dsym(graph, 6)
+        protocol = DSymDAMProtocol(DSymLayout(6, r))
+        assert run_protocol(protocol, Instance(graph),
+                            protocol.honest_prover(),
+                            random.Random(5)).accepted
+
+
+class TestCostInvariants:
+    @given(connected_graph_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_costs_independent_of_instance(self, graph):
+        """The paper's protocols have *worst-case* cost bounds that are
+        in fact instance-independent: message formats are fixed."""
+        if not is_symmetric(graph):
+            return
+        protocol = SymDMAMProtocol(graph.n)
+        baseline = run_protocol(
+            protocol, Instance(graph), protocol.honest_prover(),
+            random.Random(0)).max_cost_bits
+        again = run_protocol(
+            protocol, Instance(graph), protocol.honest_prover(),
+            random.Random(123)).max_cost_bits
+        assert baseline == again
+
+    @given(connected_graph_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_all_nodes_same_cost(self, graph):
+        if not is_symmetric(graph):
+            return
+        protocol = SymDMAMProtocol(graph.n)
+        result = run_protocol(protocol, Instance(graph),
+                              protocol.honest_prover(), random.Random(0))
+        assert len(set(result.node_cost_bits.values())) == 1

@@ -1,0 +1,91 @@
+"""Tests for the experiment-table report renderer (the pure half of
+benchmarks/generate_report.py; the pytest-shelling half is exercised by
+actually generating EXPERIMENT_TABLES.md)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+
+def _load_generator():
+    path = (pathlib.Path(__file__).parent.parent / "benchmarks"
+            / "generate_report.py")
+    spec = importlib.util.spec_from_file_location("generate_report", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return _load_generator()
+
+
+def fake_data():
+    return {
+        "benchmarks": [
+            {
+                "fullname": "bench_a.py::test_one",
+                "name": "test_one",
+                "stats": {"mean": 0.002},
+                "extra_info": {
+                    "table": {
+                        "title": "E1: demo table",
+                        "header": ("n", "bits"),
+                        "rows": [(8, 64), (16, 80)],
+                    }
+                },
+            },
+            {
+                "fullname": "bench_b.py::test_two",
+                "name": "test_two",
+                "stats": {},
+                "extra_info": {},  # no table: skipped
+            },
+            {
+                "fullname": "bench_c.py::test_dup",
+                "name": "test_dup",
+                "stats": {"mean": 0.5},
+                "extra_info": {
+                    "table": {
+                        "title": "E1: demo table",  # duplicate title
+                        "header": ("x",),
+                        "rows": [(1,)],
+                    }
+                },
+            },
+        ]
+    }
+
+
+class TestRenderMarkdown:
+    def test_renders_table(self, generator):
+        text = generator.render_markdown(fake_data())
+        assert "## E1: demo table" in text
+        assert "| n | bits |" in text
+        assert "| 8 | 64 |" in text
+        assert "mean 2.0 ms" in text
+
+    def test_skips_benchmarks_without_tables(self, generator):
+        text = generator.render_markdown(fake_data())
+        assert "test_two" not in text
+
+    def test_deduplicates_titles(self, generator):
+        text = generator.render_markdown(fake_data())
+        assert text.count("## E1: demo table") == 1
+
+    def test_empty_data(self, generator):
+        text = generator.render_markdown({"benchmarks": []})
+        assert "auto-generated" in text
+
+    def test_generated_artifact_exists_and_is_rich(self):
+        """The checked-in artifact must exist and contain a table for
+        every experiment family."""
+        artifact = (pathlib.Path(__file__).parent.parent
+                    / "EXPERIMENT_TABLES.md")
+        assert artifact.exists()
+        text = artifact.read_text()
+        for tag in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+                    "E9", "E10", "E11"):
+            assert f"{tag}" in text, f"missing tables for {tag}"
