@@ -1,0 +1,113 @@
+"""The batched execution engine versus the seed serial path.
+
+Measures, on Protocol 1 (Sym/dMAM) at n = 64 with 200 trials:
+
+* **seed-style** — `run_protocol` in a loop, fresh context per trial
+  (every trial re-runs the automorphism search, the BFS tree, and the
+  full n-node decision loop): the engine this repo shipped with;
+* **cached** — `run_trials` with a shared `InstanceContext` and
+  first-reject short-circuiting, single worker.  The acceptance
+  criterion: ≥ 3× over seed-style *before* any parallelism;
+* **parallel** — the same batch fanned over a fork worker pool.
+
+All three produce the identical accepted count (deterministic
+`seed + trial_index` streams), so this is a pure throughput comparison.
+The soundness benchmark additionally shows the short-circuit effect:
+a committed cheating mapping is rejected at the root, so the decision
+loop touches ~1 node instead of 64.
+
+``BENCH_QUICK=1`` shrinks the workload for CI smoke runs (the ratio
+assertion is skipped there — tiny batches are all setup noise).
+"""
+
+import os
+import random
+import time
+
+from conftest import report_table
+
+from repro import Instance, run_protocol, run_trials
+from repro.graphs import cycle_graph, random_connected_graph
+from repro.protocols import CommittedMappingProver, SymDMAMProtocol
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+N = 16 if QUICK else 64
+TRIALS = 20 if QUICK else 200
+SEED = 0x5EED
+WORKERS = min(8, os.cpu_count() or 1)
+
+
+def seed_style_accepts(protocol, instance, prover, trials, seed):
+    """The pre-batching execution path: per-trial `run_protocol` with a
+    cold context each time and no short-circuiting — but the same
+    per-trial seed streams as `run_trials`, so the counts must agree."""
+    return sum(
+        run_protocol(protocol, instance, prover,
+                     random.Random(seed + t)).accepted
+        for t in range(trials))
+
+
+def test_batched_speedup(benchmark):
+    protocol = SymDMAMProtocol(N)
+    instance = Instance(cycle_graph(N))
+    prover = protocol.honest_prover()
+
+    start = time.perf_counter()
+    baseline_accepted = seed_style_accepts(protocol, instance, prover,
+                                           TRIALS, SEED)
+    baseline_seconds = time.perf_counter() - start
+
+    cached = benchmark.pedantic(
+        lambda: run_trials(protocol, instance, prover, TRIALS, SEED,
+                           workers=1),
+        rounds=1, iterations=1)
+    parallel = run_trials(protocol, instance, prover, TRIALS, SEED,
+                          workers=WORKERS)
+
+    assert cached.accepted == baseline_accepted == parallel.accepted
+    assert cached == parallel  # bit-identical estimates
+
+    ratio = baseline_seconds / cached.elapsed_seconds
+    parallel_ratio = baseline_seconds / parallel.elapsed_seconds
+    rows = [
+        ("seed-style serial", f"{baseline_seconds:.3f}",
+         f"{TRIALS / baseline_seconds:.1f}", "1.0x", baseline_accepted),
+        ("cached 1-worker", f"{cached.elapsed_seconds:.3f}",
+         f"{cached.trials_per_second:.1f}", f"{ratio:.1f}x",
+         cached.accepted),
+        (f"cached {parallel.workers}-worker",
+         f"{parallel.elapsed_seconds:.3f}",
+         f"{parallel.trials_per_second:.1f}", f"{parallel_ratio:.1f}x",
+         parallel.accepted),
+    ]
+    report_table(benchmark,
+                 f"runner: Sym/dMAM n={N}, trials={TRIALS} throughput",
+                 ("engine", "seconds", "trials/s", "speedup", "accepted"),
+                 rows)
+    if not QUICK:
+        assert ratio >= 3.0, (
+            f"cached single-worker engine only {ratio:.2f}x over seed path")
+
+
+def test_short_circuit_soundness(benchmark):
+    graph = random_connected_graph(N, 0.2, random.Random(5))
+    protocol = SymDMAMProtocol(N)
+    instance = Instance(graph)
+    adversary = CommittedMappingProver(protocol)
+
+    estimate = benchmark.pedantic(
+        lambda: run_trials(protocol, instance, adversary, TRIALS, SEED),
+        rounds=1, iterations=1)
+
+    assert estimate.probability < 1.0 / 3.0
+    mean_decides = estimate.decide_calls / estimate.trials
+    rows = [(N, TRIALS, f"{estimate.probability:.4f}",
+             f"{mean_decides:.2f}", estimate.short_circuits)]
+    report_table(benchmark,
+                 "runner: short-circuit on NO instances (committed swap)",
+                 ("n", "trials", "accept rate", "mean decide calls/trial",
+                  "short-circuited trials"),
+                 rows)
+    # Rejections concentrate at the root check, so the decision loop
+    # should touch far fewer than n nodes per rejecting trial.
+    assert mean_decides < N / 2

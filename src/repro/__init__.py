@@ -30,9 +30,10 @@ paper-versus-measured record of every theorem.
 
 from .core import (AcceptanceEstimate, AndAmplifiedProtocol,
                    ClassMembershipReport, ExecutionResult, Instance,
-                   LocalView, Protocol, ProtocolViolation, Prover,
-                   check_completeness, check_soundness, estimate_acceptance,
-                   measure_cost, measure_cost_scaling, run_protocol)
+                   InstanceContext, LocalView, Protocol, ProtocolViolation,
+                   Prover, check_completeness, check_soundness,
+                   estimate_acceptance, measure_cost, measure_cost_scaling,
+                   run_protocol, run_trials)
 from .graphs import Graph
 from .protocols import (ConnectivityLCP, DSymDAMProtocol, DSymLCP,
                         GNIGoldwasserSipserProtocol, SymDAMProtocol,
@@ -51,6 +52,7 @@ __all__ = [
     "GNIGoldwasserSipserProtocol",
     "Graph",
     "Instance",
+    "InstanceContext",
     "LocalView",
     "Protocol",
     "ProtocolViolation",
@@ -65,5 +67,6 @@ __all__ = [
     "measure_cost",
     "measure_cost_scaling",
     "run_protocol",
+    "run_trials",
     "__version__",
 ]

@@ -7,6 +7,7 @@ from .amplify import (AndAmplifiedProtocol, binomial_pmf, binomial_tail,
 from .classes import (ClassMembershipReport, CostScalingRow, InstanceReport,
                       check_completeness, check_soundness,
                       measure_cost_scaling)
+from .context import InstanceContext
 from .model import (Instance, LocalView, NodeMessage, PATTERN_DAM,
                     PATTERN_DAMAM, PATTERN_DMAM, PATTERN_DNP, Protocol,
                     ProtocolViolation, Prover, ROUND_ARTHUR, ROUND_MERLIN,
@@ -15,6 +16,7 @@ from .provers import (RandomGarbageProver, ReplayProver, TamperingProver,
                       record_responses)
 from .report import cost_breakdown, describe_rounds, render_execution
 from .runner import (AcceptanceEstimate, ExecutionResult, Transcript,
-                     estimate_acceptance, measure_cost, run_protocol)
+                     estimate_acceptance, measure_cost, run_protocol,
+                     run_trials)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from .context import InstanceContext
 from .model import Instance, Protocol, Prover
 from .runner import AcceptanceEstimate, estimate_acceptance, run_protocol
 
@@ -81,15 +82,23 @@ class ClassMembershipReport:
 
 def check_completeness(protocol: Protocol, instances: Sequence[Tuple[str, Instance]],
                        trials: int, rng: random.Random,
-                       prover: Optional[Prover] = None) -> ClassMembershipReport:
-    """Estimate acceptance with the honest prover on YES instances."""
+                       prover: Optional[Prover] = None,
+                       workers: int = 1) -> ClassMembershipReport:
+    """Estimate acceptance with the honest prover on YES instances.
+
+    One :class:`InstanceContext` is built per instance and shared
+    across the trials (and the cost run); ``workers > 1`` parallelizes
+    each estimate without changing its value.
+    """
     report = ClassMembershipReport(protocol_name=protocol.name)
     for label, instance in instances:
         current = prover or protocol.honest_prover()
+        context = InstanceContext(instance, protocol)
         estimate = estimate_acceptance(protocol, instance, current, trials,
-                                       rng)
+                                       rng, workers=workers, context=context)
         cost = run_protocol(protocol, instance, current,
-                            random.Random(rng.random())).max_cost_bits
+                            random.Random(rng.random()),
+                            context=context).max_cost_bits
         report.instances.append(InstanceReport(
             label=label, is_yes=True, estimate=estimate,
             max_cost_bits=cost))
@@ -99,26 +108,32 @@ def check_completeness(protocol: Protocol, instances: Sequence[Tuple[str, Instan
 def check_soundness(protocol: Protocol,
                     instances: Sequence[Tuple[str, Instance]],
                     adversaries: Sequence[Callable[[], Prover]],
-                    trials: int, rng: random.Random) -> ClassMembershipReport:
+                    trials: int, rng: random.Random,
+                    workers: int = 1) -> ClassMembershipReport:
     """Estimate the *best observed* adversarial acceptance on NO instances.
 
     For each instance, every adversary factory is tried and the highest
     acceptance estimate is recorded — the empirical stand-in for the
-    ``∀P`` in Definition 2.
+    ``∀P`` in Definition 2.  As in :func:`check_completeness`, one
+    shared context per instance (contexts hold only randomness-free
+    instance structure, so sharing across adversaries is sound).
     """
     report = ClassMembershipReport(protocol_name=protocol.name)
     for label, instance in instances:
         best: Optional[AcceptanceEstimate] = None
         worst_cost = 0
+        context = InstanceContext(instance, protocol)
         for make_adversary in adversaries:
             adversary = make_adversary()
             estimate = estimate_acceptance(protocol, instance, adversary,
-                                           trials, rng)
+                                           trials, rng, workers=workers,
+                                           context=context)
             if best is None or estimate.probability > best.probability:
                 best = estimate
             worst_cost = max(worst_cost, run_protocol(
                 protocol, instance, make_adversary(),
-                random.Random(rng.random())).max_cost_bits)
+                random.Random(rng.random()),
+                context=context).max_cost_bits)
         assert best is not None, "need at least one adversary"
         report.instances.append(InstanceReport(
             label=label, is_yes=False, estimate=best,

@@ -1,0 +1,182 @@
+"""Per-instance structural cache for the batched execution engine.
+
+Every Monte-Carlo trial of ``run_protocol`` used to re-derive the same
+*static* structure: closed neighborhoods for every node's
+:class:`~repro.core.model.LocalView`, the BFS spanning tree the honest
+provers advise, the non-trivial automorphism the Sym provers search
+for, and the witness catalogs the GNI provers enumerate.  None of that
+depends on the challenge randomness — it is a function of the
+``(protocol, instance)`` pair alone — so recomputing it per trial was
+pure waste (at n = 64 the automorphism search alone was > 90% of an
+honest dMAM trial).
+
+:class:`InstanceContext` computes each piece **once** and memoizes it.
+The runner threads a context through every execution of a trial batch
+(:func:`~repro.core.runner.run_trials`), and provers reach it through
+:meth:`~repro.core.model.Prover.acquire_context`.
+
+Locality discipline
+-------------------
+The context never widens what a node may see.  The *decision path*
+consumes only per-node closed neighborhoods and the protocol's
+broadcast-field layout — exactly the structure a node legally holds at
+decision time (its own neighborhood and the public protocol
+definition).  Prover-side material (spanning-tree advice, automorphism
+witnesses, GNI catalogs) lives behind prover-only accessors and is
+never passed to ``decide``; the :class:`~repro.core.model.LocalView`
+construction remains the single gate through which decision functions
+observe the world.
+
+Caches are also **randomness-free**: nothing stored here depends on
+challenges or prover messages, so sharing one context across trials —
+or across a completeness run and a soundness run with different
+provers — cannot leak state between executions (regression-tested in
+``tests/core/test_context.py``).
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Dict, FrozenSet, Hashable, Optional,
+                    Tuple, TYPE_CHECKING)
+
+from .model import Instance, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..network.spanning_tree import TreeAdvice
+
+#: Sentinel distinguishing "not computed yet" from a computed ``None``.
+_UNSET = object()
+
+
+class InstanceContext:
+    """Memoized static structure of one ``(protocol, instance)`` pair.
+
+    Construction is O(1): every field is computed lazily on first use,
+    so building a throwaway context inside a single ``run_protocol``
+    call costs nothing beyond what that execution needed anyway.
+
+    Parameters
+    ----------
+    instance:
+        The instance this context describes.  All caches are keyed on
+        it; the runner rejects a context whose instance is not
+        (identically) the one being executed.
+    protocol:
+        Optional protocol the context is bound to.  When present,
+        ``ensure_validated`` runs ``protocol.validate_instance`` only
+        once per context instead of once per trial.
+    """
+
+    __slots__ = ("instance", "protocol", "graph",
+                 "_closed", "_closed_rows", "_tree_advice",
+                 "_automorphism", "_memo", "_validated",
+                 "_broadcast_plan")
+
+    def __init__(self, instance: Instance,
+                 protocol: Optional[Protocol] = None) -> None:
+        self.instance = instance
+        self.protocol = protocol
+        self.graph = instance.graph
+        self._closed: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._closed_rows: Optional[Tuple[int, ...]] = None
+        self._tree_advice: Dict[int, Dict[int, "TreeAdvice"]] = {}
+        self._automorphism: Any = _UNSET
+        self._memo: Dict[Hashable, Any] = {}
+        self._validated = False
+        self._broadcast_plan: Optional[
+            Tuple[Protocol, Tuple[Tuple[int, FrozenSet[str]], ...]]] = None
+
+    # -- runner-side structure (decision-time legal) ---------------------
+
+    @property
+    def closed_neighborhoods(self) -> Tuple[Tuple[int, ...], ...]:
+        """``closed_neighborhoods[v]`` — the tuple every LocalView gets."""
+        if self._closed is None:
+            graph = self.graph
+            self._closed = tuple(graph.closed_neighborhood(v)
+                                 for v in graph.vertices)
+        return self._closed
+
+    @property
+    def closed_rows(self) -> Tuple[int, ...]:
+        """``closed_rows[v]`` — the self-looped adjacency row bitmasks."""
+        if self._closed_rows is None:
+            graph = self.graph
+            self._closed_rows = tuple(graph.closed_row(v)
+                                      for v in graph.vertices)
+        return self._closed_rows
+
+    def broadcast_plan(self, protocol: Protocol
+                       ) -> Tuple[Tuple[int, FrozenSet[str]], ...]:
+        """The Merlin rounds with broadcast fields, computed once.
+
+        The per-node broadcast-consistency check used to rebuild this
+        (``merlin_round_indices`` + ``broadcast_fields``) for every
+        node of every trial.  The plan is public protocol structure,
+        so caching it cannot widen any node's view.
+        """
+        plan = self._broadcast_plan
+        if plan is None or plan[0] is not protocol:
+            rounds = tuple(
+                (r, fields) for r in protocol.merlin_round_indices()
+                for fields in (protocol.broadcast_fields(r),) if fields)
+            plan = (protocol, rounds)
+            self._broadcast_plan = plan
+        return plan[1]
+
+    def ensure_validated(self, protocol: Protocol) -> None:
+        """Run ``protocol.validate_instance`` once per (bound) context.
+
+        Only the protocol the context was built for is cached —
+        validating a different protocol falls through to a plain call,
+        so correctness never depends on the cache.
+        """
+        if protocol is self.protocol:
+            if not self._validated:
+                protocol.validate_instance(self.instance)
+                self._validated = True
+        else:
+            protocol.validate_instance(self.instance)
+
+    # -- prover-side structure (never reaches decide()) ------------------
+
+    def tree_advice(self, root: int) -> Dict[int, "TreeAdvice"]:
+        """BFS spanning-tree advice rooted at ``root``, one BFS ever."""
+        advice = self._tree_advice.get(root)
+        if advice is None:
+            from ..network.spanning_tree import honest_tree_advice
+            advice = honest_tree_advice(self.graph, root)
+            self._tree_advice[root] = advice
+        return advice
+
+    def nontrivial_automorphism(self) -> Optional[Tuple[int, ...]]:
+        """The honest Sym provers' witness, searched exactly once.
+
+        ``None`` (an asymmetric graph) is cached too.
+        """
+        if self._automorphism is _UNSET:
+            from ..graphs.automorphism import find_nontrivial_automorphism
+            self._automorphism = find_nontrivial_automorphism(self.graph)
+        return self._automorphism
+
+    def memo(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Generic instance-keyed memo: ``factory()`` runs at most once.
+
+        Used by provers for expensive instance-determined structure
+        (GNI witness catalogs, committed cheating mappings, per-mark
+        subtree counts).  Keys must encode every non-instance input the
+        factory depends on (e.g. a protocol parameter).
+        """
+        value = self._memo.get(key, _UNSET)
+        if value is _UNSET:
+            value = factory()
+            self._memo[key] = value
+        return value
+
+    def __repr__(self) -> str:
+        cached = sum((self._closed is not None,
+                      self._closed_rows is not None,
+                      self._automorphism is not _UNSET,
+                      len(self._tree_advice), len(self._memo)))
+        return (f"<InstanceContext n={self.graph.n} "
+                f"cached_entries={cached}>")

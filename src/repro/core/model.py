@@ -124,6 +124,10 @@ class Prover(ABC):
     """A prover strategy.  Sees everything: the instance, all
     challenges sent so far, and its own previous responses."""
 
+    #: The :class:`~repro.core.context.InstanceContext` of the batch this
+    #: prover is running in, bound by the runner before each execution.
+    context = None
+
     @abstractmethod
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, Any]],
@@ -139,6 +143,31 @@ class Prover(ABC):
 
     def reset(self) -> None:
         """Hook for stateful provers; called once per execution."""
+
+    def bind_context(self, context) -> None:
+        """Attach the batch's per-instance cache (called by the runner).
+
+        The context is structural and randomness-free, so binding the
+        same one across trials — or rebinding a different one — cannot
+        carry execution state between runs.
+        """
+        self.context = context
+
+    def acquire_context(self, instance: Instance):
+        """The bound context for ``instance``, or a fresh private one.
+
+        Provers call this inside ``respond`` so they work identically
+        whether the runner batched them (warm shared cache) or they run
+        standalone (cold private cache).  A bound context for a
+        *different* instance is ignored, never misused.
+        """
+        ctx = self.context
+        if ctx is not None and ctx.instance is instance:
+            return ctx
+        from .context import InstanceContext
+        ctx = InstanceContext(instance)
+        self.context = ctx
+        return ctx
 
 
 class Protocol(ABC):

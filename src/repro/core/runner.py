@@ -6,14 +6,40 @@ Arthur challenges, relays prover responses, builds each node's
 construction), applies the automatic broadcast-consistency checks, and
 accounts per-node communication bits exactly as the paper counts them
 (challenge bits included for upper bounds).
+
+Batched execution
+-----------------
+Monte-Carlo estimation is the repo's hot path, so the runner offers a
+batched engine on top of single executions:
+
+* an :class:`~repro.core.context.InstanceContext` caches the static
+  per-instance structure (neighborhoods, spanning trees, automorphism
+  witnesses) across the trials of a batch;
+* :func:`run_trials` executes ``trials`` independent runs with
+  **deterministic per-trial seed streams** — trial ``t`` always runs
+  on ``random.Random(seed + t)`` — so serial and parallel execution
+  produce bit-identical :class:`AcceptanceEstimate`s;
+* acceptance is an AND over nodes, so batch trials short-circuit the
+  decision loop on the first rejecting node (the rng stream is not
+  touched after the rounds, so short-circuiting cannot perturb later
+  trials);
+* ``workers > 1`` fans trials out over a fork-based
+  ``multiprocessing`` pool (falling back to serial execution where
+  ``fork`` is unavailable).
+
+Both :class:`ExecutionResult` and :class:`AcceptanceEstimate` carry
+lightweight instrumentation (per-phase wall time and call counters,
+excluded from equality) so speedups are measurable, not anecdotal.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .context import InstanceContext
 from .model import (Instance, LocalView, NodeMessage, Protocol,
                     ProtocolViolation, Prover, ROUND_ARTHUR, ROUND_MERLIN)
 
@@ -42,6 +68,11 @@ class ExecutionResult:
     transcript: Transcript
     #: per-node communication with the prover, in bits.
     node_cost_bits: Dict[int, int]
+    #: wall time per phase ("arthur", "merlin", "decide"), seconds.
+    phase_seconds: Dict[str, float] = field(default_factory=dict,
+                                            compare=False)
+    #: decision functions actually invoked (< n when short-circuited).
+    decide_calls: int = field(default=0, compare=False)
 
     @property
     def max_cost_bits(self) -> int:
@@ -54,6 +85,8 @@ class ExecutionResult:
 
 def _local_view(protocol: Protocol, instance: Instance, v: int,
                 transcript: Transcript) -> LocalView:
+    """Single-node view construction (kept for callers outside the
+    batched decision loop, e.g. report rendering)."""
     closed = instance.graph.closed_neighborhood(v)
     closed_set = set(closed)
     randomness = {
@@ -74,14 +107,13 @@ def _local_view(protocol: Protocol, instance: Instance, v: int,
     )
 
 
-def _broadcast_consistent(protocol: Protocol, view: LocalView) -> bool:
+def _broadcast_consistent(view: LocalView,
+                          plan: Tuple[Tuple[int, Any], ...]) -> bool:
     """The automatic check: every broadcast field must agree across the
     node's closed neighborhood.  A missing message or field counts as a
-    mismatch (the prover violated the protocol)."""
-    for round_idx in protocol.merlin_round_indices():
-        fields = protocol.broadcast_fields(round_idx)
-        if not fields:
-            continue
+    mismatch (the prover violated the protocol).  ``plan`` is the
+    context-cached ``(round, broadcast fields)`` layout."""
+    for round_idx, fields in plan:
         per_node = view.messages.get(round_idx)
         if per_node is None:
             return False
@@ -98,8 +130,9 @@ def _broadcast_consistent(protocol: Protocol, view: LocalView) -> bool:
     return True
 
 
-def _decide_node(protocol: Protocol, view: LocalView) -> bool:
-    if not _broadcast_consistent(protocol, view):
+def _decide_node(protocol: Protocol, view: LocalView,
+                 plan: Tuple[Tuple[int, Any], ...]) -> bool:
+    if not _broadcast_consistent(view, plan):
         return False
     try:
         return bool(protocol.decide(view))
@@ -108,8 +141,20 @@ def _decide_node(protocol: Protocol, view: LocalView) -> bool:
 
 
 def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
-                 rng: random.Random) -> ExecutionResult:
+                 rng: random.Random, *,
+                 context: Optional[InstanceContext] = None,
+                 stop_on_first_reject: bool = False) -> ExecutionResult:
     """Execute one full run and return the verdict, transcript and cost.
+
+    ``context`` is an optional :class:`InstanceContext` for the
+    ``(protocol, instance)`` pair; passing one across calls (as
+    :func:`run_trials` does) reuses all static per-instance structure.
+    A context built for a different instance raises ``ValueError``.
+
+    With ``stop_on_first_reject=True`` the decision loop exits on the
+    first rejecting node (acceptance is an AND, and node decisions
+    never touch the rng), leaving ``decisions`` partial; the default
+    decides every node, as the seed engine did.
 
     Raises ``ValueError`` if the instance violates the protocol's model
     requirements (e.g. a disconnected network for a spanning-tree
@@ -118,13 +163,20 @@ def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
     to local rejects — but a prover that breaks the communication
     pattern itself is a harness bug, not a cheating strategy).
     """
-    protocol.validate_instance(instance)
+    if context is None:
+        context = InstanceContext(instance, protocol)
+    elif context.instance is not instance:
+        raise ValueError("context was built for a different instance")
+    context.ensure_validated(protocol)
     prover.reset()
+    prover.bind_context(context)
     graph = instance.graph
     transcript = Transcript()
-    node_cost = {v: 0 for v in graph.vertices}
+    node_cost = dict.fromkeys(graph.vertices, 0)
+    phase = {"arthur": 0.0, "merlin": 0.0, "decide": 0.0}
 
     for round_idx, kind in enumerate(protocol.pattern):
+        tick = time.perf_counter()
         if kind == ROUND_ARTHUR:
             bits = protocol.arthur_bits(instance, round_idx)
             values = {v: protocol.arthur_value(instance, round_idx, v, rng)
@@ -132,6 +184,7 @@ def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
             transcript.randomness[round_idx] = values
             for v in graph.vertices:
                 node_cost[v] += bits
+            phase["arthur"] += time.perf_counter() - tick
         elif kind == ROUND_MERLIN:
             response = prover.respond(
                 instance, round_idx,
@@ -146,32 +199,86 @@ def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
             for v in graph.vertices:
                 node_cost[v] += protocol.merlin_bits(
                     instance, round_idx, transcript.messages[round_idx][v])
+            phase["merlin"] += time.perf_counter() - tick
         else:  # pragma: no cover - patterns are library-defined
             raise ValueError(f"unknown round kind {kind!r}")
 
-    decisions = {}
+    tick = time.perf_counter()
+    plan = context.broadcast_plan(protocol)
+    closed = context.closed_neighborhoods
+    # Round slices are materialized once per transcript; each node's
+    # view then indexes them directly by its closed neighborhood (the
+    # runner filled every vertex, so no membership tests are needed).
+    rand_rounds = tuple(transcript.randomness.items())
+    msg_rounds = tuple(transcript.messages.items())
+    n = instance.n
+
+    accepted = True
+    decisions: Dict[int, bool] = {}
     for v in graph.vertices:
-        view = _local_view(protocol, instance, v, transcript)
-        decisions[v] = _decide_node(protocol, view)
+        closed_v = closed[v]
+        view = LocalView(
+            node=v,
+            n=n,
+            closed_neighborhood=closed_v,
+            node_input=instance.input_of(v),
+            randomness={r: {u: vals[u] for u in closed_v}
+                        for r, vals in rand_rounds},
+            messages={r: {u: msgs[u] for u in closed_v}
+                      for r, msgs in msg_rounds},
+        )
+        ok = _decide_node(protocol, view, plan)
+        decisions[v] = ok
+        if not ok:
+            accepted = False
+            if stop_on_first_reject:
+                break
+    phase["decide"] = time.perf_counter() - tick
 
     return ExecutionResult(
-        accepted=all(decisions.values()),
+        accepted=accepted,
         decisions=decisions,
         transcript=transcript,
         node_cost_bits=node_cost,
+        phase_seconds=phase,
+        decide_calls=len(decisions),
     )
 
 
 @dataclass
 class AcceptanceEstimate:
-    """Monte-Carlo acceptance probability with a confidence interval."""
+    """Monte-Carlo acceptance probability with a confidence interval.
+
+    The instrumentation fields (everything after ``trials``) describe
+    how the estimate was produced; they are excluded from equality so
+    that bit-identical estimates compare equal regardless of wall time
+    or worker count.
+    """
 
     accepted: int
     trials: int
+    #: wall time of the whole batch, seconds.
+    elapsed_seconds: float = field(default=0.0, compare=False)
+    #: per-phase wall time summed over trials (and workers).
+    phase_seconds: Dict[str, float] = field(default_factory=dict,
+                                            compare=False)
+    #: decision functions invoked across the batch.
+    decide_calls: int = field(default=0, compare=False)
+    #: trials whose decision loop exited early on a reject.
+    short_circuits: int = field(default=0, compare=False)
+    #: worker processes used (1 = serial).
+    workers: int = field(default=1, compare=False)
 
     @property
     def probability(self) -> float:
         return self.accepted / self.trials if self.trials else 0.0
+
+    @property
+    def trials_per_second(self) -> float:
+        """Batch throughput (0.0 when timing was not recorded)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.trials / self.elapsed_seconds
 
     def wilson_interval(self, z: float = 2.576) -> Tuple[float, float]:
         """Wilson score interval (default z: 99% confidence)."""
@@ -190,14 +297,153 @@ class AcceptanceEstimate:
                 f"[{lo:.3f}, {hi:.3f}], trials={self.trials})")
 
 
+def _trial_batch(protocol: Protocol, instance: Instance, prover: Prover,
+                 context: InstanceContext, seed: int, start: int,
+                 count: int, stop_on_first_reject: bool
+                 ) -> Tuple[int, int, int, Dict[str, float]]:
+    """Run trials ``start .. start+count-1`` of the stream; returns
+    ``(accepted, decide_calls, short_circuits, phase_seconds)``."""
+    n = instance.n
+    accepted = 0
+    decide_calls = 0
+    short_circuits = 0
+    phase = {"arthur": 0.0, "merlin": 0.0, "decide": 0.0}
+    for t in range(start, start + count):
+        result = run_protocol(protocol, instance, prover,
+                              random.Random(seed + t), context=context,
+                              stop_on_first_reject=stop_on_first_reject)
+        accepted += result.accepted
+        decide_calls += result.decide_calls
+        short_circuits += (not result.accepted
+                           and result.decide_calls < n)
+        for key, value in result.phase_seconds.items():
+            phase[key] += value
+    return accepted, decide_calls, short_circuits, phase
+
+
+#: Fork-inherited state for pool workers — set by :func:`run_trials`
+#: immediately before forking so children receive the warm context and
+#: the prover without any pickling (closures inside protocols, e.g.
+#: DSym's structure check, are not picklable).
+_WORKER_STATE: Optional[Tuple[Protocol, Instance, Prover, InstanceContext,
+                              int, bool]] = None
+
+
+def _worker_batch(span: Tuple[int, int]
+                  ) -> Tuple[int, int, int, Dict[str, float]]:
+    assert _WORKER_STATE is not None
+    protocol, instance, prover, context, seed, stop = _WORKER_STATE
+    start, count = span
+    return _trial_batch(protocol, instance, prover, context, seed,
+                        start, count, stop)
+
+
+def _fork_pool_context():
+    """The fork multiprocessing context, or None where unsupported."""
+    import multiprocessing
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _spans(total: int, parts: int, offset: int) -> List[Tuple[int, int]]:
+    """Split ``total`` trials starting at ``offset`` into ``parts``
+    contiguous spans (some may be one longer than others)."""
+    base, extra = divmod(total, parts)
+    spans = []
+    start = offset
+    for i in range(parts):
+        count = base + (1 if i < extra else 0)
+        if count:
+            spans.append((start, count))
+        start += count
+    return spans
+
+
+def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
+               trials: int, seed: int, *, workers: int = 1,
+               context: Optional[InstanceContext] = None,
+               stop_on_first_reject: bool = True) -> AcceptanceEstimate:
+    """Estimate Pr[all nodes accept] over ``trials`` independent runs.
+
+    Trial ``t`` always executes on ``random.Random(seed + t)``, so the
+    estimate is a pure function of ``(protocol, instance, prover,
+    trials, seed)`` — independent of ``workers`` and of how the batch
+    is chunked.  The accepted count is a sum over trials, which is
+    order-independent, so parallel and serial runs are bit-identical.
+
+    ``workers > 1`` distributes trials over a fork-based process pool.
+    Trial 0 runs in the parent first so that the (shared) context is
+    warm at fork time and every child inherits the cached structure.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if context is None:
+        context = InstanceContext(instance, protocol)
+    elif context.instance is not instance:
+        raise ValueError("context was built for a different instance")
+    context.ensure_validated(protocol)
+
+    start_time = time.perf_counter()
+    workers = min(workers, max(trials, 1))
+    pool_ctx = _fork_pool_context() if workers > 1 and trials > 1 else None
+
+    if pool_ctx is None:
+        accepted, decide_calls, short_circuits, phase = _trial_batch(
+            protocol, instance, prover, context, seed, 0, trials,
+            stop_on_first_reject)
+        used_workers = 1
+    else:
+        # Warm the context in-parent on trial 0, then fork.
+        accepted, decide_calls, short_circuits, phase = _trial_batch(
+            protocol, instance, prover, context, seed, 0, 1,
+            stop_on_first_reject)
+        global _WORKER_STATE
+        _WORKER_STATE = (protocol, instance, prover, context, seed,
+                         stop_on_first_reject)
+        try:
+            with pool_ctx.Pool(processes=workers) as pool:
+                parts = pool.map(_worker_batch,
+                                 _spans(trials - 1, workers, 1))
+        finally:
+            _WORKER_STATE = None
+        for part_accepted, part_calls, part_short, part_phase in parts:
+            accepted += part_accepted
+            decide_calls += part_calls
+            short_circuits += part_short
+            for key, value in part_phase.items():
+                phase[key] += value
+        used_workers = workers
+
+    return AcceptanceEstimate(
+        accepted=accepted,
+        trials=trials,
+        elapsed_seconds=time.perf_counter() - start_time,
+        phase_seconds=phase,
+        decide_calls=decide_calls,
+        short_circuits=short_circuits,
+        workers=used_workers,
+    )
+
+
 def estimate_acceptance(protocol: Protocol, instance: Instance,
                         prover: Prover, trials: int,
-                        rng: random.Random) -> AcceptanceEstimate:
-    """Estimate Pr[all nodes accept] over ``trials`` independent runs."""
-    accepted = sum(
-        run_protocol(protocol, instance, prover, rng).accepted
-        for _ in range(trials))
-    return AcceptanceEstimate(accepted=accepted, trials=trials)
+                        rng: random.Random, *, workers: int = 1,
+                        context: Optional[InstanceContext] = None
+                        ) -> AcceptanceEstimate:
+    """Estimate Pr[all nodes accept] over ``trials`` independent runs.
+
+    A convenience wrapper over :func:`run_trials`: the per-trial seed
+    stream is derived from ``rng`` (one 64-bit draw), preserving the
+    historical rng-based interface while gaining context reuse,
+    short-circuiting and optional parallelism.
+    """
+    return run_trials(protocol, instance, prover, trials,
+                      rng.getrandbits(64), workers=workers,
+                      context=context)
 
 
 def measure_cost(protocol: Protocol, instance: Instance,

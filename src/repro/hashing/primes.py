@@ -11,6 +11,7 @@ witness sets) and randomized Miller–Rabin with enough rounds above.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Optional
 
 # Deterministic witness sets (Sorenson & Webster; Jaeschke).  Testing
@@ -69,11 +70,16 @@ def next_prime(n: int) -> int:
     return candidate
 
 
+@lru_cache(maxsize=None)
 def prime_in_range(lo: int, hi: int) -> int:
     """A prime in ``[lo, hi]`` — the smallest one, for determinism.
 
     Raises ``ValueError`` if the interval contains none.  The paper's
     windows ``[10x, 100x]`` always do (Bertrand's postulate).
+
+    Memoized on the interval: parameter sweeps construct the same
+    protocol sizes repeatedly, and Protocol-2 windows make the search
+    genuinely expensive (Θ(n log n)-bit Miller–Rabin candidates).
     """
     if hi < lo:
         raise ValueError(f"empty range [{lo}, {hi}]")

@@ -49,15 +49,25 @@ class TreeAdvice:
 def honest_tree_advice(graph: Graph, root: int) -> Dict[int, TreeAdvice]:
     """BFS spanning tree advice rooted at ``root`` (graph must be connected).
 
-    The root's parent is itself, distance 0.
+    The root's parent is itself, distance 0.  A single level-order BFS
+    yields both parents and distances (same traversal order as
+    ``Graph.bfs_tree`` / ``Graph.distances_from``, so the advice is
+    identical to combining those).
     """
-    parents = graph.bfs_tree(root)
-    dists = graph.distances_from(root)
-    if len(dists) != graph.n:
-        raise ValueError("graph is not connected; no spanning tree exists")
     advice = {root: TreeAdvice(parent=root, dist=0)}
-    for v, parent in parents.items():
-        advice[v] = TreeAdvice(parent=parent, dist=dists[v])
+    queue = [root]
+    dist = 0
+    while queue:
+        dist += 1
+        next_queue = []
+        for v in queue:
+            for u in graph.neighbors(v):
+                if u not in advice:
+                    advice[u] = TreeAdvice(parent=v, dist=dist)
+                    next_queue.append(u)
+        queue = next_queue
+    if len(advice) != graph.n:
+        raise ValueError("graph is not connected; no spanning tree exists")
     return advice
 
 

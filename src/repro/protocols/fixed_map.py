@@ -33,8 +33,7 @@ from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import theorem32_prime_window
 from ..hashing.rowmatrix import image_bits
-from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT,
-                                     honest_tree_advice, tree_check)
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT, tree_check)
 from ._tree_hash import check_aggregate, closed_row_bits, honest_aggregates
 
 FIELD_SEED = "seed"
@@ -183,7 +182,7 @@ class ForcedMappingProver(Prover):
         family = protocol.family
         sigma = protocol.sigma
         seed = randomness[ROUND_A0][protocol.root]
-        advice = honest_tree_advice(graph, protocol.root)
+        advice = self.acquire_context(instance).tree_advice(protocol.root)
 
         def a_term(v: int) -> int:
             return family.hash_row_matrix(seed, n, v, graph.closed_row(v))

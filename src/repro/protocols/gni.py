@@ -65,8 +65,7 @@ from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.rowmatrix import image_bits
-from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT,
-                                     honest_tree_advice, tree_check)
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT, tree_check)
 from ._tree_hash import closed_row_bits, honest_aggregates
 
 FIELD_ECHO = "echo"
@@ -380,16 +379,24 @@ class GoldwasserSipserProver(Prover):
     def _ensure_catalog(self, instance: Instance) -> None:
         if self._catalog is not None:
             return
-        g0 = instance.graph
-        n = g0.n
-        edges = []
-        for v in range(n):
-            row = instance.input_of(v)
-            for u in range(v + 1, n):
-                if (row >> u) & 1:
-                    edges.append((v, u))
-        g1 = Graph(n, edges)
-        self._catalog = isomorphism_closure_encodings(g0, g1)
+
+        def build() -> Dict[int, Tuple[int, Tuple[int, ...]]]:
+            g0 = instance.graph
+            n = g0.n
+            edges = []
+            for v in range(n):
+                row = instance.input_of(v)
+                for u in range(v + 1, n):
+                    if (row >> u) & 1:
+                        edges.append((v, u))
+            g1 = Graph(n, edges)
+            return isomorphism_closure_encodings(g0, g1)
+
+        # The 2·n! enumeration is by far the dominant cost; memoized on
+        # the batch context so it is built once per instance, not per
+        # trial.
+        self._catalog = self.acquire_context(instance).memo(
+            "gni.catalog", build)
 
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, Tuple]],
@@ -408,7 +415,8 @@ class GoldwasserSipserProver(Prover):
         batch_random = randomness[a_round]
 
         if self._advice is None:
-            self._advice = honest_tree_advice(graph, GNI_ROOT)
+            self._advice = self.acquire_context(instance).tree_advice(
+                GNI_ROOT)
 
         echo = tuple(tuple(batch_random[GNI_ROOT][j][1:])
                      for j in range(reps))

@@ -57,8 +57,7 @@ from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import prime_in_range
 from ..hashing.rowmatrix import image_bits
-from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT,
-                                     honest_tree_advice, tree_check)
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT, tree_check)
 from ._tree_hash import closed_row_bits, honest_aggregates
 from .gni import GNIGuarantees
 
@@ -431,11 +430,15 @@ class GeneralGSProver(Prover):
         protocol = self.protocol
         graph = instance.graph
         n = graph.n
+        ctx = self.acquire_context(instance)
         if self._catalog is None:
-            self._catalog = pair_catalog(graph,
-                                         self._g1_from_inputs(instance))
+            # 2·n! pair enumeration — memoized per instance on the
+            # batch context.
+            self._catalog = ctx.memo(
+                "gni_general.pair_catalog",
+                lambda: pair_catalog(graph, self._g1_from_inputs(instance)))
         if self._advice is None:
-            self._advice = honest_tree_advice(graph, GNI_ROOT)
+            self._advice = ctx.tree_advice(GNI_ROOT)
 
         a_round = ROUND_A0 if round_idx == ROUND_M1 else ROUND_A2
         reps = protocol.batch_sizes[protocol._batch(a_round)]

@@ -58,8 +58,7 @@ from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.primes import prime_in_range
-from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT,
-                                     honest_tree_advice, tree_check)
+from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT, tree_check)
 from ._tree_hash import honest_aggregates
 from .gni import GNIGuarantees
 
@@ -447,8 +446,9 @@ class MarkedGSProver(Prover):
         protocol = self.protocol
         graph = instance.graph
         n = graph.n
+        ctx = self.acquire_context(instance)
         marks = {v: instance.input_of(v) for v in graph.vertices}
-        advice = honest_tree_advice(graph, ROOT)
+        advice = ctx.tree_advice(ROOT)
 
         sub0, verts0 = marked_subgraph(graph, marks, MARK_ZERO)
         sub1, verts1 = marked_subgraph(graph, marks, MARK_ONE)
@@ -461,13 +461,20 @@ class MarkedGSProver(Prover):
         claims: List[Optional[Tuple[int]]] = [None] * reps
         labelings: List[Optional[Dict[int, int]]] = [None] * reps
         if sub0.n == sub1.n and sub0.n == protocol.k:
-            # Build the witness catalog: encoding -> (b, labeling).
-            catalog: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
             k = protocol.k
-            for b, (sub, _verts) in enumerate(sides):
-                for labeling in itertools.permutations(range(k)):
-                    encoding = relabeled_encoding(sub, labeling, n)
-                    catalog.setdefault(encoding, (b, labeling))
+
+            def build_catalog() -> Dict[int, Tuple[int, Tuple[int, ...]]]:
+                # The witness catalog (encoding -> (b, labeling)): a
+                # 2·k! enumeration, memoized per instance on the batch
+                # context (the key carries k — a protocol parameter).
+                result: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+                for b, (sub, _verts) in enumerate(sides):
+                    for labeling in itertools.permutations(range(k)):
+                        encoding = relabeled_encoding(sub, labeling, n)
+                        result.setdefault(encoding, (b, labeling))
+                return result
+
+            catalog = ctx.memo(("gni_marked.catalog", k), build_catalog)
             for j in range(reps):
                 s, a, b_aff, y = echo[j]
                 offsets = tuple(batch0[v][j][0] for v in range(n))
@@ -487,16 +494,20 @@ class MarkedGSProver(Prover):
         else:
             self.last_claim_flags = [False] * reps
 
-        counts = {v: [1 if marks[v] == MARK_ZERO else 0,
-                      1 if marks[v] == MARK_ONE else 0]
-                  for v in graph.vertices}
-        order = sorted(graph.vertices, key=lambda v: advice[v].dist,
-                       reverse=True)
-        for v in order:
-            parent = advice[v].parent
-            if parent != v:
-                counts[parent][0] += counts[v][0]
-                counts[parent][1] += counts[v][1]
+        def build_counts() -> Dict[int, Tuple[int, int]]:
+            acc = {v: [1 if marks[v] == MARK_ZERO else 0,
+                       1 if marks[v] == MARK_ONE else 0]
+                   for v in graph.vertices}
+            order = sorted(graph.vertices, key=lambda v: advice[v].dist,
+                           reverse=True)
+            for v in order:
+                parent = advice[v].parent
+                if parent != v:
+                    acc[parent][0] += acc[v][0]
+                    acc[parent][1] += acc[v][1]
+            return {v: (c[0], c[1]) for v, c in acc.items()}
+
+        counts = ctx.memo("gni_marked.counts", build_counts)
 
         self._state = {
             "marks": marks, "advice": advice, "echo": echo,

@@ -33,7 +33,6 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAM,
                           bits_for_identifier, bits_for_value)
-from ..graphs.automorphism import find_nontrivial_automorphism
 from ..graphs.graph import Graph
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import prime_in_range
@@ -156,15 +155,21 @@ class SymDAMProtocol(Protocol):
 
 
 def _mapping_response(protocol: SymDAMProtocol, graph: Graph,
-                      rho: Tuple[int, ...], seed: int
-                      ) -> Dict[int, NodeMessage]:
+                      rho: Tuple[int, ...], seed: int,
+                      context=None) -> Dict[int, NodeMessage]:
     """Build the full M₁ response for a committed mapping: truthful
     spanning tree and truthful aggregates (the prover has no slack in
-    the aggregates; see Protocol 1's cheating-prover docstring)."""
+    the aggregates; see Protocol 1's cheating-prover docstring).
+
+    ``context`` is an optional :class:`~repro.core.context
+    .InstanceContext` supplying the cached spanning tree."""
     n = graph.n
     family = protocol.family
     root = min(v for v in graph.vertices if rho[v] != v)
-    advice = honest_tree_advice(graph, root)
+    if context is not None:
+        advice = context.tree_advice(root)
+    else:
+        advice = honest_tree_advice(graph, root)
 
     def a_term(v: int) -> int:
         return family.hash_row_matrix(seed, n, v, graph.closed_row(v))
@@ -200,14 +205,16 @@ class HonestSymDAMProver(Prover):
         if round_idx != ROUND_M1:
             raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
         graph = instance.graph
-        rho = find_nontrivial_automorphism(graph)
+        ctx = self.acquire_context(instance)
+        rho = ctx.nontrivial_automorphism()
         if rho is None:
             raise ProtocolViolation(
                 "honest prover run on an asymmetric graph — "
                 "completeness only applies to YES instances")
         root = min(v for v in graph.vertices if rho[v] != v)
         seed = randomness[ROUND_A0][root]
-        return _mapping_response(self.protocol, graph, rho, seed)
+        return _mapping_response(self.protocol, graph, rho, seed,
+                                 context=ctx)
 
 
 def _hash_of_mapping(family: LinearHashFamily, graph: Graph, seed: int,
@@ -308,4 +315,5 @@ class AdaptiveCollisionProver(Prover):
             root = min(v for v in range(n) if chosen[v] != v)
             chosen_seed = randomness[ROUND_A0][root]
         assert chosen_seed is not None
-        return _mapping_response(self.protocol, graph, chosen, chosen_seed)
+        return _mapping_response(self.protocol, graph, chosen, chosen_seed,
+                                 context=self.acquire_context(instance))

@@ -35,13 +35,12 @@ from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DMAM,
                           bits_for_identifier, bits_for_value)
-from ..graphs.automorphism import find_nontrivial_automorphism
 from ..graphs.graph import Graph
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import theorem32_prime_window
 from ..hashing.rowmatrix import image_bits
 from ..network.spanning_tree import (FIELD_DIST, FIELD_PARENT, FIELD_ROOT,
-                                     honest_tree_advice, tree_check)
+                                     tree_check)
 from ._tree_hash import (check_aggregate, closed_row_bits, honest_aggregates,
                          rho_image_row)
 
@@ -191,7 +190,8 @@ class HonestSymDMAMProver(Prover):
                 rng: random.Random) -> Dict[int, NodeMessage]:
         graph = instance.graph
         if round_idx == ROUND_M0:
-            rho = find_nontrivial_automorphism(graph)
+            ctx = self.acquire_context(instance)
+            rho = ctx.nontrivial_automorphism()
             if rho is None:
                 raise ProtocolViolation(
                     "honest prover run on an asymmetric graph — "
@@ -199,7 +199,7 @@ class HonestSymDMAMProver(Prover):
             root = min(v for v in graph.vertices if rho[v] != v)
             self._rho = rho
             self._root = root
-            self._advice = honest_tree_advice(graph, root)
+            self._advice = ctx.tree_advice(root)
             return {
                 v: {FIELD_ROOT: root,
                     FIELD_RHO: rho[v],
@@ -286,13 +286,18 @@ class CommittedMappingProver(Prover):
                 rng: random.Random) -> Dict[int, NodeMessage]:
         graph = instance.graph
         if round_idx == ROUND_M0:
-            rho = self.choose_mapping(graph)
+            ctx = self.acquire_context(instance)
+            if self._fixed_mapping is not None:
+                rho = self._fixed_mapping
+            else:
+                rho = ctx.memo("sym_dmam.committed_swap",
+                               lambda: self.choose_mapping(graph))
             if all(rho[v] == v for v in graph.vertices):
                 raise ProtocolViolation("cheating prover must move a vertex")
             root = min(v for v in graph.vertices if rho[v] != v)
             self._rho = rho
             self._root = root
-            self._advice = honest_tree_advice(graph, root)
+            self._advice = ctx.tree_advice(root)
             return {
                 v: {FIELD_ROOT: root,
                     FIELD_RHO: rho[v],

@@ -1,0 +1,222 @@
+"""The batched execution engine: InstanceContext, run_trials, workers.
+
+The two load-bearing properties:
+
+* **determinism** — parallel (workers > 1) and serial estimation are
+  bit-identical for a fixed seed, across protocols (including DSym,
+  whose protocol object holds an unpicklable closure — the fork pool
+  must not care);
+* **isolation** — a context caches only randomness-free instance
+  structure, so sharing one between a completeness run and a soundness
+  run on the same instance changes nothing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (Instance, InstanceContext, estimate_acceptance,
+                   run_protocol, run_trials)
+from repro.graphs import (SMALLEST_ASYMMETRIC, cycle_graph, dsym_graph,
+                          random_connected_graph, rigid_family_exhaustive)
+from repro.graphs.dumbbell import DSymLayout
+from repro.network.spanning_tree import honest_tree_advice
+from repro.protocols import (CommittedMappingProver, DSymDAMProtocol,
+                             GNIGoldwasserSipserProtocol, SymDMAMProtocol,
+                             gni_instance)
+
+
+def _sym_dmam():
+    return SymDMAMProtocol(8), Instance(cycle_graph(8))
+
+
+def _dsym():
+    return (DSymDAMProtocol(DSymLayout(6, 1)),
+            Instance(dsym_graph(cycle_graph(6), 1)))
+
+
+def _gni():
+    rigid = rigid_family_exhaustive(6)
+    protocol = GNIGoldwasserSipserProtocol(6, repetitions=6)
+    return protocol, gni_instance(rigid[0], rigid[1])
+
+
+class TestParallelSerialDeterminism:
+    @pytest.mark.parametrize("make", [_sym_dmam, _dsym, _gni],
+                             ids=["sym_dmam", "dsym", "gni"])
+    def test_run_trials_bit_identical(self, make):
+        protocol, instance = make()
+        serial = run_trials(protocol, instance, protocol.honest_prover(),
+                            12, 424242, workers=1)
+        parallel = run_trials(protocol, instance, protocol.honest_prover(),
+                              12, 424242, workers=3)
+        assert serial == parallel  # dataclass equality: (accepted, trials)
+        assert serial.accepted == parallel.accepted
+        assert parallel.workers == 3
+
+    @pytest.mark.parametrize("make", [_sym_dmam, _dsym, _gni],
+                             ids=["sym_dmam", "dsym", "gni"])
+    def test_estimate_acceptance_bit_identical(self, make):
+        protocol, instance = make()
+        serial = estimate_acceptance(protocol, instance,
+                                     protocol.honest_prover(), 10,
+                                     random.Random(7), workers=1)
+        parallel = estimate_acceptance(protocol, instance,
+                                       protocol.honest_prover(), 10,
+                                       random.Random(7), workers=4)
+        assert serial == parallel
+
+    def test_chunking_independent_of_worker_count(self):
+        protocol, instance = _sym_dmam()
+        estimates = [run_trials(protocol, instance,
+                                protocol.honest_prover(), 11, 5, workers=w)
+                     for w in (1, 2, 3, 5)]
+        assert all(e == estimates[0] for e in estimates)
+
+
+class TestContextIsolation:
+    def test_no_leak_between_completeness_and_soundness(self):
+        """One shared context across honest and cheating batches on the
+        same instance must reproduce the fresh-context results exactly,
+        in either order."""
+        protocol, instance = _sym_dmam()
+
+        def honest(ctx):
+            return run_trials(protocol, instance, protocol.honest_prover(),
+                              8, 99, context=ctx)
+
+        def cheating(ctx):
+            return run_trials(protocol, instance,
+                              CommittedMappingProver(protocol), 8, 99,
+                              context=ctx)
+
+        fresh_honest = honest(InstanceContext(instance, protocol))
+        fresh_cheating = cheating(InstanceContext(instance, protocol))
+
+        shared = InstanceContext(instance, protocol)
+        assert honest(shared) == fresh_honest
+        assert cheating(shared) == fresh_cheating
+
+        reversed_shared = InstanceContext(instance, protocol)
+        assert cheating(reversed_shared) == fresh_cheating
+        assert honest(reversed_shared) == fresh_honest
+
+    def test_soundness_run_unchanged_by_warm_context(self):
+        graph = random_connected_graph(12, 0.3, random.Random(3))
+        protocol = SymDMAMProtocol(12)
+        instance = Instance(graph)
+        ctx = InstanceContext(instance, protocol)
+        # Warm the context with a full honest-side structure pass.
+        ctx.closed_neighborhoods
+        ctx.nontrivial_automorphism()
+        ctx.tree_advice(0)
+        warm = run_trials(protocol, instance,
+                          CommittedMappingProver(protocol), 10, 17,
+                          context=ctx)
+        cold = run_trials(protocol, instance,
+                          CommittedMappingProver(protocol), 10, 17)
+        assert warm == cold
+
+    def test_context_rejects_foreign_instance(self):
+        protocol, instance = _sym_dmam()
+        other = Instance(cycle_graph(8))
+        ctx = InstanceContext(other, protocol)
+        with pytest.raises(ValueError):
+            run_protocol(protocol, instance, protocol.honest_prover(),
+                         random.Random(0), context=ctx)
+        with pytest.raises(ValueError):
+            run_trials(protocol, instance, protocol.honest_prover(),
+                       4, 0, context=ctx)
+
+
+class TestShortCircuit:
+    def test_short_circuit_preserves_verdicts(self):
+        """Per-trial accept/reject is unchanged by stop_on_first_reject;
+        only the number of decisions taken may shrink."""
+        graph = random_connected_graph(12, 0.3, random.Random(11))
+        protocol = SymDMAMProtocol(12)
+        instance = Instance(graph)
+        for t in range(10):
+            full = run_protocol(protocol, instance,
+                                CommittedMappingProver(protocol),
+                                random.Random(1000 + t))
+            short = run_protocol(protocol, instance,
+                                 CommittedMappingProver(protocol),
+                                 random.Random(1000 + t),
+                                 stop_on_first_reject=True)
+            assert full.accepted == short.accepted
+            assert short.decide_calls <= full.decide_calls
+            if not full.accepted:
+                # The partial decision map must agree where defined.
+                for v, verdict in short.decisions.items():
+                    assert full.decisions[v] == verdict
+
+    def test_batch_counts_short_circuits(self):
+        graph = random_connected_graph(12, 0.3, random.Random(11))
+        protocol = SymDMAMProtocol(12)
+        estimate = run_trials(protocol, Instance(graph),
+                              CommittedMappingProver(protocol), 10, 3)
+        rejected = estimate.trials - estimate.accepted
+        assert estimate.short_circuits <= rejected
+        assert estimate.decide_calls < estimate.trials * 12
+
+
+class TestContextCaches:
+    def test_closed_neighborhoods_match_graph(self, cycle8):
+        ctx = InstanceContext(Instance(cycle8))
+        assert ctx.closed_neighborhoods == tuple(
+            cycle8.closed_neighborhood(v) for v in cycle8.vertices)
+        assert ctx.closed_rows == tuple(
+            cycle8.closed_row(v) for v in cycle8.vertices)
+
+    def test_tree_advice_matches_direct(self, cycle8):
+        ctx = InstanceContext(Instance(cycle8))
+        assert ctx.tree_advice(3) == honest_tree_advice(cycle8, 3)
+        assert ctx.tree_advice(3) is ctx.tree_advice(3)  # memoized
+
+    def test_automorphism_cached_including_none(self):
+        ctx = InstanceContext(Instance(SMALLEST_ASYMMETRIC))
+        assert ctx.nontrivial_automorphism() is None
+        assert ctx.nontrivial_automorphism() is None  # cached miss
+
+    def test_memo_runs_factory_once(self, cycle8):
+        ctx = InstanceContext(Instance(cycle8))
+        calls = []
+        for _ in range(3):
+            ctx.memo("key", lambda: calls.append(1) or "value")
+        assert calls == [1]
+
+    def test_broadcast_plan_matches_protocol(self):
+        protocol, instance = _sym_dmam()
+        ctx = InstanceContext(instance, protocol)
+        plan = ctx.broadcast_plan(protocol)
+        assert plan == tuple(
+            (r, protocol.broadcast_fields(r))
+            for r in protocol.merlin_round_indices()
+            if protocol.broadcast_fields(r))
+        assert ctx.broadcast_plan(protocol) is plan  # cached by identity
+
+
+class TestInstrumentation:
+    def test_phase_seconds_and_counters(self):
+        protocol, instance = _sym_dmam()
+        result = run_protocol(protocol, instance, protocol.honest_prover(),
+                              random.Random(1))
+        assert set(result.phase_seconds) == {"arthur", "merlin", "decide"}
+        assert all(v >= 0.0 for v in result.phase_seconds.values())
+        assert result.decide_calls == instance.n
+
+        estimate = run_trials(protocol, instance, protocol.honest_prover(),
+                              5, 12)
+        assert estimate.elapsed_seconds > 0.0
+        assert estimate.decide_calls == 5 * instance.n  # all accepting
+        assert estimate.trials_per_second > 0.0
+
+    def test_instrumentation_excluded_from_equality(self):
+        protocol, instance = _sym_dmam()
+        a = run_trials(protocol, instance, protocol.honest_prover(), 5, 12)
+        b = run_trials(protocol, instance, protocol.honest_prover(), 5, 12,
+                       workers=2)
+        assert a == b  # equality ignores timing and worker count
