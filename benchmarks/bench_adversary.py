@@ -1,0 +1,142 @@
+"""Solver-vs-search-vs-analytic agreement and cost.
+
+Three questions, one table each:
+
+* **Exact solver** — how fast is backward induction on Protocol 1 at
+  n = 6 with the ablation family (m = 36, p = 37), and does the value
+  match ``analysis.py``'s committed optimum for both the swaps pool and
+  the exhaustive non-identity permutations?  (The permutation game is
+  the sup over the search adversary's entire move space.)
+* **Search adversary** — what does coordinate ascent find on the same
+  instances, scored *exactly* (no Monte-Carlo noise), and does it stay
+  under the game value?
+* **Certification** — throughput of the Clopper–Pearson battery on the
+  sym-dmam section, serial vs fork-pool workers.
+
+``BENCH_QUICK=1`` shrinks pools and trial counts for CI smoke runs.
+"""
+
+import os
+import random
+import time
+
+from conftest import report_table
+
+from repro import Instance
+from repro.adversary import (LocalSearchProver, certify_protocol,
+                             solve_protocol_game)
+from repro.graphs import rigid_family_exhaustive
+from repro.hashing import LinearHashFamily
+from repro.protocols import (SymDMAMProtocol, exact_commit_acceptance,
+                             optimal_committed_cheater)
+from repro.protocols.batteries import sym_battery
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+SEED = 2018
+WORKERS = min(4, os.cpu_count() or 1)
+FAMILY = LinearHashFamily(m=36, p=37)
+GRAPHS = rigid_family_exhaustive(6)[: 1 if QUICK else 2]
+
+
+def test_exact_solver_agreement(benchmark):
+    protocol = SymDMAMProtocol(6, family=FAMILY)
+    pools = ["swaps"] if QUICK else ["swaps", "permutations"]
+    rows = []
+
+    def solve_all():
+        solved = []
+        for graph in GRAPHS:
+            for pool in pools:
+                start = time.perf_counter()
+                solution = solve_protocol_game(
+                    protocol, Instance(graph), candidates=pool)
+                solved.append((graph, pool, solution,
+                               time.perf_counter() - start))
+        return solved
+
+    solved = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    for index, (graph, pool, solution, seconds) in enumerate(solved):
+        if pool == "swaps":
+            from repro.protocols.analysis import all_swaps
+            _, reference = optimal_committed_cheater(
+                graph, FAMILY, candidates=all_swaps(graph.n))
+        else:
+            _, reference = optimal_committed_cheater(graph, FAMILY)
+        assert solution.value == reference, (
+            f"game {solution.value} != analysis {reference} "
+            f"({pool}, graph {index})")
+        rows.append((f"rigid6[{index // len(pools)}]", pool,
+                     str(solution.value), str(reference),
+                     solution.leaves, f"{seconds:.3f}"))
+    report_table(benchmark,
+                 "adversary: exact game value vs analysis.py (p=37)",
+                 ("instance", "pool", "game value", "analysis value",
+                  "leaves", "seconds"),
+                 rows)
+
+
+def test_search_vs_exact(benchmark):
+    protocol = SymDMAMProtocol(6, family=FAMILY)
+    rows = []
+
+    def search_all():
+        found = []
+        for graph in GRAPHS:
+            prover = LocalSearchProver(
+                protocol, trials=24 if QUICK else 48, seed=SEED,
+                restarts=1 if QUICK else 2)
+            found.append((graph, prover.search(Instance(graph))))
+        return found
+
+    results = benchmark.pedantic(search_all, rounds=1, iterations=1)
+    for index, (graph, result) in enumerate(results):
+        game = solve_protocol_game(protocol, Instance(graph),
+                                   candidates="permutations").value
+        exact = exact_commit_acceptance(graph, result.best_mapping,
+                                        FAMILY)
+        assert exact <= game, (
+            f"search {exact} beat the exact game value {game}")
+        rows.append((f"rigid6[{index}]", str(exact), str(game),
+                     result.evaluations, result.improvements))
+    report_table(benchmark,
+                 "adversary: coordinate-ascent search vs exact sup",
+                 ("instance", "search value (exact)", "game value",
+                  "oracle calls", "improvements"),
+                 rows)
+
+
+def test_certification_throughput(benchmark):
+    battery = sym_battery(6, random.Random(10))
+    protocol = SymDMAMProtocol(battery[0].instance.n)
+    trials = 12 if QUICK else 40
+
+    report = benchmark.pedantic(
+        lambda: certify_protocol(protocol, battery, trials=trials,
+                                 seed=SEED),
+        rounds=1, iterations=1)
+    assert report.all_certified
+
+    start = time.perf_counter()
+    parallel = certify_protocol(protocol, battery, trials=trials,
+                                seed=SEED, workers=WORKERS)
+    parallel_seconds = time.perf_counter() - start
+    assert parallel.all_certified
+    # Certificates must agree bit-for-bit across worker counts (the
+    # PR-1 determinism contract extends to the certification layer).
+    assert ([o.estimate.accepted for c in report.instances
+             for o in c.outcomes]
+            == [o.estimate.accepted for c in parallel.instances
+                for o in c.outcomes])
+
+    rows = [
+        ("serial", trials, len(report.instances),
+         "yes" if report.all_certified else "no", "-"),
+        (f"{WORKERS}-worker", trials, len(parallel.instances),
+         "yes" if parallel.all_certified else "no",
+         f"{parallel_seconds:.3f}s"),
+    ]
+    report_table(benchmark,
+                 "adversary: certification battery (sym-dmam section)",
+                 ("engine", "trials", "instances", "certified",
+                  "seconds"),
+                 rows)

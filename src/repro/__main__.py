@@ -7,6 +7,9 @@ Commands
 ``separation`` Print the DSym dAM-vs-LCP cost table (Theorem 1.2).
 ``gni``        Run the distributed Goldwasser–Sipser audit
                (Theorem 1.5; add ``--general`` for symmetric inputs).
+``certify``    Run the adversarial soundness certification battery
+               (exact game values, search adversaries, and
+               Clopper-Pearson bounds; ``--json`` for machine output).
 ``lowerbound`` Print the packing table of Theorem 1.4.
 ``costs``      Per-node cost of every protocol at a chosen size.
 """
@@ -105,6 +108,30 @@ def cmd_gni(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_certify(args: argparse.Namespace) -> int:
+    from repro.adversary import (certification_jsonable,
+                                 standard_certification)
+    from repro.core.report import (render_certification,
+                                   render_solver_checks)
+
+    payload = standard_certification(
+        seed=args.seed, trials=args.trials, alpha=args.alpha,
+        workers=args.workers,
+        sections=args.sections or None)
+    if args.json:
+        import json
+        print(json.dumps(certification_jsonable(payload), indent=2,
+                         sort_keys=True))
+    else:
+        for report in payload["reports"]:
+            print("\n".join(render_certification(report)))
+        if payload["solver_checks"] is not None:
+            print("\n".join(render_solver_checks(
+                payload["solver_checks"])))
+        print(f"overall: {'CERTIFIED' if payload['all_certified'] else 'NOT CERTIFIED'}")
+    return 0 if payload["all_certified"] else 1
+
+
 def cmd_lowerbound(args: argparse.Namespace) -> int:
     from repro.lowerbound import lower_bound_table
 
@@ -158,6 +185,23 @@ def main(argv=None) -> int:
     p.add_argument("--general", action="store_true",
                    help="automorphism-compensated variant")
     p.set_defaults(func=cmd_gni)
+
+    p = sub.add_parser(
+        "certify",
+        help="adversarial soundness certification (Clopper-Pearson)")
+    p.add_argument("--trials", type=int, default=60,
+                   help="Monte-Carlo trials per (instance, adversary)")
+    p.add_argument("--alpha", type=float, default=0.01,
+                   help="per-bound confidence level")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for trial batches")
+    p.add_argument("--sections", nargs="*", metavar="SECTION",
+                   choices=["sym-dmam", "sym-dam", "dsym", "gni",
+                            "solver"],
+                   help="battery sections to run (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser("lowerbound",
                        help="packing table (Theorem 1.4)")

@@ -1,9 +1,10 @@
 """The interactive distributed proof model, execution engine,
 amplification and class-membership checking."""
 
-from .amplify import (AndAmplifiedProtocol, binomial_pmf, binomial_tail,
-                      choose_threshold, repetitions_for_gap,
-                      threshold_guarantees)
+from .amplify import (AndAmplifiedProtocol, binomial_cdf, binomial_pmf,
+                      binomial_tail, choose_threshold,
+                      clopper_pearson_lower, clopper_pearson_upper,
+                      repetitions_for_gap, threshold_guarantees)
 from .classes import (ClassMembershipReport, CostScalingRow, InstanceReport,
                       check_completeness, check_soundness,
                       measure_cost_scaling)
@@ -14,9 +15,11 @@ from .model import (Instance, LocalView, NodeMessage, PATTERN_DAM,
                     bits_for_identifier, bits_for_value)
 from .provers import (RandomGarbageProver, ReplayProver, TamperingProver,
                       record_responses)
-from .report import cost_breakdown, describe_rounds, render_execution
+from .report import (cost_breakdown, describe_rounds,
+                     execution_to_jsonable, render_certification,
+                     render_execution, render_solver_checks)
 from .runner import (AcceptanceEstimate, ExecutionResult, Transcript,
-                     estimate_acceptance, measure_cost, run_protocol,
-                     run_trials)
+                     decide_transcript, estimate_acceptance, measure_cost,
+                     run_protocol, run_trials)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -61,6 +61,72 @@ def binomial_tail(t: int, p: float, k: int) -> float:
     return min(1.0, sum(binomial_pmf(t, p, j) for j in range(k, t + 1)))
 
 
+def binomial_cdf(t: int, p: float, k: int) -> float:
+    """Pr[Binomial(t, p) <= k], computed exactly (summed pmf)."""
+    if k < 0:
+        return 0.0
+    if k >= t:
+        return 1.0
+    return max(0.0, 1.0 - binomial_tail(t, p, k + 1))
+
+
+def clopper_pearson_upper(accepted: int, trials: int,
+                          alpha: float = 0.01) -> float:
+    """Exact one-sided upper confidence bound on a binomial proportion.
+
+    The Clopper–Pearson construction: the smallest acceptance
+    probability ``p`` that a one-sided level-``alpha`` test would
+    reject given ``accepted`` successes in ``trials`` — i.e. the
+    largest ``p`` with ``Pr[Binomial(trials, p) <= accepted] > alpha``,
+    located by bisection on the exact binomial CDF.  With probability
+    ≥ 1 − ``alpha`` over the trials, the true probability is below the
+    returned bound.  Unlike the Wilson interval this is a guaranteed
+    (conservative) coverage statement, which is what a soundness
+    *certificate* needs.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if trials <= 0:
+        return 1.0
+    if not 0 <= accepted <= trials:
+        raise ValueError("need 0 <= accepted <= trials")
+    if accepted >= trials:
+        return 1.0
+    lo, hi = accepted / trials, 1.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if binomial_cdf(trials, mid, accepted) > alpha:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def clopper_pearson_lower(accepted: int, trials: int,
+                          alpha: float = 0.01) -> float:
+    """Exact one-sided lower confidence bound (Clopper–Pearson).
+
+    The mirror of :func:`clopper_pearson_upper`: the largest ``p``
+    with ``Pr[Binomial(trials, p) >= accepted] < alpha``.  Used for
+    completeness certificates (honest acceptance provably above the
+    bound with confidence 1 − ``alpha``).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if trials <= 0 or accepted <= 0:
+        return 0.0
+    if accepted > trials:
+        raise ValueError("need 0 <= accepted <= trials")
+    lo, hi = 0.0, accepted / trials
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if binomial_tail(trials, mid, accepted) < alpha:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
 def threshold_guarantees(t: int, threshold: int, p_yes: float,
                          p_no: float) -> Tuple[float, float]:
     """(completeness, soundness error) of a t-repetition threshold test.

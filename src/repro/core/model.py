@@ -265,6 +265,20 @@ class Protocol(ABC):
         return f"<{type(self).__name__} {self.name!r} pattern={self.pattern}>"
 
 
+def sequence_field(message: NodeMessage, name: str) -> Tuple[Any, ...]:
+    """Read a sequence-valued message field defensively.
+
+    ``merlin_bits`` runs *before* ``decide``, so it sees arbitrary
+    prover data without the runner's reject-on-exception shield; a
+    malformed field (an int where a tuple belongs) must cost 0 bits,
+    not crash the accounting.  ``decide`` still rejects the message.
+    """
+    value = message.get(name, ())
+    if isinstance(value, (tuple, list)):
+        return tuple(value)
+    return ()
+
+
 def bits_for_identifier(n: int) -> int:
     """Bits to name one of ``n`` values (at least 1)."""
     return max(1, (max(n, 1) - 1).bit_length())

@@ -79,6 +79,102 @@ def render_execution(protocol: Protocol, instance: Instance,
     return "\n".join(lines)
 
 
+def _jsonable(value: Any) -> Any:
+    """Recursively convert transcript values to JSON-stable types.
+
+    Tuples become lists; mapping keys become strings (sorted by their
+    original integer value where applicable, via the caller's
+    ``sort_keys`` dump).  Anything already JSON-native passes through.
+    """
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    return repr(value)
+
+
+def execution_to_jsonable(protocol: Protocol, instance: Instance,
+                          result: ExecutionResult) -> Any:
+    """A deterministic JSON-friendly dump of one execution.
+
+    This is the golden-transcript format: dumped with
+    ``json.dumps(..., sort_keys=True, indent=2)`` it is byte-stable
+    across runs for a fixed seed, so regression tests can assert exact
+    replay of every round, message field, and verdict.
+    """
+    return {
+        "protocol": protocol.name,
+        "pattern": protocol.pattern,
+        "n": instance.n,
+        "accepted": result.accepted,
+        "max_cost_bits": result.max_cost_bits,
+        "node_cost_bits": _jsonable(dict(result.node_cost_bits)),
+        "decisions": _jsonable(dict(result.decisions)),
+        "randomness": _jsonable({r: dict(values) for r, values
+                                 in result.transcript.randomness.items()}),
+        "messages": _jsonable({r: {v: dict(msg) for v, msg in round_msgs.items()}
+                               for r, round_msgs
+                               in result.transcript.messages.items()}),
+    }
+
+
+def render_certification(report: Any) -> List[str]:
+    """Text rendering of a certification report.
+
+    Duck-typed against :class:`repro.adversary.certify
+    .CertificationReport` (core must not import the adversary package).
+    """
+    lines = [f"certification: {report.protocol_name}  "
+             f"alpha={report.alpha} trials={report.trials} "
+             f"seed={report.seed} workers={report.workers}"]
+    if report.analytic_soundness is not None:
+        lines.append(f"  analytic bounds: completeness >= "
+                     f"{report.analytic_completeness:.3f}, soundness <= "
+                     f"{report.analytic_soundness:.3f}")
+    for cert in report.instances:
+        flag = "PASS" if cert.passes else "FAIL"
+        side = "YES" if cert.is_yes else "NO "
+        if cert.is_yes:
+            outcome = cert.outcomes[0]
+            detail = (f"honest {outcome.estimate.accepted}"
+                      f"/{outcome.estimate.trials} "
+                      f"CP lower {cert.certified_lower:.3f}")
+        else:
+            best = cert.best
+            detail = (f"best={best.name} {best.estimate.accepted}"
+                      f"/{best.estimate.trials} "
+                      f"CP upper {cert.certified_upper:.3f}")
+            if best.exact_value is not None:
+                detail += f" exact={best.exact_value}"
+        if cert.game_value is not None:
+            detail += f" game={cert.game_value}"
+        lines.append(f"  [{flag}] {side} {cert.label}: {detail}")
+    lines.append(f"  => {'all certified' if report.all_certified else 'NOT certified'}")
+    return lines
+
+
+def render_solver_checks(checks: Any) -> List[str]:
+    """Text rendering of the exact-solver cross-validation rows
+    (duck-typed against ``SolverCheck``)."""
+    lines = ["solver cross-validation (exact vs analysis vs search):"]
+    for check in checks:
+        ok = (check.solver_matches_analysis and check.search_within_game
+              and check.cp_covers_exact)
+        lines.append(
+            f"  [{'PASS' if ok else 'FAIL'}] {check.label} "
+            f"(n={check.n}, p={check.p}, pool={check.pool}): "
+            f"game={check.game_value} analysis={check.analysis_value} "
+            f"search={check.search_value} "
+            f"CP=[{check.cp_lower:.3f}, {check.cp_upper:.3f}]")
+    return lines
+
+
 def cost_breakdown(protocol: Protocol, instance: Instance,
                    result: ExecutionResult) -> List[str]:
     """Per-round bit accounting for node 0 (all nodes are uniform in

@@ -140,6 +140,69 @@ def _decide_node(protocol: Protocol, view: LocalView,
         return False
 
 
+def _decide_all(protocol: Protocol, instance: Instance,
+                transcript: Transcript, context: InstanceContext,
+                stop_on_first_reject: bool) -> Tuple[bool, Dict[int, bool]]:
+    """The decision phase: every node's verdict on a full transcript.
+
+    Round slices are materialized once per transcript; each node's
+    view then indexes them directly by its closed neighborhood (the
+    caller filled every vertex, so no membership tests are needed).
+    """
+    plan = context.broadcast_plan(protocol)
+    closed = context.closed_neighborhoods
+    rand_rounds = tuple(transcript.randomness.items())
+    msg_rounds = tuple(transcript.messages.items())
+    n = instance.n
+
+    accepted = True
+    decisions: Dict[int, bool] = {}
+    for v in instance.graph.vertices:
+        closed_v = closed[v]
+        view = LocalView(
+            node=v,
+            n=n,
+            closed_neighborhood=closed_v,
+            node_input=instance.input_of(v),
+            randomness={r: {u: vals[u] for u in closed_v}
+                        for r, vals in rand_rounds},
+            messages={r: {u: msgs[u] for u in closed_v}
+                      for r, msgs in msg_rounds},
+        )
+        ok = _decide_node(protocol, view, plan)
+        decisions[v] = ok
+        if not ok:
+            accepted = False
+            if stop_on_first_reject:
+                break
+    return accepted, decisions
+
+
+def decide_transcript(protocol: Protocol, instance: Instance,
+                      transcript: Transcript, *,
+                      context: Optional[InstanceContext] = None,
+                      stop_on_first_reject: bool = True
+                      ) -> Tuple[bool, Dict[int, bool]]:
+    """Run only the decision phase on a fully-specified transcript.
+
+    The transcript must carry a value for *every* vertex in each of its
+    randomness and message rounds (as :func:`run_protocol` produces).
+    This is the leaf evaluator of the exact game-tree solver in
+    :mod:`repro.adversary`: the solver enumerates prover messages and
+    challenge assignments symbolically, then scores each leaf through
+    the very same broadcast checks and decision functions a real
+    execution uses — so the exact value certifies the *implemented*
+    protocol, not a hand-derived model of it.
+    """
+    if context is None:
+        context = InstanceContext(instance, protocol)
+    elif context.instance is not instance:
+        raise ValueError("context was built for a different instance")
+    context.ensure_validated(protocol)
+    return _decide_all(protocol, instance, transcript, context,
+                       stop_on_first_reject)
+
+
 def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
                  rng: random.Random, *,
                  context: Optional[InstanceContext] = None,
@@ -204,35 +267,8 @@ def run_protocol(protocol: Protocol, instance: Instance, prover: Prover,
             raise ValueError(f"unknown round kind {kind!r}")
 
     tick = time.perf_counter()
-    plan = context.broadcast_plan(protocol)
-    closed = context.closed_neighborhoods
-    # Round slices are materialized once per transcript; each node's
-    # view then indexes them directly by its closed neighborhood (the
-    # runner filled every vertex, so no membership tests are needed).
-    rand_rounds = tuple(transcript.randomness.items())
-    msg_rounds = tuple(transcript.messages.items())
-    n = instance.n
-
-    accepted = True
-    decisions: Dict[int, bool] = {}
-    for v in graph.vertices:
-        closed_v = closed[v]
-        view = LocalView(
-            node=v,
-            n=n,
-            closed_neighborhood=closed_v,
-            node_input=instance.input_of(v),
-            randomness={r: {u: vals[u] for u in closed_v}
-                        for r, vals in rand_rounds},
-            messages={r: {u: msgs[u] for u in closed_v}
-                      for r, msgs in msg_rounds},
-        )
-        ok = _decide_node(protocol, view, plan)
-        decisions[v] = ok
-        if not ok:
-            accepted = False
-            if stop_on_first_reject:
-                break
+    accepted, decisions = _decide_all(protocol, instance, transcript,
+                                      context, stop_on_first_reject)
     phase["decide"] = time.perf_counter() - tick
 
     return ExecutionResult(
@@ -290,6 +326,20 @@ class AcceptanceEstimate:
         center = (p + z * z / (2 * n)) / denom
         half = z * ((p * (1 - p) / n + z * z / (4 * n * n)) ** 0.5) / denom
         return (max(0.0, center - half), min(1.0, center + half))
+
+    def clopper_pearson_upper(self, alpha: float = 0.01) -> float:
+        """Exact one-sided upper bound on the acceptance probability
+        (confidence 1 − ``alpha``).  Unlike the Wilson interval, the
+        Clopper–Pearson bound has guaranteed coverage, so it is the
+        one soundness certificates use."""
+        from .amplify import clopper_pearson_upper
+        return clopper_pearson_upper(self.accepted, self.trials, alpha)
+
+    def clopper_pearson_lower(self, alpha: float = 0.01) -> float:
+        """Exact one-sided lower bound on the acceptance probability
+        (confidence 1 − ``alpha``) — the completeness-side mirror."""
+        from .amplify import clopper_pearson_lower
+        return clopper_pearson_lower(self.accepted, self.trials, alpha)
 
     def __repr__(self) -> str:
         lo, hi = self.wilson_interval()

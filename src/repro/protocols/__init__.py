@@ -21,8 +21,9 @@ from .gni_marked import (MARK_NONE, MARK_ONE, MARK_ZERO,
 from .gni_general import (GeneralGNIProtocol, GeneralGSProver,
                           pair_catalog, pair_rate)
 from .lcp import ConnectivityLCP, DSymLCP, SymLCP
-from .sym_dam import (AdaptiveCollisionProver, HonestSymDAMProver,
-                      SymDAMProtocol, protocol2_hash_family)
+from .sym_dam import (AdaptiveCollisionProver, CommittedDAMProver,
+                      HonestSymDAMProver, SymDAMProtocol,
+                      protocol2_hash_family)
 from .sym_dmam import (CommittedMappingProver, HonestSymDMAMProver,
                        SymDMAMProtocol, protocol1_hash_family)
 

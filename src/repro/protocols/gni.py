@@ -61,7 +61,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 from ..core.amplify import choose_threshold, threshold_guarantees
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAMAM,
-                          bits_for_identifier, bits_for_value)
+                          bits_for_identifier, bits_for_value,
+                          sequence_field)
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.rowmatrix import image_bits
@@ -249,13 +250,13 @@ class GNIGoldwasserSipserProtocol(Protocol):
         total = 0
         if round_idx == ROUND_M1:
             total += 2 * id_bits  # parent + dist
-        echo = message.get(FIELD_ECHO, ())
+        echo = sequence_field(message, FIELD_ECHO)
         total += len(echo) * self.hash.root_seed_bits
-        for claim in message.get(FIELD_CLAIMS, ()):
+        for claim in sequence_field(message, FIELD_CLAIMS):
             total += 1  # the found/pass bit
             if claim is not None:
                 total += 1 + self.n * id_bits  # graph bit + σ table
-        for partial in message.get(FIELD_PARTIALS, ()):
+        for partial in sequence_field(message, FIELD_PARTIALS):
             if partial is not None:
                 total += q_bits
         return total

@@ -50,7 +50,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from ..core.amplify import choose_threshold, threshold_guarantees
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAMAM,
-                          bits_for_identifier, bits_for_value)
+                          bits_for_identifier, bits_for_value,
+                          sequence_field)
 from ..graphs.automorphism import all_automorphisms
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
@@ -247,18 +248,18 @@ class GeneralGNIProtocol(Protocol):
         total = 0
         if round_idx == ROUND_M1:
             total += 2 * self.id_bits
-        echo = message.get(FIELD_ECHO, ())
+        echo = sequence_field(message, FIELD_ECHO)
         total += len(echo) * (self.hash.root_seed_bits
                               + self.aut_family.seed_bits)
-        for claim in message.get(FIELD_CLAIMS, ()):
+        for claim in sequence_field(message, FIELD_CLAIMS):
             total += 1
             if claim is not None:
                 total += 1 + 2 * self.n * self.id_bits  # σ and α tables
-        for partial in message.get(FIELD_PARTIALS, ()):
+        for partial in sequence_field(message, FIELD_PARTIALS):
             if partial is not None:
                 total += q_bits
         for field in (FIELD_AUT_LEFT, FIELD_AUT_RIGHT):
-            for value in message.get(field, ()):
+            for value in sequence_field(message, field):
                 if value is not None:
                     total += p2_bits
         return total

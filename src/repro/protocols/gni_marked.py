@@ -54,7 +54,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from ..core.amplify import choose_threshold, threshold_guarantees
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAMAM,
-                          bits_for_identifier, bits_for_value)
+                          bits_for_identifier, bits_for_value,
+                          sequence_field)
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.primes import prime_in_range
@@ -240,21 +241,21 @@ class MarkedGNIProtocol(Protocol):
             total += 2 + 2 * id_bits          # mark + parent + dist
             total += 2 * bits_for_identifier(self.n + 1)  # the counts
             total += self.repetitions * self.hash.root_seed_bits  # echo
-            for claim in message.get(FIELD_CLAIMS, ()):
+            for claim in sequence_field(message, FIELD_CLAIMS):
                 total += 1
                 if claim is not None:
                     total += 1                 # the graph bit
-            for label in message.get(FIELD_LABELS, ()):
+            for label in sequence_field(message, FIELD_LABELS):
                 if label is not None:
                     total += id_bits
         else:
             total += self.repetitions * bits_for_value(self.z_prime)
             q_bits = bits_for_value(self.hash.big_q)
             z_bits = bits_for_value(self.z_prime)
-            for partial in message.get(FIELD_PARTIALS, ()):
+            for partial in sequence_field(message, FIELD_PARTIALS):
                 if partial is not None:
                     total += q_bits
-            for zsum in message.get(FIELD_ZSUMS, ()):
+            for zsum in sequence_field(message, FIELD_ZSUMS):
                 if zsum is not None:
                     total += z_bits
         return total

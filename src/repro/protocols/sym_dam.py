@@ -156,16 +156,21 @@ class SymDAMProtocol(Protocol):
 
 def _mapping_response(protocol: SymDAMProtocol, graph: Graph,
                       rho: Tuple[int, ...], seed: int,
-                      context=None) -> Dict[int, NodeMessage]:
+                      context=None,
+                      root: Optional[int] = None) -> Dict[int, NodeMessage]:
     """Build the full M₁ response for a committed mapping: truthful
     spanning tree and truthful aggregates (the prover has no slack in
     the aggregates; see Protocol 1's cheating-prover docstring).
 
     ``context`` is an optional :class:`~repro.core.context
-    .InstanceContext` supplying the cached spanning tree."""
+    .InstanceContext` supplying the cached spanning tree.  ``root``
+    overrides the canonical choice (the smallest moved vertex) — the
+    root determines whose challenge is echoed, so adaptive callers may
+    prefer a different moved vertex."""
     n = graph.n
     family = protocol.family
-    root = min(v for v in graph.vertices if rho[v] != v)
+    if root is None:
+        root = min(v for v in graph.vertices if rho[v] != v)
     if context is not None:
         advice = context.tree_advice(root)
     else:
@@ -215,6 +220,46 @@ class HonestSymDAMProver(Prover):
         seed = randomness[ROUND_A0][root]
         return _mapping_response(self.protocol, graph, rho, seed,
                                  context=ctx)
+
+
+class CommittedDAMProver(Prover):
+    """Protocol 2's analogue of Protocol 1's ``CommittedMappingProver``:
+    plays one fixed non-identity mapping regardless of the challenge.
+
+    Deliberately *non-adaptive* — it echoes the root's challenge and
+    reports truthful aggregates for its committed ρ, so its acceptance
+    probability is exactly the collision probability of the two fixed
+    matrices (``analysis.exact_commit_acceptance``).  This is the
+    per-candidate oracle the coordinate-ascent search climbs with, and
+    the committed baseline the adaptive game value is compared against.
+    """
+
+    def __init__(self, protocol: SymDAMProtocol, mapping: Sequence[int],
+                 root: Optional[int] = None) -> None:
+        rho = tuple(mapping)
+        if len(rho) != protocol.n:
+            raise ValueError("mapping must cover every vertex")
+        moved = [v for v in range(protocol.n) if rho[v] != v]
+        if not moved:
+            raise ValueError("committed cheating mapping must move a vertex")
+        chosen_root = root if root is not None else min(moved)
+        if rho[chosen_root] == chosen_root:
+            raise ValueError("root must be moved by the mapping")
+        self.protocol = protocol
+        self.mapping = rho
+        self.root = chosen_root
+
+    def respond(self, instance: Instance, round_idx: int,
+                randomness: Mapping[int, Mapping[int, int]],
+                own_messages: Mapping[int, Mapping[int, NodeMessage]],
+                rng: random.Random) -> Dict[int, NodeMessage]:
+        if round_idx != ROUND_M1:
+            raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
+        seed = randomness[ROUND_A0][self.root]
+        return _mapping_response(self.protocol, instance.graph,
+                                 self.mapping, seed,
+                                 context=self.acquire_context(instance),
+                                 root=self.root)
 
 
 def _hash_of_mapping(family: LinearHashFamily, graph: Graph, seed: int,

@@ -1,0 +1,182 @@
+"""The backward-induction solver against an independent brute force.
+
+``solve_game`` interleaves max (Merlin) and expectation (Arthur) while
+recursing; ``brute_force_value`` enumerates *whole deterministic
+strategies* and plays each one forward, so it never interchanges max
+and expectation.  Agreement across random games is the correctness
+argument for the solver's core — everything protocol-specific is
+layered on top (and tested in test_spaces.py).
+"""
+
+from fractions import Fraction
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (GameSpec, brute_force_value, game_tree_value,
+                             solve_game)
+
+
+class TableGame(GameSpec):
+    """A finite game defined by explicit tables.
+
+    Moves and outcomes are small integer ranges; accept is a
+    deterministic function of the full history, drawn once from a
+    seeded RNG so hypothesis can explore game shapes cheaply.
+    """
+
+    def __init__(self, rounds, widths, accept_seed):
+        self.rounds = rounds
+        self.widths = widths
+        self._accept_rng_seed = accept_seed
+
+    def moves(self, history):
+        return range(self.widths[len(history)])
+
+    def outcomes(self, history):
+        width = self.widths[len(history)]
+        probability = Fraction(1, width)
+        return [(value, probability) for value in range(width)]
+
+    def accept(self, history):
+        digest = hash((self._accept_rng_seed,) + tuple(history))
+        return random.Random(digest).random() < 0.5
+
+
+class TestHandGames:
+    def test_single_merlin_round(self):
+        class PickOne(GameSpec):
+            rounds = "M"
+
+            def moves(self, history):
+                return [0, 1, 2]
+
+            def outcomes(self, history):
+                raise AssertionError("no Arthur rounds")
+
+            def accept(self, history):
+                return history[0] == 2
+
+        solution = solve_game(PickOne())
+        assert solution.value == 1
+        assert solution.best_initial_move == 2
+        assert solution.merlin_nodes == 1
+        assert solution.leaves == 3
+
+    def test_single_arthur_round(self):
+        class FairCoin(GameSpec):
+            rounds = "A"
+
+            def moves(self, history):
+                raise AssertionError("no Merlin rounds")
+
+            def outcomes(self, history):
+                return [(0, Fraction(1, 2)), (1, Fraction(1, 2))]
+
+            def accept(self, history):
+                return history[0] == 1
+
+        assert game_tree_value(FairCoin()) == Fraction(1, 2)
+
+    def test_merlin_sees_the_challenge(self):
+        # A then M: Merlin can match any challenge, value 1.  M then A:
+        # Merlin must commit first, value 1/2.  The solver must order
+        # the quantifiers correctly.
+        class MatchAfter(GameSpec):
+            rounds = "AM"
+
+            def moves(self, history):
+                return [0, 1]
+
+            def outcomes(self, history):
+                return [(0, Fraction(1, 2)), (1, Fraction(1, 2))]
+
+            def accept(self, history):
+                return history[0] == history[1]
+
+        class MatchBefore(MatchAfter):
+            rounds = "MA"
+
+        assert game_tree_value(MatchAfter()) == 1
+        assert game_tree_value(MatchBefore()) == Fraction(1, 2)
+
+    def test_exactness_no_float_drift(self):
+        # 1/3 is not a float; the value must be the exact fraction.
+        class ThirdCoin(GameSpec):
+            rounds = "A"
+
+            def moves(self, history):
+                raise AssertionError
+
+            def outcomes(self, history):
+                return [(v, Fraction(1, 3)) for v in range(3)]
+
+            def accept(self, history):
+                return history[0] == 0
+
+        assert game_tree_value(ThirdCoin()) == Fraction(1, 3)
+
+
+class TestValidation:
+    def test_rejects_bad_rounds_string(self):
+        game = TableGame("MX", (2, 2), 0)
+        with pytest.raises(ValueError):
+            solve_game(game)
+
+    def test_rejects_empty_merlin_moves(self):
+        class NoMoves(TableGame):
+            def moves(self, history):
+                return []
+
+        with pytest.raises(ValueError):
+            solve_game(NoMoves("M", (0,), 0))
+
+    def test_rejects_unnormalized_outcomes(self):
+        class BadMass(TableGame):
+            def outcomes(self, history):
+                return [(0, Fraction(1, 3))]
+
+        with pytest.raises(ValueError):
+            solve_game(BadMass("A", (1,), 0))
+
+
+@given(rounds=st.text(alphabet="MA", min_size=1, max_size=4),
+       widths=st.lists(st.integers(min_value=1, max_value=2),
+                       min_size=4, max_size=4),
+       accept_seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=120, deadline=None)
+def test_solver_matches_brute_force(rounds, widths, accept_seed):
+    """The property at the heart of the subsystem: backward induction
+    equals exhaustive strategy enumeration on every random game."""
+    game = TableGame(rounds, tuple(widths), accept_seed)
+    solution = solve_game(game)
+    assert solution.value == brute_force_value(game)
+    assert 0 <= solution.value <= 1
+
+
+@given(rounds=st.text(alphabet="MA", min_size=1, max_size=2),
+       widths=st.lists(st.integers(min_value=1, max_value=3),
+                       min_size=2, max_size=2),
+       accept_seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_solver_matches_brute_force_wide(rounds, widths, accept_seed):
+    """Same property with wider branching on shallow games."""
+    game = TableGame(rounds, tuple(widths), accept_seed)
+    assert solve_game(game).value == brute_force_value(game)
+
+
+@given(accept_seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_merlin_help_never_hurts(accept_seed):
+    """Appending a Merlin round with a copy-move cannot lower the
+    value (Merlin can always refuse to exploit it)."""
+    base = TableGame("A", (2, 2), accept_seed)
+
+    class WithMerlin(TableGame):
+        def accept(self, history):
+            return base.accept(history[:1])
+
+    extended = WithMerlin("AM", (2, 2), accept_seed)
+    assert game_tree_value(extended) >= game_tree_value(base)

@@ -138,3 +138,76 @@ class TestAndAmplification:
         base, amplified = self.make(4)
         assert amplified.pattern == base.pattern
         assert "x4" in amplified.name
+
+
+class TestClopperPearson:
+    """Exact one-sided binomial confidence bounds (the certification
+    layer's statistical core)."""
+
+    def test_closed_form_zero_successes(self):
+        # k = 0: upper bound solves (1-p)^n = alpha exactly.
+        from repro.core import clopper_pearson_upper
+        for n, alpha in ((30, 0.01), (150, 0.01), (50, 0.05)):
+            expected = 1.0 - alpha ** (1.0 / n)
+            assert math.isclose(clopper_pearson_upper(0, n, alpha),
+                                expected, abs_tol=1e-9)
+
+    def test_closed_form_all_successes(self):
+        # k = n: lower bound solves p^n = alpha exactly.
+        from repro.core import clopper_pearson_lower
+        for n, alpha in ((12, 0.01), (30, 0.01), (24, 0.05)):
+            expected = alpha ** (1.0 / n)
+            assert math.isclose(clopper_pearson_lower(n, n, alpha),
+                                expected, abs_tol=1e-9)
+
+    def test_degenerate_inputs(self):
+        from repro.core import clopper_pearson_lower, clopper_pearson_upper
+        assert clopper_pearson_upper(0, 0) == 1.0
+        assert clopper_pearson_upper(10, 10) == 1.0
+        assert clopper_pearson_lower(0, 20) == 0.0
+        assert clopper_pearson_lower(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            clopper_pearson_upper(1, 10, alpha=0.0)
+        with pytest.raises(ValueError):
+            clopper_pearson_lower(1, 10, alpha=1.0)
+
+    @given(st.integers(min_value=0, max_value=40),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_bracket_the_mean(self, accepted, trials):
+        from repro.core import clopper_pearson_lower, clopper_pearson_upper
+        accepted = min(accepted, trials)
+        lower = clopper_pearson_lower(accepted, trials)
+        upper = clopper_pearson_upper(accepted, trials)
+        mean = accepted / trials
+        assert 0.0 <= lower <= mean <= upper <= 1.0
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_upper_tightens_with_alpha(self, trials):
+        from repro.core import clopper_pearson_upper
+        loose = clopper_pearson_upper(0, trials, alpha=0.05)
+        tight = clopper_pearson_upper(0, trials, alpha=0.01)
+        assert loose <= tight
+
+    def test_known_value(self):
+        # 1 acceptance in 150 trials at 99% confidence: a standard
+        # table value, ~0.0434.
+        from repro.core import clopper_pearson_upper
+        assert math.isclose(clopper_pearson_upper(1, 150, 0.01),
+                            0.0434, abs_tol=5e-4)
+
+    def test_estimate_methods_match_functions(self):
+        from repro.core import (AcceptanceEstimate, clopper_pearson_lower,
+                                clopper_pearson_upper)
+        estimate = AcceptanceEstimate(trials=40, accepted=3)
+        assert estimate.clopper_pearson_upper() == \
+            clopper_pearson_upper(3, 40)
+        assert estimate.clopper_pearson_lower() == \
+            clopper_pearson_lower(3, 40)
+
+    def test_cdf_complements_tail(self):
+        from repro.core import binomial_cdf, binomial_tail
+        for k in range(-1, 12):
+            total = binomial_cdf(10, 0.3, k) + binomial_tail(10, 0.3, k + 1)
+            assert math.isclose(total, 1.0, rel_tol=1e-9)

@@ -109,3 +109,60 @@ class TestReplay:
         replayer = ReplayProver({})
         with pytest.raises(KeyError):
             replayer.respond(instance, 0, {}, {}, rng)
+
+
+def _replay_cases():
+    """(label, protocol, instance, replay_should_accept).
+
+    Replay must fail against every protocol with an Arthur round (the
+    fresh challenges break the echoed/aggregated values), and must
+    succeed against the non-interactive LCPs — their pattern is all-
+    Merlin, so a replayed transcript *is* a verbatim honest rerun.
+    That asymmetry is the point: interactivity is what makes recorded
+    proofs non-transferable.
+    """
+    from repro.graphs import (DSymLayout, cycle_graph, dsym_graph,
+                              path_graph, star_graph)
+    from repro.protocols import (ConnectivityLCP, DSymDAMProtocol,
+                                 FixedMappingProtocol,
+                                 GNIGoldwasserSipserProtocol, SymDAMProtocol,
+                                 SymDMAMProtocol, SymLCP, gni_instance)
+
+    n = 8
+    cycle = Instance(cycle_graph(n))
+    rotation = tuple((v + 1) % n for v in range(n))
+    return [
+        ("sym-dmam", SymDMAMProtocol(n), cycle, False),
+        ("sym-dam", SymDAMProtocol(n), cycle, False),
+        ("fixed-map", FixedMappingProtocol(rotation), cycle, False),
+        ("dsym-dam", DSymDAMProtocol(DSymLayout(6, 2)),
+         Instance(dsym_graph(cycle_graph(6), 2)), False),
+        ("gni-damam",
+         GNIGoldwasserSipserProtocol(4, repetitions=6, q=5, threshold=0),
+         gni_instance(path_graph(4), star_graph(4)), False),
+        ("sym-lcp", SymLCP(n), cycle, True),
+        ("connectivity-lcp", ConnectivityLCP(n), cycle, True),
+    ]
+
+
+class TestReplayAcrossProtocols:
+    @pytest.mark.parametrize("label,protocol,instance,should_accept",
+                             _replay_cases(),
+                             ids=[case[0] for case in _replay_cases()])
+    def test_replay_verdict(self, label, protocol, instance,
+                            should_accept):
+        recorded = record_responses(protocol, instance,
+                                    protocol.honest_prover(),
+                                    random.Random(7))
+        accepted = sum(
+            run_protocol(protocol, instance, ReplayProver(recorded),
+                         random.Random(500 + i)).accepted
+            for i in range(10))
+        if should_accept:
+            assert accepted == 10, (
+                f"{label}: replaying a non-interactive proof must "
+                f"verify verbatim")
+        else:
+            assert accepted == 0, (
+                f"{label}: a replayed transcript fooled the verifier "
+                f"{accepted}/10 times")

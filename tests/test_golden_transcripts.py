@@ -1,0 +1,107 @@
+"""Golden-transcript regression tests: byte-stable replay.
+
+One fixed-seed execution per protocol is serialized (every random
+value, every message field, every per-node verdict and bit count) and
+compared byte-for-byte against a checked-in JSON file.  Any change to
+challenge sampling, honest-prover responses, spanning-tree advice, or
+cost accounting shows up as a diff here — with the exact round and
+field in the diff context.
+
+Regenerate after an *intentional* change with::
+
+    REGOLD=1 python -m pytest tests/test_golden_transcripts.py
+
+and review the diff like any other code change.
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core import Instance, execution_to_jsonable, run_protocol
+from repro.graphs import (DSymLayout, cycle_graph, dsym_graph, path_graph,
+                          star_graph)
+from repro.protocols import (ConnectivityLCP, DSymDAMProtocol,
+                             FixedMappingProtocol, GNIDAMProtocol,
+                             GNIGoldwasserSipserProtocol,
+                             GeneralGNIProtocol, MARK_NONE, MARK_ONE,
+                             MARK_ZERO, MarkedGNIProtocol, SymDAMProtocol,
+                             SymDMAMProtocol, SymLCP, gni_instance,
+                             marked_instance)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEED = 20180723  # PODC'18
+
+
+def _marked_case():
+    graph_edges = [(0, 1), (1, 2), (0, 2), (0, 3),
+                   (4, 5), (5, 6), (6, 7), (3, 8), (8, 4)]
+    from repro.graphs import Graph
+    marks = {v: MARK_ZERO for v in range(4)}
+    marks.update({v: MARK_ONE for v in range(4, 8)})
+    marks[8] = MARK_NONE
+    return marked_instance(Graph(9, graph_edges), marks)
+
+
+def _cases():
+    cycle8 = Instance(cycle_graph(8))
+    rotation = tuple((v + 1) % 8 for v in range(8))
+    gni_yes = gni_instance(path_graph(4), star_graph(4))
+    return [
+        ("sym-dmam", SymDMAMProtocol(8), cycle8),
+        ("sym-dam", SymDAMProtocol(6), Instance(cycle_graph(6))),
+        ("fixed-map", FixedMappingProtocol(rotation), cycle8),
+        ("dsym-dam", DSymDAMProtocol(DSymLayout(6, 2)),
+         Instance(dsym_graph(cycle_graph(6), 2))),
+        ("sym-lcp", SymLCP(8), cycle8),
+        ("connectivity-lcp", ConnectivityLCP(8), cycle8),
+        ("gni-damam",
+         GNIGoldwasserSipserProtocol(4, repetitions=6, q=5, threshold=0),
+         gni_yes),
+        ("gni-dam", GNIDAMProtocol(4, repetitions=4, q=5, threshold=0),
+         gni_yes),
+        ("gni-marked",
+         MarkedGNIProtocol(9, k=4, repetitions=4, q=5, threshold=0),
+         _marked_case()),
+        ("gni-general",
+         GeneralGNIProtocol(4, repetitions=4, q=5, threshold=0), gni_yes),
+    ]
+
+
+def _serialized(protocol, instance):
+    result = run_protocol(protocol, instance, protocol.honest_prover(),
+                          random.Random(SEED))
+    payload = execution_to_jsonable(protocol, instance, result)
+    return payload, json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+@pytest.mark.parametrize("label,protocol,instance", _cases(),
+                         ids=[case[0] for case in _cases()])
+def test_golden_transcript(label, protocol, instance):
+    payload, text = _serialized(protocol, instance)
+    # The recorded run is an honest YES execution; if this fails, the
+    # golden file was recorded from a broken configuration.
+    assert payload["accepted"] is True
+    path = GOLDEN_DIR / f"{label}.json"
+    if os.environ.get("REGOLD"):
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"golden file missing; run REGOLD=1 pytest {__file__}")
+    golden = path.read_text()
+    assert golden == text, (
+        f"{label}: execution diverged from the golden transcript — "
+        f"if the change is intentional, regenerate with REGOLD=1 and "
+        f"review the JSON diff")
+
+
+@pytest.mark.parametrize("label,protocol,instance", _cases()[:3],
+                         ids=[case[0] for case in _cases()[:3]])
+def test_serialization_is_deterministic(label, protocol, instance):
+    """The serializer itself must be stable run-to-run in-process."""
+    _, first = _serialized(protocol, instance)
+    _, second = _serialized(protocol, instance)
+    assert first == second

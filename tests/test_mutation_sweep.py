@@ -15,22 +15,40 @@ import random
 import pytest
 
 from repro.core import Instance, TamperingProver, run_protocol
-from repro.graphs import DSymLayout, cycle_graph, dsym_graph
+from repro.graphs import (DSymLayout, Graph, cycle_graph, dsym_graph,
+                          path_graph, star_graph)
 from repro.protocols import (ConnectivityLCP, DSymDAMProtocol,
-                             FixedMappingProtocol, SymDAMProtocol,
-                             SymDMAMProtocol, SymLCP)
+                             FixedMappingProtocol, GNIDAMProtocol,
+                             GNIGoldwasserSipserProtocol,
+                             GeneralGNIProtocol, MARK_NONE, MARK_ONE,
+                             MARK_ZERO, MarkedGNIProtocol, SymDAMProtocol,
+                             SymDMAMProtocol, SymLCP, gni_instance,
+                             marked_instance)
 
 RUNS = 5
 
 
 def _mutate(value):
-    """A generic value perturbation that keeps rough shape."""
+    """A generic value perturbation that keeps rough shape.
+
+    Recurses into nested tuples (GNI echo entries, claim pairs) by
+    perturbing the first non-None element, so a corrupted message stays
+    structurally plausible and the *semantic* checks must catch it.
+    """
     if isinstance(value, bool):
         return not value
     if isinstance(value, int):
         return value + 1
-    if isinstance(value, tuple) and value and isinstance(value[0], int):
-        return (value[0] + 1,) + value[1:]
+    if isinstance(value, tuple):
+        for index, item in enumerate(value):
+            if item is None:
+                continue
+            return value[:index] + (_mutate(item),) + value[index + 1:]
+        # All-None (e.g. labels at a vertex outside every claimed
+        # side): inject a value where None is required.
+        if value:
+            return (0,) + value[1:]
+        raise AssertionError(f"no mutator for the empty tuple")
     raise AssertionError(f"no mutator for {type(value)}")
 
 
@@ -38,11 +56,31 @@ def _rotation(n):
     return tuple((v + 1) % n for v in range(n))
 
 
+def _marked_triangle_vs_path():
+    """7 vertices: a 0-marked triangle, a 1-marked path, one unmarked
+    connector — the marked subgraphs are non-isomorphic (YES)."""
+    edges = [(0, 1), (1, 2), (0, 2), (0, 3),  # triangle + pendant
+             (4, 5), (5, 6), (6, 7),          # path on {4..7}
+             (3, 8), (8, 4)]                  # connector
+    graph = Graph(9, edges)
+    marks = {v: MARK_ZERO for v in range(4)}
+    marks.update({v: MARK_ONE for v in range(4, 8)})
+    marks[8] = MARK_NONE
+    return marked_instance(graph, marks)
+
+
 def _cases():
     n = 8
     cycle = Instance(cycle_graph(n))
     dsym_layout = DSymLayout(6, 2)
     dsym_instance = Instance(dsym_graph(cycle_graph(6), 2))
+    # GNI family: tiny modulus q so every repetition carries a claim
+    # (the per-claim fields — partials, zsums, automorphism tables —
+    # are only checked on claimed repetitions) and explicit
+    # ``threshold=0`` (the analytic threshold is undefined when
+    # |S| >> q); honest provers never make false claims, so the
+    # baseline still accepts and every corruption must reject.
+    gni_yes = gni_instance(path_graph(4), star_graph(4))
     return [
         ("sym-dmam", SymDMAMProtocol(n), cycle),
         ("sym-dam", SymDAMProtocol(n), cycle),
@@ -50,6 +88,17 @@ def _cases():
         ("dsym-dam", DSymDAMProtocol(dsym_layout), dsym_instance),
         ("sym-lcp", SymLCP(n), cycle),
         ("connectivity-lcp", ConnectivityLCP(n), cycle),
+        ("gni-damam",
+         GNIGoldwasserSipserProtocol(4, repetitions=6, q=5, threshold=0),
+         gni_yes),
+        ("gni-dam",
+         GNIDAMProtocol(4, repetitions=4, q=5, threshold=0), gni_yes),
+        ("gni-marked",
+         MarkedGNIProtocol(9, k=4, repetitions=4, q=5, threshold=0),
+         _marked_triangle_vs_path()),
+        ("gni-general",
+         GeneralGNIProtocol(4, repetitions=4, q=5, threshold=0),
+         gni_yes),
     ]
 
 

@@ -17,14 +17,16 @@ class TestExports:
             assert hasattr(repro, name), name
 
     def test_subpackages_importable(self):
+        import repro.adversary
         import repro.core
         import repro.graphs
         import repro.hashing
         import repro.lowerbound
         import repro.network
         import repro.protocols
-        for pkg in (repro.core, repro.graphs, repro.hashing,
-                    repro.lowerbound, repro.network, repro.protocols):
+        for pkg in (repro.adversary, repro.core, repro.graphs,
+                    repro.hashing, repro.lowerbound, repro.network,
+                    repro.protocols):
             assert pkg.__all__
             for name in pkg.__all__:
                 assert hasattr(pkg, name), (pkg.__name__, name)
