@@ -29,18 +29,19 @@ from repro.graphs import rigid_family_exhaustive
 from repro.hashing import LinearHashFamily
 from repro.protocols import (SymDMAMProtocol, exact_commit_acceptance,
                              optimal_committed_cheater)
+from repro.lab.quick import pick, quick_mode
 from repro.protocols.batteries import sym_battery
 
-QUICK = bool(os.environ.get("BENCH_QUICK"))
+QUICK = quick_mode()
 SEED = 2018
 WORKERS = min(4, os.cpu_count() or 1)
 FAMILY = LinearHashFamily(m=36, p=37)
-GRAPHS = rigid_family_exhaustive(6)[: 1 if QUICK else 2]
+GRAPHS = rigid_family_exhaustive(6)[:pick(2, 1)]
 
 
 def test_exact_solver_agreement(benchmark):
     protocol = SymDMAMProtocol(6, family=FAMILY)
-    pools = ["swaps"] if QUICK else ["swaps", "permutations"]
+    pools = pick(["swaps", "permutations"], ["swaps"])
     rows = []
 
     def solve_all():
@@ -83,8 +84,8 @@ def test_search_vs_exact(benchmark):
         found = []
         for graph in GRAPHS:
             prover = LocalSearchProver(
-                protocol, trials=24 if QUICK else 48, seed=SEED,
-                restarts=1 if QUICK else 2)
+                protocol, trials=pick(48, 24), seed=SEED,
+                restarts=pick(2, 1))
             found.append((graph, prover.search(Instance(graph))))
         return found
 
@@ -108,7 +109,7 @@ def test_search_vs_exact(benchmark):
 def test_certification_throughput(benchmark):
     battery = sym_battery(6, random.Random(10))
     protocol = SymDMAMProtocol(battery[0].instance.n)
-    trials = 12 if QUICK else 40
+    trials = pick(40, 12)
 
     report = benchmark.pedantic(
         lambda: certify_protocol(protocol, battery, trials=trials,

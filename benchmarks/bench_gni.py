@@ -13,8 +13,12 @@ from conftest import report_table
 
 from repro import gni_instance, run_protocol
 from repro.core import binomial_tail
+from repro.lab.quick import pick
 from repro.protocols import (GNIGoldwasserSipserProtocol,
                              per_repetition_success_rate)
+
+RATE_TRIALS = pick(120, 40)
+AMP_TRIALS = pick(100, 40)
 
 
 def test_gs_gap(benchmark, rigid6):
@@ -24,8 +28,10 @@ def test_gs_gap(benchmark, rigid6):
 
     def measure():
         rng = random.Random(6)
-        rate_yes = per_repetition_success_rate(g0, g1, protocol, 120, rng)
-        rate_no = per_repetition_success_rate(g0, g1_iso, protocol, 120, rng)
+        rate_yes = per_repetition_success_rate(g0, g1, protocol,
+                                               RATE_TRIALS, rng)
+        rate_no = per_repetition_success_rate(g0, g1_iso, protocol,
+                                              RATE_TRIALS, rng)
         return rate_yes, rate_no
 
     rate_yes, rate_no = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -36,7 +42,7 @@ def test_gs_gap(benchmark, rigid6):
                    f">= {p_yes_lb:.3f}"),
                   ("NO  (|S| = 6!)", f"{rate_no:.3f}",
                    f"<= {p_no_ub:.3f}")])
-    sigma = math.sqrt(0.25 / 120)
+    sigma = math.sqrt(0.25 / RATE_TRIALS)
     assert rate_yes >= p_yes_lb - 4 * sigma
     assert rate_no <= p_no_ub + 4 * sigma
 
@@ -48,8 +54,10 @@ def test_amplified_guarantees(benchmark, rigid6):
 
     def compute():
         rng = random.Random(8)
-        rate_yes = per_repetition_success_rate(g0, g1, protocol, 100, rng)
-        rate_no = per_repetition_success_rate(g0, g1_iso, protocol, 100, rng)
+        rate_yes = per_repetition_success_rate(g0, g1, protocol,
+                                               AMP_TRIALS, rng)
+        rate_no = per_repetition_success_rate(g0, g1_iso, protocol,
+                                              AMP_TRIALS, rng)
         t, k = protocol.repetitions, protocol.threshold
         return (binomial_tail(t, rate_yes, k), binomial_tail(t, rate_no, k))
 

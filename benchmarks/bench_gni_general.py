@@ -17,10 +17,14 @@ from conftest import report_table
 
 from repro import run_protocol
 from repro.graphs import cycle_graph, star_graph
+from repro.lab.quick import pick
 from repro.protocols import (GeneralGNIProtocol, GNIGoldwasserSipserProtocol,
                              gni_instance, isomorphism_closure_encodings,
                              pair_catalog, pair_rate,
                              per_repetition_success_rate)
+
+RATE_TRIALS = pick(100, 40)
+RUNS = pick(6, 4)
 
 
 def test_gap_collapse_and_restoration(benchmark):
@@ -36,10 +40,11 @@ def test_gap_collapse_and_restoration(benchmark):
             len(isomorphism_closure_encodings(g0, g1_iso)),
             len(pair_catalog(g0, g1)),
             len(pair_catalog(g0, g1_iso)),
-            per_repetition_success_rate(g0, g1, base, 100, rng),
-            per_repetition_success_rate(g0, g1_iso, base, 100, rng),
-            pair_rate(g0, g1, general, 100, rng),
-            pair_rate(g0, g1_iso, general, 100, rng),
+            per_repetition_success_rate(g0, g1, base, RATE_TRIALS, rng),
+            per_repetition_success_rate(g0, g1_iso, base, RATE_TRIALS,
+                                        rng),
+            pair_rate(g0, g1, general, RATE_TRIALS, rng),
+            pair_rate(g0, g1_iso, general, RATE_TRIALS, rng),
         )
 
     (base_s_yes, base_s_no, gen_s_yes, gen_s_no,
@@ -70,10 +75,10 @@ def test_general_protocol_end_to_end(benchmark):
     def run_both():
         yes_acc = sum(
             run_protocol(protocol, yes, protocol.honest_prover(),
-                         random.Random(i)).accepted for i in range(6))
+                         random.Random(i)).accepted for i in range(RUNS))
         no_acc = sum(
             run_protocol(protocol, no, protocol.honest_prover(),
-                         random.Random(i)).accepted for i in range(6))
+                         random.Random(i)).accepted for i in range(RUNS))
         cost = run_protocol(protocol, yes, protocol.honest_prover(),
                             random.Random(99)).max_cost_bits
         return yes_acc, no_acc, cost
@@ -84,10 +89,10 @@ def test_general_protocol_end_to_end(benchmark):
     report_table(
         benchmark, "E9: compensated GNI end-to-end (symmetric inputs)",
         ("quantity", "value", "analytic"),
-        [("YES runs accepted", f"{yes_acc}/6",
+        [("YES runs accepted", f"{yes_acc}/{RUNS}",
           f"completeness {guarantee.completeness:.3f}"),
-         ("NO runs accepted", f"{no_acc}/6",
+         ("NO runs accepted", f"{no_acc}/{RUNS}",
           f"soundness err {guarantee.soundness_error:.3f}"),
          ("per-node bits", cost, "Θ(n log n) per repetition")])
-    assert yes_acc >= 4
+    assert yes_acc >= RUNS - 2
     assert no_acc <= 2

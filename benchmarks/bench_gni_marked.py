@@ -12,6 +12,7 @@ from conftest import report_table
 
 from repro import run_protocol
 from repro.graphs import Graph
+from repro.lab.quick import pick
 from repro.protocols import (MARK_NONE, MARK_ONE, MARK_ZERO,
                              MarkedGNIProtocol, marked_instance)
 
@@ -36,7 +37,7 @@ def test_marked_gni_correctness(benchmark, rigid6):
     unequal = build_instance(rigid6[0], rigid6[1], drop_vertex=True)
 
     def run_all():
-        runs = 6
+        runs = pick(6, 4)
         yes_acc = sum(run_protocol(protocol, yes, protocol.honest_prover(),
                                    random.Random(i)).accepted
                       for i in range(runs))
@@ -60,7 +61,7 @@ def test_marked_gni_correctness(benchmark, rigid6):
           f"soundness err {guarantee.soundness_error:.3f}"),
          ("unequal sizes (5 vs 6)", unequal_acc,
           "deterministic accept")])
-    assert yes_acc >= 4
+    assert yes_acc >= runs - 2
     assert no_acc <= 2
     assert unequal_acc
 

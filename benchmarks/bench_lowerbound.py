@@ -10,9 +10,12 @@ import random
 
 from conftest import report_table
 
+from repro.lab.quick import pick
 from repro.lowerbound import (EncodingProtocol, LocalHashProtocol,
                               l1_distance, lemma39_acceptance,
                               lower_bound_table, mu_a, packing_bound)
+
+FAMILY_SIZE = pick(4, 3)
 
 
 def test_lemma311_distances(benchmark, rigid6):
@@ -21,8 +24,10 @@ def test_lemma311_distances(benchmark, rigid6):
     broken = LocalHashProtocol(1)
 
     def measure():
-        mus_correct = [mu_a(correct, f, 4, rng) for f in rigid6[:4]]
-        mus_broken = [mu_a(broken, f, 8, rng) for f in rigid6[:4]]
+        mus_correct = [mu_a(correct, f, 4, rng)
+                       for f in rigid6[:FAMILY_SIZE]]
+        mus_broken = [mu_a(broken, f, 8, rng)
+                      for f in rigid6[:FAMILY_SIZE]]
         def min_pair(mus):
             return min(l1_distance(mus[i], mus[j])
                        for i in range(len(mus))
@@ -45,7 +50,8 @@ def test_broken_protocol_fails_on_family(benchmark, rigid6):
     rng = random.Random(5)
 
     def accept_no_instance():
-        return lemma39_acceptance(protocol, rigid6[0], rigid6[1], 10, rng)
+        return lemma39_acceptance(protocol, rigid6[0], rigid6[1],
+                                  pick(10, 6), rng)
 
     rate = benchmark.pedantic(accept_no_instance, rounds=1, iterations=1)
     report_table(benchmark,

@@ -13,10 +13,12 @@ import random
 from conftest import report_table
 
 from repro.graphs import cycle_graph
+from repro.lab.quick import pick
 from repro.network import (DeterministicEquality, HashedEquality,
                            detection_probability, run_edge_verification)
 
-WIDTHS = (64, 256, 1024, 4096)
+WIDTHS = pick((64, 256, 1024, 4096), (64, 256, 1024))
+HASH_TRIALS = pick(150, 60)
 
 
 def test_cost_gap_and_detection(benchmark):
@@ -31,7 +33,8 @@ def test_cost_gap_and_detection(benchmark):
             values[4] ^= 1  # plant one deviation
             det_rate = detection_probability(graph, values, det, 10,
                                              random.Random(k))
-            hash_rate = detection_probability(graph, values, hashed, 150,
+            hash_rate = detection_probability(graph, values, hashed,
+                                              HASH_TRIALS,
                                               random.Random(k))
             rows.append((k, det.message_bits, hashed.message_bits,
                          f"{det.message_bits / hashed.message_bits:.0f}x",

@@ -28,11 +28,12 @@ from conftest import report_table
 
 from repro import Instance, run_protocol, run_trials
 from repro.graphs import cycle_graph, random_connected_graph
+from repro.lab.quick import pick, quick_mode
 from repro.protocols import CommittedMappingProver, SymDMAMProtocol
 
-QUICK = bool(os.environ.get("BENCH_QUICK"))
-N = 16 if QUICK else 64
-TRIALS = 20 if QUICK else 200
+QUICK = quick_mode()
+N = pick(64, 16)
+TRIALS = pick(200, 20)
 SEED = 0x5EED
 WORKERS = min(8, os.cpu_count() or 1)
 

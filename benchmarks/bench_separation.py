@@ -13,9 +13,10 @@ from conftest import report_table
 from repro import Instance, run_protocol
 from repro.graphs import DSymLayout, cycle_graph, dsym_graph, \
     dsym_no_instance
+from repro.lab.quick import pick
 from repro.protocols import DSymDAMProtocol, DSymLCP
 
-INNER_SIZES = (6, 12, 24, 48)
+INNER_SIZES = pick((6, 12, 24, 48), (6, 12, 24))
 
 
 def test_separation_curve(benchmark):
@@ -50,7 +51,7 @@ def test_dsym_two_sided_correctness(benchmark, rigid6):
     protocol = DSymDAMProtocol(layout)
     yes = Instance(dsym_graph(rigid6[0], 2))
     no = Instance(dsym_no_instance(rigid6[0], rigid6[1], 2))
-    trials = 60
+    trials = pick(60, 15)
 
     def run_both():
         yes_rate = sum(

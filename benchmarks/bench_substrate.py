@@ -14,12 +14,13 @@ from repro import Instance, run_protocol
 from repro.graphs import (canonical_form, cycle_graph,
                           find_nontrivial_automorphism, gnp_random_graph,
                           rigid_family_sampled, symmetric_doubled_graph)
+from repro.lab.quick import pick
 from repro.protocols import ConnectivityLCP, SymDMAMProtocol
 
 
 def test_simulator_throughput(benchmark):
     """Full executions per second of Protocol 1 at n = 64."""
-    n = 64
+    n = pick(64, 32)
     protocol = SymDMAMProtocol(n)
     instance = Instance(cycle_graph(n))
     prover = protocol.honest_prover()
@@ -27,13 +28,14 @@ def test_simulator_throughput(benchmark):
 
     result = benchmark(lambda: run_protocol(protocol, instance, prover, rng))
     assert result.accepted
-    report_table(benchmark, "E8: simulator throughput (Protocol 1, n=64)",
+    report_table(benchmark,
+                 f"E8: simulator throughput (Protocol 1, n={n})",
                  ("nodes", "rounds", "accepted"),
                  [(n, protocol.num_rounds, result.accepted)])
 
 
 def test_spanning_tree_pls(benchmark):
-    n = 512
+    n = pick(512, 128)
     protocol = ConnectivityLCP(n)
     instance = Instance(cycle_graph(n))
     prover = protocol.honest_prover()
@@ -41,14 +43,14 @@ def test_spanning_tree_pls(benchmark):
 
     result = benchmark(lambda: run_protocol(protocol, instance, prover, rng))
     assert result.accepted
-    report_table(benchmark, "E8: spanning-tree PLS at n=512",
+    report_table(benchmark, f"E8: spanning-tree PLS at n={n}",
                  ("nodes", "per-node bits"), [(n, result.max_cost_bits)])
 
 
 def test_automorphism_search(benchmark):
     """The honest Sym prover's core query on a symmetric 42-vertex graph."""
     rng = random.Random(17)
-    base = gnp_random_graph(20, 0.3, rng)
+    base = gnp_random_graph(pick(20, 12), 0.3, rng)
     graph = symmetric_doubled_graph(base, bridge_length=2)
 
     rho = benchmark(lambda: find_nontrivial_automorphism(graph))
@@ -67,10 +69,13 @@ def test_canonical_form(benchmark):
 
 
 def test_rigid_family_sampling(benchmark):
+    size = pick(8, 4)
+
     def build():
-        return rigid_family_sampled(10, 8, random.Random(19))
+        return rigid_family_sampled(10, size, random.Random(19))
 
     family = benchmark.pedantic(build, rounds=1, iterations=1)
-    report_table(benchmark, "E8: rigid family sampling (n=10, size 8)",
+    report_table(benchmark,
+                 f"E8: rigid family sampling (n=10, size {size})",
                  ("graphs", "all rigid"), [(len(family), True)])
-    assert len(family) == 8
+    assert len(family) == size

@@ -11,9 +11,10 @@ from conftest import report_table
 
 from repro import Instance, run_protocol
 from repro.graphs import cycle_graph, lower_bound_dumbbell
+from repro.lab.quick import pick
 from repro.protocols import AdaptiveCollisionProver, SymDAMProtocol
 
-SIZES = (6, 8, 12, 16, 24)
+SIZES = pick((6, 8, 12, 16, 24), (6, 8, 12))
 
 
 def test_cost_scaling(benchmark):
@@ -43,7 +44,7 @@ def test_adaptive_adversary_defeated(benchmark, rigid6):
     protocol = SymDAMProtocol(graph.n)
     instance = Instance(graph)
     adversary = AdaptiveCollisionProver(protocol, search="swaps")
-    trials = 25
+    trials = pick(25, 9)
 
     def attack():
         return sum(

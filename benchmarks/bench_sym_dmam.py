@@ -12,9 +12,10 @@ from conftest import report_table
 
 from repro import Instance, run_protocol
 from repro.graphs import cycle_graph, lower_bound_dumbbell
+from repro.lab.quick import pick
 from repro.protocols import CommittedMappingProver, SymDMAMProtocol
 
-SIZES = (8, 16, 32, 64, 128, 256)
+SIZES = pick((8, 16, 32, 64, 128, 256), (8, 16, 32))
 
 
 def test_cost_scaling(benchmark):
@@ -60,7 +61,7 @@ def test_soundness_vs_bound(benchmark, rigid6):
     protocol = SymDMAMProtocol(graph.n)
     instance = Instance(graph)
     adversary = CommittedMappingProver(protocol)
-    trials = 200
+    trials = pick(200, 30)
 
     def attack():
         return sum(

@@ -6,25 +6,30 @@ experiment's *result rows* — communication costs, acceptance rates,
 implied bounds — in ``benchmark.extra_info`` and prints them, so
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the tables.
 
-Every table reported during a session is additionally written to
-``benchmarks/BENCH_runner.json`` at session end — a machine-readable
-mirror of the printed tables for CI checks and regression tracking.
+The recording machinery lives in :class:`repro.lab.TableRecorder`; this
+conftest is a thin session wrapper around it.  At session end every
+reported table is flushed to two machine-readable mirrors:
+
+* ``benchmarks/BENCH_runner.json`` — the legacy CI artifact;
+* ``benchmarks/lab_store/bench_tables.jsonl`` — the same payload in
+  the lab result store, one record per table.
 """
 
 from __future__ import annotations
 
-import json
 import random
 from pathlib import Path
 
 import pytest
 
 from repro.graphs import rigid_family_exhaustive
-
-#: Tables reported this session, in order; flushed to BENCH_runner.json.
-_TABLES = []
+from repro.lab import TableRecorder
 
 _JSON_PATH = Path(__file__).resolve().parent / "BENCH_runner.json"
+
+#: The session's recorder; ``report_table`` delegates to it and
+#: ``pytest_sessionfinish`` flushes it.
+_RECORDER = TableRecorder(json_path=_JSON_PATH)
 
 
 @pytest.fixture(scope="session")
@@ -41,23 +46,10 @@ def report_table(benchmark, title, header, rows):
     """Attach a result table to the benchmark and print it.
 
     ``benchmark`` may be None for plain (non-pytest-benchmark) tests;
-    the table still lands in BENCH_runner.json.
+    the table still lands in the session mirrors.
     """
-    table = {"title": title, "header": list(header),
-             "rows": [list(row) for row in rows]}
-    _TABLES.append(table)
-    if benchmark is not None:
-        benchmark.extra_info["table"] = {"title": title, "header": header,
-                                         "rows": rows}
-    width = max(len(str(c)) for row in rows + [header] for c in row) + 2
-    print(f"\n=== {title} ===")
-    print("".join(str(c).ljust(width) for c in header))
-    for row in rows:
-        print("".join(str(c).ljust(width) for c in row))
+    print(_RECORDER.report(benchmark, title, header, rows))
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _TABLES:
-        return
-    payload = {"source": "benchmarks/conftest.py", "tables": _TABLES}
-    _JSON_PATH.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    _RECORDER.flush()

@@ -12,6 +12,9 @@ Commands
                Clopper-Pearson bounds; ``--json`` for machine output).
 ``lowerbound`` Print the packing table of Theorem 1.4.
 ``costs``      Per-node cost of every protocol at a chosen size.
+``lab``        Experiment orchestration: ``lab run`` records E1–E12
+               cells into the result store, ``lab check`` is the
+               regression gate, ``lab report`` regenerates tables.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import sys
 
 def cmd_sym(args: argparse.Namespace) -> int:
     from repro import Instance, SymDMAMProtocol, run_protocol
+    from repro.core.runner import run_trials
     from repro.graphs import SMALLEST_ASYMMETRIC, cycle_graph
     from repro.protocols import CommittedMappingProver
 
@@ -38,24 +42,24 @@ def cmd_sym(args: argparse.Namespace) -> int:
     rigid = SMALLEST_ASYMMETRIC
     protocol6 = SymDMAMProtocol(rigid.n)
     cheater = CommittedMappingProver(protocol6)
-    accepted = sum(
-        run_protocol(protocol6, Instance(rigid), cheater,
-                     random.Random(i)).accepted
-        for i in range(args.trials))
+    estimate = run_trials(protocol6, Instance(rigid), cheater,
+                          args.trials, 0, workers=args.workers)
     print(f"NO (rigid 6-vertex graph): cheater fooled the network "
-          f"{accepted}/{args.trials} times "
+          f"{estimate.accepted}/{args.trials} times "
           f"(bound m/p = {protocol6.family.collision_bound:.4f})")
     return 0
 
 
 def cmd_separation(args: argparse.Namespace) -> int:
     from repro import Instance, run_protocol
+    from repro.core.runner import run_trials
     from repro.graphs import DSymLayout, cycle_graph, dsym_graph
     from repro.protocols import DSymDAMProtocol, DSymLCP
 
     rng = random.Random(args.seed)
     print(f"{'N':>6} {'LCP bits':>10} {'dAM bits':>10} {'gap':>8}")
     inner = 6
+    last = None
     while 2 * inner + 5 <= args.n:
         layout = DSymLayout(inner, 2)
         graph = dsym_graph(cycle_graph(inner), 2)
@@ -67,12 +71,21 @@ def cmd_separation(args: argparse.Namespace) -> int:
                                 rng).max_cost_bits
         print(f"{layout.total_n:>6} {lcp_cost:>10} {dam_cost:>10} "
               f"{lcp_cost / dam_cost:>7.1f}x")
+        last = (dam, instance, layout.total_n)
         inner *= 2
+    if last is not None and args.trials > 0:
+        dam, instance, total_n = last
+        estimate = run_trials(dam, instance, dam.honest_prover(),
+                              args.trials, args.seed,
+                              workers=args.workers)
+        print(f"dAM acceptance at N={total_n}: "
+              f"{estimate.accepted}/{args.trials} honest runs accepted")
     return 0
 
 
 def cmd_gni(args: argparse.Namespace) -> int:
     from repro import run_protocol
+    from repro.core.runner import run_trials
     from repro.graphs import cycle_graph, rigid_family_exhaustive, star_graph
     from repro.protocols import (GNIGoldwasserSipserProtocol,
                                  GeneralGNIProtocol, gni_instance)
@@ -98,13 +111,17 @@ def cmd_gni(args: argparse.Namespace) -> int:
                           ("NO (relabeled copy)",
                            g0.relabel([2, 0, 1, 4, 3, 5]))):
         instance = gni_instance(g0, second)
-        results = [run_protocol(instance=instance, protocol=protocol,
-                                prover=protocol.honest_prover(),
-                                rng=random.Random(args.seed + i))
-                   for i in range(runs)]
-        accepted = sum(r.accepted for r in results)
-        print(f"  {label}: accepted {accepted}/{runs} runs, "
-              f"cost={results[0].max_cost_bits} bits/node")
+        # run_trials seeds trial t with Random(seed + t) — the exact
+        # per-run streams the serial loop used — so worker count never
+        # changes the accept counts.
+        estimate = run_trials(protocol, instance,
+                              protocol.honest_prover(), runs, args.seed,
+                              workers=args.workers)
+        cost = run_protocol(instance=instance, protocol=protocol,
+                            prover=protocol.honest_prover(),
+                            rng=random.Random(args.seed)).max_cost_bits
+        print(f"  {label}: accepted {estimate.accepted}/{runs} runs, "
+              f"cost={cost} bits/node")
     return 0
 
 
@@ -170,12 +187,19 @@ def main(argv=None) -> int:
     p = sub.add_parser("sym", help="Protocol 1 demo (Theorem 1.1)")
     p.add_argument("--n", type=int, default=16)
     p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the cheater trials")
     p.set_defaults(func=cmd_sym)
 
     p = sub.add_parser("separation",
                        help="DSym dAM vs LCP cost table (Theorem 1.2)")
     p.add_argument("--n", type=int, default=200,
                    help="largest network size")
+    p.add_argument("--trials", type=int, default=8,
+                   help="honest acceptance trials at the largest size "
+                        "(0 disables)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the acceptance trials")
     p.set_defaults(func=cmd_separation)
 
     p = sub.add_parser("gni", help="Goldwasser-Sipser GNI (Theorem 1.5)")
@@ -184,6 +208,8 @@ def main(argv=None) -> int:
                    help="independent executions per side")
     p.add_argument("--general", action="store_true",
                    help="automorphism-compensated variant")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the per-side runs")
     p.set_defaults(func=cmd_gni)
 
     p = sub.add_parser(
@@ -210,6 +236,9 @@ def main(argv=None) -> int:
     p = sub.add_parser("costs", help="protocol cost comparison")
     p.add_argument("--n", type=int, default=32)
     p.set_defaults(func=cmd_costs)
+
+    from repro.lab.cli import add_lab_parser
+    add_lab_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

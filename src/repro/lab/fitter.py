@@ -1,0 +1,131 @@
+"""Scaling-law fitting: turn measured cost curves into verdicts.
+
+The paper's theorems are *asymptotic* claims — O(log n) per node for
+Protocol 1, O(n log n) for Protocol 2, the Ω(n²) LCP baseline.  The
+experiment tables used to verify those shapes by eye ("the normalized
+column is flat").  This module does it mechanically: least-squares fit
+of a measured cost curve against a panel of candidate one-parameter
+models ``c·f(n)``, ranked by residual, with a verdict that only passes
+when the expected model wins *and* wins clearly (the runner-up's
+residual exceeds the winner's by a configurable ratio).
+
+The fit is through the origin on purpose: the claims are about growth
+rates, and a free intercept would let every model absorb the small-n
+constants that the theorems ignore.  The candidate panel is small and
+fixed per experiment (log n, n, n log n, n² by default; log log n is
+opt-in for the Theorem-1.4 packing curve) — discrimination between
+*these* shapes is the reproduction target, not general model selection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Candidate one-parameter models ``y ≈ c · f(n)``, keyed by the name
+#: verdicts report.
+MODELS: Dict[str, object] = {
+    "log n": lambda n: math.log2(n),
+    "log log n": lambda n: math.log2(math.log2(n)),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log2(n),
+    "n^2": lambda n: float(n) * float(n),
+}
+
+#: The default candidate panel (the four shapes the theorems compare).
+DEFAULT_MODELS: Tuple[str, ...] = ("log n", "n", "n log n", "n^2")
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """One candidate's least-squares fit ``y ≈ coefficient · f(n)``."""
+
+    model: str
+    coefficient: float
+    rms: float
+
+
+@dataclass(frozen=True)
+class FitVerdict:
+    """Ranked fits plus the pass/fail decision for an expected shape."""
+
+    points: Tuple[Tuple[float, float], ...]
+    fits: Tuple[ModelFit, ...]  # sorted best (lowest rms) first
+    expected: Optional[str]
+    min_ratio: float
+
+    @property
+    def best(self) -> ModelFit:
+        return self.fits[0]
+
+    @property
+    def runner_up(self) -> ModelFit:
+        return self.fits[1]
+
+    @property
+    def ratio(self) -> float:
+        """Runner-up rms over best rms (∞ for an exact best fit)."""
+        if self.best.rms == 0.0:
+            return math.inf
+        return self.runner_up.rms / self.best.rms
+
+    @property
+    def passes(self) -> bool:
+        """True when no shape was expected, or the expected shape won
+        with at least ``min_ratio`` separation from the runner-up."""
+        if self.expected is None:
+            return True
+        return (self.best.model == self.expected
+                and self.ratio >= self.min_ratio)
+
+    def summary(self) -> str:
+        line = (f"best={self.best.model} (c={self.best.coefficient:.4f}, "
+                f"rms={self.best.rms:.3f}), runner-up={self.runner_up.model} "
+                f"(rms={self.runner_up.rms:.3f}), ratio={self.ratio:.2f}")
+        if self.expected is not None:
+            line += (f", expected={self.expected} "
+                     f"=> {'PASS' if self.passes else 'FAIL'}")
+        return line
+
+
+def fit_model(points: Sequence[Tuple[float, float]], model: str) -> ModelFit:
+    """Least-squares-through-origin fit of one candidate model."""
+    f = MODELS[model]
+    num = sum(y * f(n) for n, y in points)
+    den = sum(f(n) ** 2 for n, y in points)
+    if den == 0.0:
+        raise ValueError(f"model {model!r} is degenerate on these points")
+    c = num / den
+    rss = sum((y - c * f(n)) ** 2 for n, y in points)
+    return ModelFit(model=model, coefficient=c,
+                    rms=math.sqrt(rss / len(points)))
+
+
+def fit_scaling(points: Sequence[Tuple[float, float]], *,
+                models: Sequence[str] = DEFAULT_MODELS,
+                expected: Optional[str] = None,
+                min_ratio: float = 1.5) -> FitVerdict:
+    """Fit a cost curve against candidate models and rank them.
+
+    ``points`` are ``(n, cost)`` pairs; at least three distinct sizes
+    are required (two points cannot separate one-parameter growth
+    rates).  ``expected`` names the model the theorem claims; when
+    given, the verdict only passes if that model has the lowest
+    residual and the runner-up's rms is ≥ ``min_ratio`` times larger.
+    """
+    pts = tuple((float(n), float(y)) for n, y in points)
+    if len({n for n, _ in pts}) < 3:
+        raise ValueError("need at least 3 distinct sizes to fit a "
+                         f"scaling law (got {len(pts)} points)")
+    if any(n <= 1 for n, _ in pts):
+        raise ValueError("sizes must exceed 1 (log-based models)")
+    if len(models) < 2:
+        raise ValueError("need at least 2 candidate models to rank")
+    if expected is not None and expected not in models:
+        raise ValueError(f"expected model {expected!r} not among "
+                         f"candidates {tuple(models)}")
+    fits = sorted((fit_model(pts, name) for name in models),
+                  key=lambda fit: (fit.rms, fit.model))
+    return FitVerdict(points=pts, fits=tuple(fits), expected=expected,
+                      min_ratio=min_ratio)

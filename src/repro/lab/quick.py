@@ -1,0 +1,28 @@
+"""Shared quick-mode switch for the benchmark suite and the lab.
+
+CI smoke runs set ``BENCH_QUICK=1`` to shrink every workload: grids
+lose their large sizes, Monte-Carlo loops lose most of their trials.
+The switch used to be re-implemented (or missing) per bench script;
+this module is the single source of truth so the whole suite honors
+it uniformly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TypeVar
+
+T = TypeVar("T")
+
+#: Environment variable that switches the suite into quick mode.
+ENV_VAR = "BENCH_QUICK"
+
+
+def quick_mode() -> bool:
+    """True when ``BENCH_QUICK`` is set (to anything non-empty)."""
+    return bool(os.environ.get(ENV_VAR))
+
+
+def pick(full: T, quick: T) -> T:
+    """``quick`` under ``BENCH_QUICK``, ``full`` otherwise."""
+    return quick if quick_mode() else full

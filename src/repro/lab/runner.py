@@ -1,0 +1,264 @@
+"""The sweep runner: execute experiment specs, record cells, resume.
+
+One **cell** is the atom of lab work: a (size, prover, trials, seed)
+point of a spec.  The runner executes cells with the deterministic
+``seed + trial_index`` streams of :func:`repro.core.runner.run_trials`
+(so worker count never changes a measurement), normalizes each record
+through a JSON round-trip (so fresh and replayed records compare
+bit-for-bit), and appends them to the result store.  Cells already in
+the store are skipped — re-running a partially recorded sweep only
+pays for the missing cells.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.model import Instance, Protocol, Prover, ROUND_ARTHUR
+from ..core.runner import run_protocol, run_trials
+from .spec import (ExperimentSpec, GRAPHS, KIND_COLLISION, KIND_EDGECHECK,
+                   KIND_PACKING, KIND_SWEEP, PROTOCOLS, PROVERS)
+from .store import ResultStore, cell_key
+
+#: Planted-deviation node for the E10 edge-equality harness.
+_EDGECHECK_NODES = 10
+_EDGECHECK_DEVIANT = 4
+#: Vector length of the E7 collision-law family (the Theorem 3.2 "m").
+_COLLISION_M = 8
+
+
+@dataclass
+class CellResult:
+    """One cell's outcome: its (normalized) record, and whether it was
+    replayed from the store instead of executed."""
+
+    spec_name: str
+    key: str
+    record: Dict[str, Any]
+    skipped: bool
+
+
+def _normalize(record: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON round-trip so in-memory and store-loaded records carry
+    identical types (tuples become lists, keys become strings)."""
+    return json.loads(json.dumps(record, sort_keys=True, default=str))
+
+
+def _base_record(spec: ExperimentSpec, n: int, size: int, prover: str,
+                 trials: int) -> Dict[str, Any]:
+    return {
+        "kind": spec.kind, "spec": spec.name, "spec_hash": spec.hash,
+        "n": n, "size": size, "prover": prover,
+        "trials": trials, "seed": spec.seed,
+        "accepted": 0, "bits": 0, "round_bits": [], "extra": {},
+        "wall": 0.0, "workers": 1,
+    }
+
+
+def _round_bits(protocol: Protocol, instance: Instance,
+                result) -> List[int]:
+    """Per-round bits at node 0 (nodes are cost-uniform in every
+    protocol here) — the 'bits per phase' provenance of a cell."""
+    bits = []
+    for round_idx, kind in enumerate(protocol.pattern):
+        if kind == ROUND_ARTHUR:
+            bits.append(protocol.arthur_bits(instance, round_idx))
+        else:
+            message = result.transcript.messages[round_idx][0]
+            bits.append(protocol.merlin_bits(instance, round_idx, message))
+    return bits
+
+
+def _sweep_cell(spec: ExperimentSpec, n: int, prover_key: str,
+                trials: int, workers: int) -> Dict[str, Any]:
+    start = time.perf_counter()
+    protocol = PROTOCOLS[spec.protocol](n)
+    instance = GRAPHS[spec.graph](n)
+    prover: Prover = PROVERS[prover_key](protocol)
+    from ..core.context import InstanceContext
+    context = InstanceContext(instance, protocol)
+    cost_run = run_protocol(protocol, instance, prover,
+                            random.Random(spec.seed), context=context)
+    estimate = run_trials(protocol, instance, prover, trials, spec.seed,
+                          workers=workers, context=context)
+    record = _base_record(spec, n, instance.n, prover_key, trials)
+    record.update(
+        accepted=estimate.accepted,
+        bits=cost_run.max_cost_bits,
+        round_bits=_round_bits(protocol, instance, cost_run),
+        wall=round(time.perf_counter() - start, 6),
+        workers=estimate.workers,
+    )
+    return record
+
+
+def _packing_cell(spec: ExperimentSpec, n: int) -> Dict[str, Any]:
+    from ..lowerbound import lower_bound_table
+    start = time.perf_counter()
+    row = lower_bound_table([n])[0]
+    record = _base_record(spec, n, n, "analytic", 0)
+    record.update(
+        bits=row.min_simple_length,
+        extra={"log2_family_size": round(row.log2_family_size, 6),
+               "loglog_n": round(row.loglog_n, 6)},
+        wall=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
+def _collision_cell(spec: ExperimentSpec, n: int,
+                    pairs: int) -> Dict[str, Any]:
+    """Exact collision-seed counts (brute force over all seeds) for
+    ``pairs`` random vector pairs at the prime ≥ ``n``."""
+    from ..hashing import LinearHashFamily, collision_seed_count, next_prime
+    start = time.perf_counter()
+    p = next_prime(n)
+    family = LinearHashFamily(m=_COLLISION_M, p=p)
+    rng = random.Random(spec.seed + n)
+    worst = 0
+    for _ in range(pairs):
+        a = [rng.randrange(p) for _ in range(_COLLISION_M)]
+        b = [rng.randrange(p) for _ in range(_COLLISION_M)]
+        if a == b:
+            continue
+        worst = max(worst, collision_seed_count(family, a, b))
+    record = _base_record(spec, n, n, "exact", pairs)
+    record.update(
+        bits=worst,
+        extra={"p": p, "m": _COLLISION_M},
+        wall=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
+def _edgecheck_cell(spec: ExperimentSpec, k: int,
+                    trials: int) -> Dict[str, Any]:
+    """E10's RPLS baseline: hashed vs deterministic edge equality at
+    value width ``k``, with one planted deviation."""
+    from ..graphs import cycle_graph
+    from ..network import (DeterministicEquality, HashedEquality,
+                           detection_probability)
+    start = time.perf_counter()
+    graph = cycle_graph(_EDGECHECK_NODES)
+    det = DeterministicEquality(k)
+    hashed = HashedEquality(k)
+    values = {v: (1 << (k - 1)) | 3 for v in graph.vertices}
+    values[_EDGECHECK_DEVIANT] ^= 1
+    det_trials = min(10, trials)
+    det_rate = detection_probability(graph, values, det, det_trials,
+                                     random.Random(k))
+    hash_rate = detection_probability(graph, values, hashed, trials,
+                                      random.Random(k))
+    # ``size`` is the scaling parameter of this experiment — the value
+    # width k, not the (fixed) node count — so the fitter sees k.
+    record = _base_record(spec, k, k, "hashed", trials)
+    record.update(
+        accepted=round(hash_rate * trials),
+        bits=hashed.message_bits,
+        extra={"nodes": _EDGECHECK_NODES,
+               "det_bits": det.message_bits,
+               "det_detections": round(det_rate * det_trials),
+               "det_trials": det_trials},
+        wall=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
+def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
+                 trials: int, workers: int = 1) -> Dict[str, Any]:
+    """Execute one cell and return its normalized record."""
+    if spec.kind == KIND_SWEEP:
+        record = _sweep_cell(spec, n, prover_key, trials, workers)
+    elif spec.kind == KIND_PACKING:
+        record = _packing_cell(spec, n)
+    elif spec.kind == KIND_COLLISION:
+        record = _collision_cell(spec, n, trials)
+    elif spec.kind == KIND_EDGECHECK:
+        record = _edgecheck_cell(spec, n, trials)
+    else:  # pragma: no cover - ExperimentSpec validates kinds
+        raise ValueError(f"unknown spec kind {spec.kind!r}")
+    return _normalize(record)
+
+
+def spec_cells(spec: ExperimentSpec,
+               quick: bool) -> List[Tuple[int, str, int]]:
+    """The (n, prover, trials) cells a grid expands to."""
+    trials = spec.cell_trials(quick)
+    return [(n, prover, trials)
+            for n in spec.sizes(quick)
+            for prover in spec.provers]
+
+
+def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
+             quick: bool = False, workers: int = 1,
+             resume: bool = True) -> List[CellResult]:
+    """Execute one spec's grid, recording cells into ``store``.
+
+    With a store and ``resume`` (the default), cells whose key is
+    already recorded are returned as ``skipped`` replays instead of
+    re-executing.  With ``store=None`` every cell is computed fresh
+    and nothing is written — the regression gate's comparison mode.
+    """
+    stored = store.load_cells(spec) if (store and resume) else {}
+    results: List[CellResult] = []
+    for n, prover_key, trials in spec_cells(spec, quick):
+        key = cell_key(n, prover_key, trials, spec.seed)
+        if key in stored:
+            results.append(CellResult(spec.name, key, stored[key], True))
+            continue
+        record = compute_cell(spec, n, prover_key, trials, workers)
+        if store is not None:
+            store.append_cell(spec, record)
+            stored[key] = record
+        results.append(CellResult(spec.name, key, record, False))
+    return results
+
+
+def run_specs(specs, store: Optional[ResultStore] = None, *,
+              quick: bool = False, full: bool = True,
+              workers: int = 1) -> Dict[str, Any]:
+    """Run many specs; by default both the quick grid (the CI
+    comparison cells) and the full grid (the fitter's curve) so one
+    ``lab run`` produces a complete baseline.  Returns a summary."""
+    summary: Dict[str, Any] = {"specs": [], "ran": 0, "skipped": 0,
+                               "wall": 0.0}
+    for spec in specs:
+        start = time.perf_counter()
+        results: List[CellResult] = []
+        results.extend(run_spec(spec, store, quick=True, workers=workers))
+        if full and not quick:
+            results.extend(run_spec(spec, store, quick=False,
+                                    workers=workers))
+        seen = set()
+        deduped = [r for r in results
+                   if not (r.key in seen or seen.add(r.key))]
+        ran = sum(not r.skipped for r in deduped)
+        skipped = sum(r.skipped for r in deduped)
+        summary["specs"].append({
+            "spec": spec.name, "hash": spec.hash,
+            "cells": len(deduped), "ran": ran, "skipped": skipped,
+            "wall": round(time.perf_counter() - start, 3),
+        })
+        summary["ran"] += ran
+        summary["skipped"] += skipped
+        summary["wall"] += time.perf_counter() - start
+    summary["wall"] = round(summary["wall"], 3)
+    return summary
+
+
+def fit_points(spec: ExperimentSpec,
+               cells: Dict[str, Dict[str, Any]]
+               ) -> List[Tuple[int, int]]:
+    """The (size, bits) curve of a spec's fit series: full-grid cells
+    of ``fit_prover`` at the full trial count, in size order."""
+    points = []
+    for n in spec.grid:
+        key = cell_key(n, spec.fit_prover, spec.trials, spec.seed)
+        record = cells.get(key)
+        if record is not None:
+            points.append((record["size"], record["bits"]))
+    return points

@@ -1,0 +1,168 @@
+"""Append-only, content-addressed JSONL result store.
+
+Every number a lab experiment produces lands here as one JSON record
+per line under ``benchmarks/lab_store/``:
+
+* **cell records** — one file per spec, named
+  ``<spec-name>-<spec-hash>.jsonl``; each line is one executed cell
+  (size × prover × trials × seed) with its deterministic measurements
+  (bits/node, per-round bits, accepted counts) plus wall-clock
+  instrumentation.  Files are append-only; on replays the *last*
+  record for a cell key wins.  Because the file name carries the
+  spec's identity hash, editing a spec's identity retires its old
+  records automatically.
+* **table records** — ``bench_tables.jsonl``, the machine-readable
+  mirror of every table the pytest-benchmark suite prints (the same
+  payload that historically went only to ``BENCH_runner.json``).
+
+The store is the single writer for both channels, so ``lab run`` and
+``pytest benchmarks/`` produce one consistent record format in one
+place.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .spec import ExperimentSpec
+
+#: Fields of a cell record that must be bit-identical across replays
+#: (the regression gate's hard-fail set).  Wall-clock and worker count
+#: are instrumentation and excluded on purpose.
+DETERMINISTIC_FIELDS = ("spec", "spec_hash", "n", "size", "prover",
+                        "trials", "seed", "accepted", "bits",
+                        "round_bits", "extra")
+
+TABLES_FILE = "bench_tables.jsonl"
+
+
+def default_store_root() -> Path:
+    """``benchmarks/lab_store`` next to the source tree when running
+    from a checkout, else under the current working directory."""
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "lab_store"
+    return Path.cwd() / "benchmarks" / "lab_store"
+
+
+def cell_key(n: int, prover: str, trials: int, seed: int) -> str:
+    """The cell's identity inside a spec's store file."""
+    return f"n={n}/prover={prover}/trials={trials}/seed={seed}"
+
+
+def record_key(record: Dict[str, Any]) -> str:
+    return cell_key(record["n"], record["prover"], record["trials"],
+                    record["seed"])
+
+
+class ResultStore:
+    """Reader/writer for the lab's JSONL record files."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+
+    # -- cell records ---------------------------------------------------
+
+    def spec_path(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.name}-{spec.hash}.jsonl"
+
+    def load_cells(self, spec: ExperimentSpec) -> Dict[str, Dict[str, Any]]:
+        """All recorded cells of a spec, keyed by cell key (last record
+        for a key wins — the append-only replay rule)."""
+        path = self.spec_path(spec)
+        cells: Dict[str, Dict[str, Any]] = {}
+        if not path.exists():
+            return cells
+        with path.open("r", encoding="ascii") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                cells[record_key(record)] = record
+        return cells
+
+    def has_cell(self, spec: ExperimentSpec, key: str) -> bool:
+        return key in self.load_cells(spec)
+
+    def append_cell(self, spec: ExperimentSpec,
+                    record: Dict[str, Any]) -> None:
+        if record.get("spec") != spec.name \
+                or record.get("spec_hash") != spec.hash:
+            raise ValueError("record does not belong to this spec")
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self.spec_path(spec).open("a", encoding="ascii") as handle:
+            handle.write(line + "\n")
+
+    # -- table records --------------------------------------------------
+
+    @property
+    def tables_path(self) -> Path:
+        return self.root / TABLES_FILE
+
+    def write_tables(self, source: str,
+                     tables: Sequence[Dict[str, Any]]) -> None:
+        """Replace the benchmark-table channel with this session's
+        tables (tables are session artifacts, not regression cells)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.tables_path.open("w", encoding="ascii") as handle:
+            for table in tables:
+                record = {"kind": "table", "source": source, **table}
+                handle.write(json.dumps(record, sort_keys=True,
+                                        default=str) + "\n")
+
+    def load_tables(self) -> List[Dict[str, Any]]:
+        if not self.tables_path.exists():
+            return []
+        with self.tables_path.open("r", encoding="ascii") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+
+class TableRecorder:
+    """Collects result tables during a benchmark session and flushes
+    them to the store (plus the legacy ``BENCH_runner.json`` mirror).
+
+    This is the engine behind ``benchmarks/conftest.py``'s
+    ``report_table`` — lifted into the library so pytest-benchmark
+    sessions and ``lab run`` share one recorder and one record format.
+    """
+
+    def __init__(self, json_path: Optional[Path] = None,
+                 store: Optional[ResultStore] = None,
+                 source: str = "benchmarks/conftest.py") -> None:
+        self.json_path = Path(json_path) if json_path else None
+        self.store = store if store is not None else ResultStore()
+        self.source = source
+        self.tables: List[Dict[str, Any]] = []
+
+    def report(self, benchmark: Any, title: str,
+               header: Iterable[Any], rows: Iterable[Iterable[Any]]) -> str:
+        """Record one table, attach it to the benchmark (when given),
+        and return the printable rendering."""
+        header = list(header)
+        rows = [list(row) for row in rows]
+        self.tables.append({"title": title, "header": header,
+                            "rows": rows})
+        if benchmark is not None:
+            benchmark.extra_info["table"] = {
+                "title": title, "header": header, "rows": rows}
+        width = max(len(str(c)) for row in rows + [header] for c in row) + 2
+        lines = [f"\n=== {title} ===",
+                 "".join(str(c).ljust(width) for c in header)]
+        lines.extend("".join(str(c).ljust(width) for c in row)
+                     for row in rows)
+        return "\n".join(lines)
+
+    def flush(self) -> None:
+        """Write the session's tables to the store and the JSON mirror
+        (no-op when nothing was recorded)."""
+        if not self.tables:
+            return
+        self.store.write_tables(self.source, self.tables)
+        if self.json_path is not None:
+            payload = {"source": self.source, "tables": self.tables}
+            self.json_path.write_text(
+                json.dumps(payload, indent=2, default=str) + "\n")

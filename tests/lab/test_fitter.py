@@ -1,0 +1,91 @@
+"""Scaling-law fitter: discrimination on exact synthetic curves."""
+
+import math
+
+import pytest
+
+from repro.lab import fit_model, fit_scaling
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def curve(f, c=3.0):
+    return [(n, c * f(n)) for n in SIZES]
+
+
+class TestExactCurves:
+    def test_log_n_curve_wins(self):
+        verdict = fit_scaling(curve(math.log2), expected="log n")
+        assert verdict.best.model == "log n"
+        assert verdict.best.coefficient == pytest.approx(3.0)
+        assert verdict.best.rms == pytest.approx(0.0)
+        assert verdict.ratio == math.inf
+        assert verdict.passes
+
+    def test_n_log_n_curve_wins(self):
+        verdict = fit_scaling(curve(lambda n: n * math.log2(n)),
+                              expected="n log n")
+        assert verdict.best.model == "n log n"
+        assert verdict.passes
+
+    def test_n_squared_curve_wins(self):
+        verdict = fit_scaling(curve(lambda n: n * n), expected="n^2")
+        assert verdict.best.model == "n^2"
+        assert verdict.passes
+
+    def test_noisy_log_n_still_discriminates(self):
+        pts = [(n, 3.0 * math.log2(n) + (1 if n % 2 else -1) * 0.3)
+               for n in SIZES]
+        verdict = fit_scaling(pts, expected="log n")
+        assert verdict.passes
+        assert verdict.ratio > 1.5
+
+
+class TestWrongCurveFails:
+    def test_quadratic_data_fails_a_log_claim(self):
+        # The deliberately wrong claim: n² growth sold as O(log n)
+        # must NOT pass the verdict.
+        verdict = fit_scaling(curve(lambda n: n * n), expected="log n")
+        assert verdict.best.model == "n^2"
+        assert not verdict.passes
+
+    def test_ambiguous_fit_fails_the_ratio_bar(self):
+        # An even blend of n and n·log n over a narrow size range:
+        # "n log n" wins on rms but without clear separation
+        # (ratio ≈ 1.1), so the verdict must refuse to certify.
+        pts = [(n, 0.5 * n * math.log2(n) + 1.5 * n)
+               for n in (6, 8, 12)]
+        verdict = fit_scaling(pts, expected="n log n", min_ratio=1.5)
+        assert verdict.best.model == "n log n"
+        assert verdict.ratio < 1.5
+        assert not verdict.passes
+
+    def test_summary_mentions_fail(self):
+        verdict = fit_scaling(curve(lambda n: n * n), expected="log n")
+        assert "FAIL" in verdict.summary()
+
+
+class TestValidation:
+    def test_needs_three_distinct_sizes(self):
+        with pytest.raises(ValueError, match="3 distinct"):
+            fit_scaling([(8, 1.0), (16, 2.0)])
+        with pytest.raises(ValueError, match="3 distinct"):
+            fit_scaling([(8, 1.0), (8, 1.0), (16, 2.0)])
+
+    def test_sizes_above_one(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            fit_scaling([(1, 1.0), (2, 2.0), (4, 3.0)])
+
+    def test_expected_must_be_candidate(self):
+        with pytest.raises(ValueError, match="not among"):
+            fit_scaling(curve(math.log2), expected="log log n")
+
+    def test_needs_two_models(self):
+        with pytest.raises(ValueError, match="2 candidate"):
+            fit_scaling(curve(math.log2), models=("log n",))
+
+    def test_fit_model_least_squares(self):
+        fit = fit_model([(8, 6.0), (16, 8.0), (32, 10.0)], "log n")
+        num = 6.0 * 3 + 8.0 * 4 + 10.0 * 5
+        den = 9.0 + 16.0 + 25.0
+        assert fit.coefficient == pytest.approx(num / den)

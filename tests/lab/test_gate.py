@@ -1,0 +1,111 @@
+"""The lab check regression gate: drift, missing cells, fit verdicts."""
+
+import json
+
+from repro.lab import ResultStore, check_spec, check_specs, get_spec, run_spec
+from repro.lab.gate import render_check
+
+SPEC = get_spec("E6-order-dmam")          # cheap, no fit expectation
+FIT_SPEC = get_spec("E8-substrate-pls")   # cheap, expects log n
+
+
+def _populate(store, spec):
+    run_spec(spec, store, quick=True)
+    run_spec(spec, store, quick=False)
+
+
+def _tamper(store, spec, field, value):
+    path = store.spec_path(spec)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    records[0][field] = value
+    path.write_text("\n".join(json.dumps(r, sort_keys=True)
+                              for r in records) + "\n")
+
+
+class TestCheckSpec:
+    def test_clean_baseline_passes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, SPEC)
+        report = check_spec(SPEC, store)
+        assert report["ok"]
+        assert [c["status"] for c in report["cells"]] == ["ok"]
+        assert report["fit"] is None
+
+    def test_deterministic_drift_fails(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, SPEC)
+        _tamper(store, SPEC, "bits", 12345)
+        report = check_spec(SPEC, store)
+        assert not report["ok"]
+        cell = report["cells"][0]
+        assert cell["status"] == "drift"
+        assert "bits" in cell["fields"]
+        assert cell["stored"]["bits"] == 12345
+
+    def test_missing_baseline_fails(self, tmp_path):
+        report = check_spec(SPEC, ResultStore(tmp_path))
+        assert not report["ok"]
+        assert [c["status"] for c in report["cells"]] == ["missing"]
+
+    def test_wall_drift_only_warns(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, SPEC)
+        # A baseline recorded as impossibly fast: fresh wall exceeds
+        # 5x + grace, which must warn but not fail.
+        _tamper(store, SPEC, "wall", -1.0)
+        report = check_spec(SPEC, store)
+        assert report["ok"]
+        assert report["warnings"]
+
+    def test_fit_verdict_from_stored_curve(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, FIT_SPEC)
+        report = check_spec(FIT_SPEC, store)
+        assert report["ok"]
+        assert report["fit"]["status"] == "pass"
+        assert report["fit"]["best"] == "log n"
+
+    def test_fit_missing_full_curve_fails(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(FIT_SPEC, store, quick=True)  # no full-grid cells
+        report = check_spec(FIT_SPEC, store)
+        assert not report["ok"]
+        assert report["fit"]["status"] == "missing-cells"
+
+    def test_tampered_curve_fails_the_fit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, FIT_SPEC)
+        # Rewrite every full-grid cell's bits to n^2 growth: the
+        # quick-grid comparison still matches (only full cells are
+        # touched), but the scaling verdict must flip to fail.
+        path = store.spec_path(FIT_SPEC)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        for record in records:
+            if record["trials"] == FIT_SPEC.trials:
+                record["bits"] = record["n"] * record["n"]
+        path.write_text("\n".join(json.dumps(r, sort_keys=True)
+                                  for r in records) + "\n")
+        report = check_spec(FIT_SPEC, store)
+        assert not report["ok"]
+        assert report["fit"]["status"] == "fail"
+        assert report["fit"]["best"] == "n^2"
+
+
+class TestCheckSpecs:
+    def test_overall_verdict_and_rendering(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, SPEC)
+        report = check_specs([SPEC], store)
+        assert report["ok"]
+        text = "\n".join(render_check(report))
+        assert "[PASS]" in text and "overall: OK" in text
+
+    def test_one_failure_fails_overall(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _populate(store, SPEC)
+        _tamper(store, SPEC, "accepted", 999)
+        report = check_specs([SPEC], store)
+        assert not report["ok"]
+        text = "\n".join(render_check(report))
+        assert "[FAIL]" in text and "overall: FAIL" in text

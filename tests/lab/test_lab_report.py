@@ -1,0 +1,62 @@
+"""Lab report: byte-stable markdown projection of the store."""
+
+from repro.lab import ResultStore, get_spec, get_specs, run_spec
+from repro.lab.report import render_lab_report
+
+SPEC = get_spec("E6-order-dmam")
+FIT_SPEC = get_spec("E8-substrate-pls")
+
+
+class TestRenderStability:
+    def test_double_render_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(SPEC, store, quick=True)
+        run_spec(SPEC, store, quick=False)
+        first = render_lab_report([SPEC], store)
+        second = render_lab_report([SPEC], store)
+        assert first == second
+
+    def test_replayed_store_renders_identically(self, tmp_path):
+        # Appending a duplicate record (same cell, replayed) must not
+        # change the rendering: last-wins plus sorted emission.
+        store = ResultStore(tmp_path)
+        run_spec(SPEC, store, quick=True)
+        before = render_lab_report([SPEC], store)
+        record = next(iter(store.load_cells(SPEC).values()))
+        store.append_cell(SPEC, record)
+        assert render_lab_report([SPEC], store) == before
+
+    def test_ends_with_single_newline(self, tmp_path):
+        text = render_lab_report([SPEC], ResultStore(tmp_path))
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+
+class TestContent:
+    def test_empty_store_renders_placeholders(self, tmp_path):
+        text = render_lab_report(get_specs(), ResultStore(tmp_path))
+        assert "no recorded cells" in text
+        for i in range(1, 13):
+            assert f"## E{i}\n" in text
+
+    def test_sweep_table_and_fit_line(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(FIT_SPEC, store, quick=False)
+        text = render_lab_report([FIT_SPEC], store)
+        assert "| n | prover | trials |" in text
+        assert "Fit: best=log n" in text
+        assert "PASS" in text
+
+    def test_fit_pending_without_full_curve(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(FIT_SPEC, store, quick=True)
+        text = render_lab_report([FIT_SPEC], store)
+        assert "Fit: pending" in text
+
+    def test_regeneration_header(self, tmp_path):
+        text = render_lab_report([], ResultStore(tmp_path))
+        assert "python -m repro lab report" in text
+
+    def test_wall_clock_never_rendered(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(SPEC, store, quick=True)
+        assert "wall" not in render_lab_report([SPEC], store)

@@ -1,0 +1,119 @@
+"""Result store: append/replay semantics, resume, table recording."""
+
+import json
+
+import pytest
+
+from repro.lab import (ResultStore, TableRecorder, cell_key, get_spec,
+                       run_spec)
+from repro.lab.runner import compute_cell, spec_cells
+
+# The cheapest real sweep spec: one 6-vertex cell per grid.
+SPEC = get_spec("E6-order-dmam")
+
+
+def _record(n=6, prover="committed", trials=6, bits=10):
+    return {"kind": "sweep", "spec": SPEC.name, "spec_hash": SPEC.hash,
+            "n": n, "size": n, "prover": prover, "trials": trials,
+            "seed": SPEC.seed, "accepted": 0, "bits": bits,
+            "round_bits": [bits], "extra": {}, "wall": 0.0, "workers": 1}
+
+
+class TestCellRecords:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = _record()
+        store.append_cell(SPEC, record)
+        cells = store.load_cells(SPEC)
+        key = cell_key(6, "committed", 6, SPEC.seed)
+        assert cells == {key: record}
+        assert store.has_cell(SPEC, key)
+
+    def test_last_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_cell(SPEC, _record(bits=10))
+        store.append_cell(SPEC, _record(bits=99))
+        key = cell_key(6, "committed", 6, SPEC.seed)
+        assert store.load_cells(SPEC)[key]["bits"] == 99
+        # Append-only: both lines are still on disk.
+        lines = store.spec_path(SPEC).read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_file_name_carries_spec_hash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.spec_path(SPEC).name \
+            == f"{SPEC.name}-{SPEC.hash}.jsonl"
+
+    def test_foreign_record_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        alien = dict(_record(), spec_hash="000000000000")
+        with pytest.raises(ValueError, match="belong"):
+            store.append_cell(SPEC, alien)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "nope").load_cells(SPEC) == {}
+
+
+class TestResume:
+    def test_rerun_skips_recorded_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_spec(SPEC, store, quick=True)
+        assert [r.skipped for r in first] == [False]
+        second = run_spec(SPEC, store, quick=True)
+        assert [r.skipped for r in second] == [True]
+        assert second[0].record == first[0].record
+
+    def test_quick_and_full_cells_coexist(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(SPEC, store, quick=True)
+        run_spec(SPEC, store, quick=False)
+        cells = store.load_cells(SPEC)
+        assert len(cells) == len(spec_cells(SPEC, True)) \
+            + len(spec_cells(SPEC, False))
+
+    def test_storeless_run_writes_nothing(self, tmp_path):
+        results = run_spec(SPEC, store=None, quick=True)
+        assert [r.skipped for r in results] == [False]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fresh_equals_stored_record(self, tmp_path):
+        # The gate's core assumption: a recomputed cell is identical
+        # to its stored normalization, deterministic field by field.
+        store = ResultStore(tmp_path)
+        stored = run_spec(SPEC, store, quick=True)[0].record
+        n, prover, trials = spec_cells(SPEC, True)[0]
+        fresh = compute_cell(SPEC, n, prover, trials)
+        for field in ("n", "size", "prover", "trials", "seed",
+                      "accepted", "bits", "round_bits", "extra"):
+            assert fresh[field] == stored[field]
+
+
+class TestTableRecorder:
+    def test_report_and_flush(self, tmp_path):
+        json_path = tmp_path / "BENCH.json"
+        recorder = TableRecorder(json_path=json_path,
+                                 store=ResultStore(tmp_path / "store"))
+        rendered = recorder.report(None, "T", ("a", "b"), [(1, 2)])
+        assert "=== T ===" in rendered and "1" in rendered
+        recorder.flush()
+        payload = json.loads(json_path.read_text())
+        assert payload["tables"] == [
+            {"title": "T", "header": ["a", "b"], "rows": [[1, 2]]}]
+        tables = recorder.store.load_tables()
+        assert tables[0]["kind"] == "table"
+        assert tables[0]["rows"] == [[1, 2]]
+
+    def test_flush_without_tables_is_noop(self, tmp_path):
+        json_path = tmp_path / "BENCH.json"
+        TableRecorder(json_path=json_path,
+                      store=ResultStore(tmp_path / "store")).flush()
+        assert not json_path.exists()
+
+    def test_report_attaches_extra_info(self, tmp_path):
+        class FakeBenchmark:
+            extra_info = {}
+
+        recorder = TableRecorder(store=ResultStore(tmp_path))
+        bench = FakeBenchmark()
+        recorder.report(bench, "T", ("a",), [(1,)])
+        assert bench.extra_info["table"]["title"] == "T"

@@ -22,6 +22,28 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "LCP bits" in out
         assert "17" in out
+        assert "dAM acceptance" in out
+
+    def test_sym_workers_matches_serial(self, capsys):
+        assert main(["sym", "--n", "8", "--trials", "10"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sym", "--n", "8", "--trials", "10",
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_separation_workers_matches_serial(self, capsys):
+        assert main(["separation", "--n", "40", "--trials", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["separation", "--n", "40", "--trials", "4",
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_gni_workers_matches_serial(self, capsys):
+        args = ["gni", "--repetitions", "8", "--runs", "2"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_lowerbound(self, capsys):
         assert main(["lowerbound"]) == 0
