@@ -1,0 +1,93 @@
+"""E13 — netsim substrate: overhead vs the abstract runner, and the
+fault-injection matrix.
+
+The substrate runs the same protocol objects as the abstract runner
+but pays for real work — encoding every frame, scheduling every
+delivery, relaying every cross-check.  The overhead table quantifies
+that price at growing sizes (wall-clock ratio plus the substrate's
+extra bits); the fault sweep records acceptance/detection across the
+canonical fault configurations.
+"""
+
+import random
+
+from conftest import report_table
+
+from repro import Instance, run_protocol
+from repro.graphs import cycle_graph
+from repro.lab.quick import pick, quick_mode
+from repro.netsim import run_netsim
+from repro.netsim.harness import fault_matrix
+from repro.protocols import SymDMAMProtocol
+
+QUICK = quick_mode()
+SEED = 2018
+
+
+def _once(fn, *args, **kwargs):
+    import time
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_netsim_overhead(benchmark):
+    """Wall-clock and bit overhead of the substrate vs the abstract
+    runner at n ∈ {16, 32, 64} (quick: {16})."""
+    sizes = pick((16, 32, 64), (16,))
+    rows = []
+    for n in sizes:
+        protocol = SymDMAMProtocol(n)
+        instance = Instance(cycle_graph(n))
+        abstract, abs_wall = _once(
+            run_protocol, protocol, instance, protocol.honest_prover(),
+            random.Random(SEED))
+        net, net_wall = _once(
+            run_netsim, protocol, instance, protocol.honest_prover(),
+            random.Random(SEED), net_seed=SEED, trace=False)
+        assert net.accepted == abstract.accepted
+        assert net.node_cost_bits == abstract.node_cost_bits
+        rows.append((n, abstract.max_cost_bits, net.overhead_bits,
+                     net.crosscheck_bits,
+                     round(net_wall / max(abs_wall, 1e-9), 2)))
+
+    n = sizes[-1]
+    protocol = SymDMAMProtocol(n)
+    instance = Instance(cycle_graph(n))
+
+    def run():
+        return run_netsim(protocol, instance, protocol.honest_prover(),
+                          random.Random(SEED), net_seed=SEED,
+                          trace=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.accepted
+    report_table(benchmark,
+                 "E13: netsim overhead vs abstract runner (Protocol 1)",
+                 ("n", "proof bits/node", "framing bits",
+                  "crosscheck bits", "wall ratio"),
+                 rows)
+
+
+def test_netsim_fault_sweep(benchmark):
+    """The fault matrix as a recorded table: acceptance per fault
+    configuration plus the hashed-equality detection row."""
+    trials = pick(20, 6)
+
+    def run():
+        return fault_matrix(SEED, trials=trials, n=8)
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert matrix["all_ok"]
+    rows = []
+    for row in matrix["rows"]:
+        rows.append((row["fault"], row["crosscheck"],
+                     round(row["accept_rate"], 3), row["lost_frames"],
+                     round(row.get("detection_rate", -1.0), 3),
+                     round(row.get("analytic_bound", -1.0), 4)))
+    report_table(benchmark,
+                 f"E13: netsim fault sweep (n=8, {trials} trials)",
+                 ("fault", "mode", "accept", "lost", "detect", "bound"),
+                 rows)
+    detection = matrix["rows"][-1]
+    assert detection["detection_rate"] >= detection["analytic_bound"]

@@ -12,9 +12,13 @@ Commands
                Clopper-Pearson bounds; ``--json`` for machine output).
 ``lowerbound`` Print the packing table of Theorem 1.4.
 ``costs``      Per-node cost of every protocol at a chosen size.
-``lab``        Experiment orchestration: ``lab run`` records E1–E12
+``lab``        Experiment orchestration: ``lab run`` records E1–E13
                cells into the result store, ``lab check`` is the
                regression gate, ``lab report`` regenerates tables.
+``netsim``     Message-passing substrate: ``netsim run`` is the
+               equivalence gate plus the wire-cost audit, ``netsim
+               faults`` the fault-injection matrix with analytic
+               detection bounds.
 """
 
 from __future__ import annotations
@@ -239,6 +243,9 @@ def main(argv=None) -> int:
 
     from repro.lab.cli import add_lab_parser
     add_lab_parser(sub)
+
+    from repro.netsim.cli import add_netsim_parser
+    add_netsim_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

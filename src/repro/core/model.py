@@ -279,6 +279,51 @@ def sequence_field(message: NodeMessage, name: str) -> Tuple[Any, ...]:
     return ()
 
 
+def uint_fits(value: Any, width: int) -> bool:
+    """Whether ``value`` is wire-encodable as an unsigned ``width``-bit
+    integer.
+
+    This is the single well-formedness rule shared by the cost model
+    and the :mod:`repro.netsim` codec: a field (or field element) is
+    charged its declared width exactly when it would fit on the wire,
+    and costs 0 bits otherwise (the ``sequence_field`` convention,
+    applied uniformly).  ``bool`` is excluded even though it is an
+    ``int`` subtype: ``True`` must round-trip as ``True``, not ``1``,
+    for transcripts to replay bit-identically.
+    """
+    return (isinstance(value, int) and not isinstance(value, bool)
+            and width >= 0 and 0 <= value < (1 << width))
+
+
+def uint_tuple_fits(value: Any, length: int, width: int) -> bool:
+    """Whether ``value`` is a ``length``-tuple of ``width``-bit uints.
+
+    Lists are rejected: ``(1, 2)`` and ``[1, 2]`` are distinct prover
+    messages (decision functions ``isinstance``-check tuples), so only
+    the tuple form is wire-encodable.
+    """
+    return (isinstance(value, tuple) and len(value) == length
+            and all(uint_fits(item, width) for item in value))
+
+
+def field_cost(message: NodeMessage, name: str, width: int) -> int:
+    """Charge of one fixed-width uint field.
+
+    ``width`` bits if the field is present and wire-encodable
+    (:func:`uint_fits`), else 0 — malformed or missing fields ride the
+    codec's escape lane and must cost nothing.
+    """
+    return width if uint_fits(message.get(name), width) else 0
+
+
+def tuple_field_cost(message: NodeMessage, name: str, length: int,
+                     width: int) -> int:
+    """Charge of one fixed-shape uint-tuple field (0 if malformed)."""
+    if uint_tuple_fits(message.get(name), length, width):
+        return length * width
+    return 0
+
+
 def bits_for_identifier(n: int) -> int:
     """Bits to name one of ``n`` values (at least 1)."""
     return max(1, (max(n, 1) - 1).bit_length())

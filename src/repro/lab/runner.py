@@ -21,7 +21,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.model import Instance, Protocol, Prover, ROUND_ARTHUR
 from ..core.runner import run_protocol, run_trials
 from .spec import (ExperimentSpec, GRAPHS, KIND_COLLISION, KIND_EDGECHECK,
-                   KIND_PACKING, KIND_SWEEP, PROTOCOLS, PROVERS)
+                   KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS, KIND_PACKING,
+                   KIND_SWEEP, PROTOCOLS, PROVERS)
 from .store import ResultStore, cell_key
 
 #: Planted-deviation node for the E10 edge-equality harness.
@@ -168,6 +169,75 @@ def _edgecheck_cell(spec: ExperimentSpec, k: int,
     return record
 
 
+def _netsim_equiv_cell(spec: ExperimentSpec, n: int, prover_key: str,
+                       trials: int) -> Dict[str, Any]:
+    """E13's equivalence cell: ``trials`` paired executions (abstract
+    runner vs faults-off netsim) on identically-seeded rngs; the
+    record counts equivalent trials and carries the substrate's
+    overhead counters."""
+    from ..core import execution_to_jsonable
+    from ..netsim import run_netsim
+    start = time.perf_counter()
+    protocol = PROTOCOLS[spec.protocol](n)
+    instance = GRAPHS[spec.graph](n)
+    from ..core.context import InstanceContext
+    context = InstanceContext(instance, protocol)
+    accepted = equivalent = 0
+    bits = overhead = crosscheck = 0
+    for t in range(trials):
+        prover = PROVERS[prover_key](protocol)
+        abstract = run_protocol(protocol, instance, prover,
+                                random.Random(spec.seed + t),
+                                context=context)
+        prover = PROVERS[prover_key](protocol)
+        net = run_netsim(protocol, instance, prover,
+                         random.Random(spec.seed + t),
+                         net_seed=spec.seed + t, context=context,
+                         trace=False)
+        accepted += net.accepted
+        same = (net.accepted == abstract.accepted
+                and net.node_cost_bits == abstract.node_cost_bits
+                and json.dumps(execution_to_jsonable(
+                    protocol, instance, net), sort_keys=True)
+                == json.dumps(execution_to_jsonable(
+                    protocol, instance, abstract), sort_keys=True))
+        equivalent += same
+        if t == 0:
+            bits = net.max_cost_bits
+            overhead = net.overhead_bits
+            crosscheck = net.crosscheck_bits
+    record = _base_record(spec, n, instance.n, prover_key, trials)
+    record.update(
+        accepted=accepted,
+        bits=bits,
+        extra={"equivalent": equivalent,
+               "overhead_bits": overhead,
+               "crosscheck_bits": crosscheck},
+        wall=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
+def _netsim_faults_cell(spec: ExperimentSpec, n: int, prover_key: str,
+                        trials: int) -> Dict[str, Any]:
+    """E13's fault-matrix cell: acceptance/detection rates per fault
+    configuration, with the hashed-equality analytic bound."""
+    from ..netsim.harness import fault_matrix
+    start = time.perf_counter()
+    matrix = fault_matrix(spec.seed, trials=trials, n=n)
+    baseline = matrix["rows"][0]
+    record = _base_record(spec, n, n, prover_key, trials)
+    record.update(
+        accepted=round(baseline["accept_rate"] * trials),
+        bits=sum(row["ok"] for row in matrix["rows"]),
+        extra={"rows": [{k: v for k, v in row.items()}
+                        for row in matrix["rows"]],
+               "all_ok": matrix["all_ok"]},
+        wall=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
 def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
                  trials: int, workers: int = 1) -> Dict[str, Any]:
     """Execute one cell and return its normalized record."""
@@ -179,6 +249,10 @@ def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
         record = _collision_cell(spec, n, trials)
     elif spec.kind == KIND_EDGECHECK:
         record = _edgecheck_cell(spec, n, trials)
+    elif spec.kind == KIND_NETSIM_EQUIV:
+        record = _netsim_equiv_cell(spec, n, prover_key, trials)
+    elif spec.kind == KIND_NETSIM_FAULTS:
+        record = _netsim_faults_cell(spec, n, prover_key, trials)
     else:  # pragma: no cover - ExperimentSpec validates kinds
         raise ValueError(f"unknown spec kind {spec.kind!r}")
     return _normalize(record)

@@ -1,4 +1,4 @@
-"""Declarative experiment specs and the E1–E12 registry.
+"""Declarative experiment specs and the E1–E13 registry.
 
 An :class:`ExperimentSpec` names everything an experiment cell needs —
 protocol constructor, instance family, size grid, prover panel, trial
@@ -37,7 +37,10 @@ KIND_SWEEP = "sweep"          # protocol × instance × n-grid × provers
 KIND_PACKING = "packing"      # Theorem 1.4's analytic packing table
 KIND_COLLISION = "collision"  # Theorem 3.2 exact collision-seed counts
 KIND_EDGECHECK = "edgecheck"  # E10 randomized edge-equality baseline
-KINDS = (KIND_SWEEP, KIND_PACKING, KIND_COLLISION, KIND_EDGECHECK)
+KIND_NETSIM_EQUIV = "netsim-equiv"    # E13 substrate ≡ abstract runner
+KIND_NETSIM_FAULTS = "netsim-faults"  # E13 fault matrix + detection
+KINDS = (KIND_SWEEP, KIND_PACKING, KIND_COLLISION, KIND_EDGECHECK,
+         KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS)
 
 
 @lru_cache(maxsize=1)
@@ -266,7 +269,7 @@ class ExperimentSpec:
     prover panel × trials/seed, plus the scaling claim to assert."""
 
     name: str
-    experiment: str            # EXPERIMENTS.md section (E1 … E12)
+    experiment: str            # EXPERIMENTS.md section (E1 … E13)
     title: str
     protocol: str              # PROTOCOLS key ("-" for analytic kinds)
     graph: str                 # GRAPHS key ("-" for analytic kinds)
@@ -285,7 +288,8 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown spec kind {self.kind!r}")
-        if self.kind == KIND_SWEEP:
+        if self.kind in (KIND_SWEEP, KIND_NETSIM_EQUIV,
+                         KIND_NETSIM_FAULTS):
             if self.protocol not in PROTOCOLS:
                 raise ValueError(f"unknown protocol {self.protocol!r}")
             if self.graph not in GRAPHS:
@@ -438,6 +442,16 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
           protocol="sym-dmam", graph="rigid",
           grid=(6,), quick_grid=(6,),
           provers=("committed", "search"), trials=20, quick_trials=5),
+    _spec(name="E13-netsim-equivalence", experiment="E13",
+          title="netsim substrate ≡ abstract runner (faults off)",
+          protocol="sym-dmam", graph="cycle", kind=KIND_NETSIM_EQUIV,
+          grid=(8, 16, 32), quick_grid=(8,),
+          provers=("honest",), trials=5, quick_trials=2),
+    _spec(name="E13-netsim-faults", experiment="E13",
+          title="netsim fault matrix + hashed-equality detection bound",
+          protocol="sym-dmam", graph="cycle", kind=KIND_NETSIM_FAULTS,
+          grid=(8, 16), quick_grid=(8,),
+          provers=("honest",), trials=20, quick_trials=6),
 )
 
 _BY_NAME: Dict[str, ExperimentSpec] = {spec.name: spec for spec in REGISTRY}

@@ -1,0 +1,34 @@
+"""repro.netsim — the event-driven message-passing substrate.
+
+Runs the same :class:`~repro.core.model.Protocol` objects as the
+abstract runner, but as communicating actors over channels: every
+challenge and message crosses the wire as an encoded bitstring, faults
+are injectable per channel, and every bit is counted.  With faults off
+an execution is bit-identical to ``core.runner.run_protocol`` — the
+equivalence gate (:mod:`repro.netsim.harness`) enforces exactly that.
+"""
+
+from .audit import AuditEntry, AuditReport, audit_execution, run_audit
+from .bits import Bits
+from .codec import (ChallengeCodec, CodecError, EncodedFrame,
+                    MessageCodec)
+from .codecs import WireCodec, register_codec, wire_codec
+from .events import EventQueue, EventTrace
+from .faults import (FAULT_FREE, PROVER, RELIABLE, ChannelPolicy,
+                     FaultPlan)
+from .harness import (GOLDEN_SEED, equivalence_report, fault_matrix,
+                      golden_cases)
+from .sim import (CROSSCHECK_EXACT, CROSSCHECK_HASHED,
+                  NetExecutionResult, equality_scheme, netsim_trials,
+                  run_netsim)
+
+__all__ = [
+    "AuditEntry", "AuditReport", "audit_execution", "run_audit",
+    "Bits", "ChallengeCodec", "CodecError", "EncodedFrame",
+    "MessageCodec", "WireCodec", "register_codec", "wire_codec",
+    "EventQueue", "EventTrace",
+    "FAULT_FREE", "PROVER", "RELIABLE", "ChannelPolicy", "FaultPlan",
+    "GOLDEN_SEED", "equivalence_report", "fault_matrix", "golden_cases",
+    "CROSSCHECK_EXACT", "CROSSCHECK_HASHED", "NetExecutionResult",
+    "equality_scheme", "netsim_trials", "run_netsim",
+]

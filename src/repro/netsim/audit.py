@@ -1,0 +1,192 @@
+"""Wire-cost audit: measured frame sizes vs declared protocol costs.
+
+The paper's cost measure is the number of proof bits a node exchanges
+with the prover; the protocols *declare* it via ``arthur_bits`` /
+``merlin_bits``.  netsim *measures* it: every challenge and message is
+actually encoded, and the charged payload length is the wire truth.
+The audit pins the two together — for every protocol, round, node and
+field in the library, ``measured == declared`` — so declared costs can
+be trusted as wire-exact, not just as bookkeeping.
+
+A mismatch is reported down to the field: the audit re-computes each
+field's declared marginal cost (``merlin_bits`` with and without the
+field) and compares it against the field's payload span width.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..core import Instance, run_protocol
+from ..core.model import (Protocol, ProtocolViolation, Prover,
+                          ROUND_ARTHUR)
+from ..graphs import DSymLayout
+from ..protocols import (DSymDAMProtocol, DSymLCP, GNIDAMProtocol,
+                         GNIGoldwasserSipserProtocol, GeneralGNIProtocol,
+                         SymDAMProtocol, SymDMAMProtocol, SymLCP)
+from ..protocols.batteries import (LabeledInstance, dsym_battery,
+                                   gni_battery, sym_battery)
+from .codecs import wire_codec
+from .harness import GOLDEN_SEED, golden_cases
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audited frame that failed the measured == declared check."""
+
+    protocol: str
+    case: str
+    round_idx: int
+    kind: str  # "arthur" | "merlin"
+    node: int
+    declared: int
+    measured: int
+    #: field names whose marginal declared cost differs from their
+    #: payload span width.
+    fields: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (f"{self.protocol} [{self.case}] round {self.round_idx} "
+                f"({self.kind}) node {self.node}: measured "
+                f"{self.measured} bits, declared {self.declared} "
+                f"(fields: {', '.join(self.fields) or '-'})")
+
+
+@dataclass
+class AuditReport:
+    """The audit outcome for one (protocol, instance) execution."""
+
+    protocol: str
+    case: str
+    n: int
+    frames: int
+    mismatches: List[AuditEntry]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _mismatching_fields(protocol: Protocol, instance: Instance,
+                        round_idx: int, message, frame) -> Tuple[str, ...]:
+    """Name the fields whose declared marginal cost (``merlin_bits``
+    with minus without the field) differs from the payload span."""
+    names = []
+    full = protocol.merlin_bits(instance, round_idx, message)
+    for name in message:
+        without = {key: value for key, value in message.items()
+                   if key != name}
+        declared = full - protocol.merlin_bits(instance, round_idx,
+                                               without)
+        span = frame.span_of(name)
+        measured = span[1] - span[0] if span is not None else 0
+        if declared != measured:
+            names.append(name)
+    return tuple(names) or ("<frame>",)
+
+
+def audit_execution(protocol: Protocol, instance: Instance,
+                    prover: Prover, rng: random.Random,
+                    case: str = "") -> AuditReport:
+    """Run one execution on the abstract runner and re-encode every
+    transcript frame, checking charged payload bits against the
+    declared per-round costs."""
+    codec = wire_codec(protocol)
+    result = run_protocol(protocol, instance, prover, rng)
+    transcript = result.transcript
+    frames = 0
+    mismatches: List[AuditEntry] = []
+    for round_idx, kind in enumerate(protocol.pattern):
+        if kind == ROUND_ARTHUR:
+            declared = protocol.arthur_bits(instance, round_idx)
+            challenge_codec = codec.challenge_codec(round_idx)
+            for node in sorted(transcript.randomness[round_idx]):
+                value = transcript.randomness[round_idx][node]
+                frame = challenge_codec.encode(value)
+                frames += 1
+                if frame.charged_bits != declared:
+                    mismatches.append(AuditEntry(
+                        protocol=protocol.name, case=case,
+                        round_idx=round_idx, kind="arthur", node=node,
+                        declared=declared, measured=frame.charged_bits,
+                        fields=("challenge",)))
+        else:
+            message_codec = codec.message_codec(round_idx)
+            for node in sorted(transcript.messages[round_idx]):
+                message = transcript.messages[round_idx][node]
+                declared = protocol.merlin_bits(instance, round_idx,
+                                                message)
+                frame = message_codec.encode(message)
+                frames += 1
+                if frame.charged_bits != declared:
+                    mismatches.append(AuditEntry(
+                        protocol=protocol.name, case=case,
+                        round_idx=round_idx, kind="merlin", node=node,
+                        declared=declared, measured=frame.charged_bits,
+                        fields=_mismatching_fields(
+                            protocol, instance, round_idx, message,
+                            frame)))
+    return AuditReport(protocol=protocol.name, case=case, n=instance.n,
+                       frames=frames, mismatches=mismatches)
+
+
+def _battery_cases(sizes: Tuple[int, ...]
+                   ) -> Iterable[Tuple[str, Protocol, Instance]]:
+    """Every battery protocol over a grid of battery instances."""
+    for inner_n in sizes:
+        rng = random.Random(inner_n)
+        items: List[LabeledInstance] = sym_battery(inner_n, rng)
+        for item in items:
+            n = item.instance.n
+            for protocol in (SymDMAMProtocol(n), SymDAMProtocol(n),
+                             SymLCP(n)):
+                yield (f"sym[{inner_n}] {item.label}", protocol,
+                       item.instance)
+    for inner_n in sizes:
+        layout = DSymLayout(inner_n, 2)
+        for item in dsym_battery(layout, random.Random(inner_n)):
+            for protocol in (DSymDAMProtocol(layout), DSymLCP(layout)):
+                yield (f"dsym[{inner_n}] {item.label}", protocol,
+                       item.instance)
+    for n in sizes:
+        for item in gni_battery(n, random.Random(n)):
+            for protocol in (
+                    GNIGoldwasserSipserProtocol(n, repetitions=3,
+                                                threshold=0),
+                    GNIDAMProtocol(n, repetitions=2, threshold=0),
+                    GeneralGNIProtocol(n, repetitions=2, threshold=0)):
+                yield (f"gni[{n}] {item.label}", protocol, item.instance)
+
+
+def audit_cases(sizes: Tuple[int, ...] = (6, 7),
+                include_golden: bool = True
+                ) -> List[Tuple[str, Protocol, Instance]]:
+    """The audited (case, protocol, instance) grid: the golden battery
+    plus every ``protocols.batteries`` battery at each size."""
+    cases: List[Tuple[str, Protocol, Instance]] = []
+    if include_golden:
+        cases.extend((f"golden {case.name}", case.protocol, case.instance)
+                     for case in golden_cases())
+    cases.extend(_battery_cases(sizes))
+    return cases
+
+
+def run_audit(seed: int = GOLDEN_SEED, sizes: Tuple[int, ...] = (6, 7),
+              include_golden: bool = True) -> List[AuditReport]:
+    """Audit the whole grid with honest provers.
+
+    Cases where the honest prover legitimately refuses to play (a
+    ``ProtocolViolation`` on a NO instance) are skipped — the audit is
+    about wire costs of produced messages, not about soundness.
+    """
+    reports = []
+    for case, protocol, instance in audit_cases(sizes, include_golden):
+        try:
+            reports.append(audit_execution(
+                protocol, instance, protocol.honest_prover(),
+                random.Random(seed), case=case))
+        except ProtocolViolation:
+            continue
+    return reports

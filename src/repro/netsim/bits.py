@@ -1,0 +1,142 @@
+"""Bit-level primitives of the netsim wire format.
+
+Everything netsim puts on a channel is ultimately a :class:`Bits`
+value — an immutable bitstring of explicit length, MSB-first.  The
+writer/reader pair below is deliberately tiny: Python integers are
+arbitrary-precision, so a bitstring is just ``(value, length)`` and
+appending ``width`` bits is one shift-or.
+
+Positions are counted from the *start* of the string (bit 0 is the
+first bit written), which is the convention the fault injector uses
+when flipping payload bits and the audit uses when reporting field
+spans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Bits:
+    """An immutable bitstring: ``length`` bits, packed in ``value``.
+
+    Bit ``i`` (from the start) is ``(value >> (length - 1 - i)) & 1``.
+    """
+
+    __slots__ = ("value", "length")
+
+    def __init__(self, value: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if not isinstance(value, int) or value < 0 or value >> length:
+            raise ValueError(
+                f"value does not fit in {length} bits: {value!r}")
+        self.value = value
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return self.value == other.value and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.length))
+
+    def bit(self, i: int) -> int:
+        """Bit ``i`` counting from the start of the string."""
+        if not 0 <= i < self.length:
+            raise IndexError(f"bit {i} out of range for {self.length} bits")
+        return (self.value >> (self.length - 1 - i)) & 1
+
+    def flip(self, positions: Iterable[int]) -> "Bits":
+        """A copy with the given bit positions flipped."""
+        value = self.value
+        for i in positions:
+            if not 0 <= i < self.length:
+                raise IndexError(
+                    f"bit {i} out of range for {self.length} bits")
+            value ^= 1 << (self.length - 1 - i)
+        return Bits(value, self.length)
+
+    def slice_int(self, start: int, end: int) -> int:
+        """The integer packed in bits ``start .. end-1``."""
+        if not 0 <= start <= end <= self.length:
+            raise IndexError(f"span [{start}, {end}) out of range")
+        width = end - start
+        return (self.value >> (self.length - end)) & ((1 << width) - 1)
+
+    def to01(self) -> str:
+        return format(self.value, f"0{self.length}b") if self.length else ""
+
+    def __repr__(self) -> str:
+        preview = self.to01()
+        if len(preview) > 48:
+            preview = preview[:45] + "..."
+        return f"Bits({preview!r}, length={self.length})"
+
+
+EMPTY_BITS = Bits(0, 0)
+
+
+class BitWriter:
+    """Append-only bitstring builder (MSB-first)."""
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as exactly ``width`` bits."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if not isinstance(value, int) or value < 0 or value >> width:
+            raise ValueError(
+                f"value does not fit in {width} bits: {value!r}")
+        self._value = (self._value << width) | value
+        self._length += width
+
+    def extend(self, bits: Bits) -> None:
+        """Append a finished bitstring."""
+        self._value = (self._value << bits.length) | bits.value
+        self._length += bits.length
+
+    def finish(self) -> Bits:
+        return Bits(self._value, self._length)
+
+
+class BitReader:
+    """Sequential reader over a :class:`Bits` value."""
+
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, bits: Bits) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return self._bits.length - self._pos
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width`` bits as an integer."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._pos + width > self._bits.length:
+            raise ValueError(
+                f"bitstring exhausted: need {width} bits, "
+                f"have {self.remaining}")
+        value = self._bits.slice_int(self._pos, self._pos + width)
+        self._pos += width
+        return value

@@ -1,0 +1,120 @@
+"""The ``python -m repro netsim`` command group.
+
+``netsim run``     the equivalence gate plus the wire-cost audit:
+                   faults-off substrate executions must be
+                   bit-identical to the abstract runner, and every
+                   encoded frame must charge exactly its declared
+                   ``arthur_bits``/``merlin_bits``.  Exit 1 on any
+                   divergence or cost mismatch (``--smoke`` for the
+                   fast CI subset, ``--json`` for machine output).
+``netsim faults``  the fault-injection matrix: acceptance under
+                   duplication/jitter/drops and rejection under
+                   crashes, byzantine relays and targeted broadcast
+                   corruption, with the hashed-equality detection
+                   rate checked against its analytic bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict
+from typing import Tuple
+
+
+def cmd_netsim_run(args: argparse.Namespace) -> int:
+    from .audit import run_audit
+    from .harness import equivalence_report
+
+    seed = args.seed
+    equivalence = equivalence_report(seed, smoke=args.smoke)
+    sizes: Tuple[int, ...] = () if args.smoke else (6, 7)
+    reports = run_audit(seed, sizes=sizes)
+    mismatches = [entry for report in reports
+                  for entry in report.mismatches]
+    audit_ok = not mismatches
+    ok = equivalence["all_equivalent"] and audit_ok
+
+    if args.json:
+        payload = {
+            "seed": seed,
+            "smoke": args.smoke,
+            "equivalence": equivalence,
+            "all_equivalent": equivalence["all_equivalent"],
+            "audit": {
+                "cases": len(reports),
+                "frames": sum(report.frames for report in reports),
+                "mismatches": [asdict(entry) for entry in mismatches],
+                "ok": audit_ok,
+            },
+            "ok": ok,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print(f"equivalence gate (seed {seed})")
+    print(f"  {'case':<18} {'n':>3} {'accept':>6} {'exact':>6} "
+          f"{'hashed':>6} {'cost':>5} {'overhead':>8} {'relay':>7}")
+    for row in equivalence["cases"]:
+        print(f"  {row['case']:<18} {row['n']:>3} "
+              f"{str(row['accepted']):>6} "
+              f"{'ok' if row['equivalent_exact'] else 'FAIL':>6} "
+              f"{'ok' if row['equivalent_hashed'] else 'FAIL':>6} "
+              f"{row['max_cost_bits']:>5} {row['overhead_bits']:>8} "
+              f"{row['crosscheck_bits']:>7}")
+    frames = sum(report.frames for report in reports)
+    print(f"wire-cost audit: {len(reports)} cases, {frames} frames, "
+          f"{len(mismatches)} mismatches")
+    for entry in mismatches[:20]:
+        print(f"  MISMATCH {entry.describe()}")
+    print("netsim gate:", "ok" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def cmd_netsim_faults(args: argparse.Namespace) -> int:
+    from .harness import fault_matrix
+
+    matrix = fault_matrix(args.seed, trials=args.trials)
+    if args.json:
+        print(json.dumps(matrix, indent=2, sort_keys=True))
+        return 0 if matrix["all_ok"] else 1
+
+    print(f"fault matrix: {matrix['protocol']} n={matrix['n']} "
+          f"({matrix['trials']} trials, seed {matrix['seed']})")
+    print(f"  {'fault':<24} {'mode':<7} {'accept':>6} {'lost':>5} "
+          f"{'detect':>7} {'bound':>7} {'ok':>4}")
+    for row in matrix["rows"]:
+        detect = (f"{row['detection_rate']:.3f}"
+                  if "detection_rate" in row else "-")
+        bound = (f"{row['analytic_bound']:.4f}"
+                 if "analytic_bound" in row else "-")
+        print(f"  {row['fault']:<24} {row['crosscheck']:<7} "
+              f"{row['accept_rate']:>6.2f} {row['lost_frames']:>5} "
+              f"{detect:>7} {bound:>7} "
+              f"{'ok' if row['ok'] else 'FAIL':>4}")
+    print("fault matrix:", "ok" if matrix["all_ok"] else "FAILED")
+    return 0 if matrix["all_ok"] else 1
+
+
+def add_netsim_parser(sub) -> None:
+    """Register the ``netsim`` command group on the main CLI."""
+    p = sub.add_parser(
+        "netsim",
+        help="message-passing substrate: equivalence gate and faults")
+    netsim_sub = p.add_subparsers(dest="netsim_command", required=True)
+
+    run = netsim_sub.add_parser(
+        "run", help="equivalence gate + wire-cost audit")
+    run.add_argument("--smoke", action="store_true",
+                     help="fast subset (CI gate)")
+    run.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    run.set_defaults(func=cmd_netsim_run)
+
+    faults = netsim_sub.add_parser(
+        "faults", help="fault-injection matrix with detection bounds")
+    faults.add_argument("--trials", type=int, default=20,
+                        help="netsim runs per fault configuration")
+    faults.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    faults.set_defaults(func=cmd_netsim_faults)

@@ -1,0 +1,461 @@
+"""Self-delimiting wire codecs for protocol messages.
+
+Every Arthur challenge and Merlin field that netsim carries over a
+channel is encoded to an actual bitstring by a codec from this module.
+The encoding is split into three lanes:
+
+* **payload** — the *charged* bits.  For a well-formed message this is
+  exactly the protocol's declared cost (``arthur_bits`` /
+  ``merlin_bits``); the wire-cost audit asserts that equality for
+  every protocol, round and field in the library.
+* **header** — uncharged framing: per-field presence flags, sequence
+  lengths, per-element status bits.  Framing is what makes the payload
+  self-delimiting; the paper's cost measure counts proof content, not
+  link-layer framing, so these bits are accounted separately (netsim
+  reports them as substrate overhead).
+* **escapes** — values that are *not* wire-encodable (a list where a
+  tuple belongs, a string where an int belongs).  They are carried
+  out-of-band by reference and charged **0 bits** — the
+  ``core.model.sequence_field`` convention, applied uniformly — so a
+  malformed prover value round-trips *exactly* and the decision
+  functions reject the same garbage the abstract runner saw.
+
+Decoding a frame produced by :meth:`MessageCodec.encode` always
+reproduces the original message dict exactly (up to key order), which
+is what makes the faults-off netsim execution bit-identical to the
+abstract runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..core.model import uint_fits, uint_tuple_fits
+from .bits import EMPTY_BITS, BitReader, Bits, BitWriter
+
+#: Per-field status flags in the frame header (2 bits each).
+FLAG_ABSENT = 0
+FLAG_ENCODED = 1
+FLAG_ESCAPED = 2
+
+#: Header width of a sequence length (bounds sequences at 2^16 items).
+LENGTH_BITS = 16
+
+
+class CodecError(Exception):
+    """The value is not wire-encodable under this codec."""
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One encoded message: charged payload plus uncharged framing.
+
+    ``spans`` maps each encoded field to its ``[start, end)`` bit range
+    in the payload — the audit uses it to name the offending field on a
+    mismatch, and the fault injector to corrupt a specific field.
+    """
+
+    payload: Bits
+    header: Bits
+    escapes: Tuple[Any, ...] = ()
+    extras: Tuple[Tuple[str, Any], ...] = ()
+    spans: Tuple[Tuple[str, int, int], ...] = ()
+
+    @property
+    def charged_bits(self) -> int:
+        return self.payload.length
+
+    @property
+    def overhead_bits(self) -> int:
+        return self.header.length
+
+    def span_of(self, name: str) -> Optional[Tuple[int, int]]:
+        for field, start, end in self.spans:
+            if field == name:
+                return (start, end)
+        return None
+
+    def with_payload(self, payload: Bits) -> "EncodedFrame":
+        """The same frame with a (possibly corrupted) payload."""
+        if payload.length != self.payload.length:
+            raise ValueError("corruption must preserve the payload length")
+        return EncodedFrame(payload=payload, header=self.header,
+                            escapes=self.escapes, extras=self.extras,
+                            spans=self.spans)
+
+
+class FieldCodec:
+    """Encoder/decoder for one message field.
+
+    ``encode`` writes charged bits to ``payload``, uncharged framing to
+    ``header``, and non-encodable sub-values to ``escapes``; it raises
+    :class:`CodecError` when the whole value is not encodable (the
+    message codec then escapes the field wholesale at 0 charged bits).
+    ``decode`` must read back exactly what ``encode`` wrote.
+    """
+
+    def encode(self, value: Any, payload: BitWriter, header: BitWriter,
+               escapes: List[Any]) -> None:
+        raise NotImplementedError
+
+    def decode(self, payload: BitReader, header: BitReader,
+               escapes: Iterator[Any]) -> Any:
+        raise NotImplementedError
+
+
+class UInt(FieldCodec):
+    """A fixed-width unsigned integer."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    def encode(self, value, payload, header, escapes) -> None:
+        if not uint_fits(value, self.width):
+            raise CodecError(f"not a {self.width}-bit uint: {value!r}")
+        payload.write(value, self.width)
+
+    def decode(self, payload, header, escapes):
+        return payload.read(self.width)
+
+
+class UIntTuple(FieldCodec):
+    """A fixed-length tuple of fixed-width unsigned integers."""
+
+    def __init__(self, length: int, width: int) -> None:
+        self.length = length
+        self.width = width
+
+    def encode(self, value, payload, header, escapes) -> None:
+        if not uint_tuple_fits(value, self.length, self.width):
+            raise CodecError(
+                f"not a {self.length}-tuple of {self.width}-bit uints")
+        for item in value:
+            payload.write(item, self.width)
+
+    def decode(self, payload, header, escapes):
+        return tuple(payload.read(self.width) for _ in range(self.length))
+
+
+def _write_length(value: Any, header: BitWriter) -> int:
+    """Common sequence prologue: require a tuple, frame its length."""
+    if not isinstance(value, tuple):
+        raise CodecError(f"not a tuple: {type(value).__name__}")
+    if len(value) >= (1 << LENGTH_BITS):
+        raise CodecError("sequence too long to frame")
+    header.write(len(value), LENGTH_BITS)
+    return len(value)
+
+
+class UIntSeq(FieldCodec):
+    """A variable-length tuple of ``width``-bit uints.
+
+    Per element, 1 header bit: 0 = encoded (``width`` charged bits),
+    1 = escaped (0 charged bits).
+    """
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    def encode(self, value, payload, header, escapes) -> None:
+        _write_length(value, header)
+        for item in value:
+            if uint_fits(item, self.width):
+                header.write(0, 1)
+                payload.write(item, self.width)
+            else:
+                header.write(1, 1)
+                escapes.append(item)
+
+    def decode(self, payload, header, escapes):
+        count = header.read(LENGTH_BITS)
+        items = []
+        for _ in range(count):
+            if header.read(1):
+                items.append(next(escapes))
+            else:
+                items.append(payload.read(self.width))
+        return tuple(items)
+
+
+class OptUIntSeq(FieldCodec):
+    """A variable-length tuple of ``None | width-bit uint``.
+
+    Per element, 2 header bits: 00 = ``None`` (0 charged bits — the
+    cost model charges only claimed repetitions), 01 = encoded value,
+    10 = escaped.
+    """
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    def encode(self, value, payload, header, escapes) -> None:
+        _write_length(value, header)
+        for item in value:
+            if item is None:
+                header.write(0, 2)
+            elif uint_fits(item, self.width):
+                header.write(1, 2)
+                payload.write(item, self.width)
+            else:
+                header.write(2, 2)
+                escapes.append(item)
+
+    def decode(self, payload, header, escapes):
+        count = header.read(LENGTH_BITS)
+        items: List[Any] = []
+        for _ in range(count):
+            flag = header.read(2)
+            if flag == 0:
+                items.append(None)
+            elif flag == 1:
+                items.append(payload.read(self.width))
+            else:
+                items.append(next(escapes))
+        return tuple(items)
+
+
+class TupleSeq(FieldCodec):
+    """A variable-length tuple of fixed-shape uint tuples (echo fields).
+
+    Each element must be a tuple matching ``widths`` component-wise;
+    per element, 1 header bit (0 = encoded, 1 = escaped).  A
+    well-formed element charges ``sum(widths)`` bits.
+    """
+
+    def __init__(self, widths: Sequence[int]) -> None:
+        self.widths = tuple(widths)
+
+    def _element_fits(self, item: Any) -> bool:
+        return (isinstance(item, tuple) and len(item) == len(self.widths)
+                and all(uint_fits(part, width)
+                        for part, width in zip(item, self.widths)))
+
+    def encode(self, value, payload, header, escapes) -> None:
+        _write_length(value, header)
+        for item in value:
+            if self._element_fits(item):
+                header.write(0, 1)
+                for part, width in zip(item, self.widths):
+                    payload.write(part, width)
+            else:
+                header.write(1, 1)
+                escapes.append(item)
+
+    def decode(self, payload, header, escapes):
+        count = header.read(LENGTH_BITS)
+        items = []
+        for _ in range(count):
+            if header.read(1):
+                items.append(next(escapes))
+            else:
+                items.append(tuple(payload.read(width)
+                                   for width in self.widths))
+        return tuple(items)
+
+
+class ClaimSeq(FieldCodec):
+    """A GNI claims tuple: ``None | (graph_bit, *permutation tables)``.
+
+    Per element, 1 header bit (0 = encoded, 1 = escaped).  An encoded
+    element always charges 1 payload bit for the found/pass flag; a
+    present claim additionally charges 1 bit for the graph bit plus
+    ``n·id_bits`` per permutation table — matching ``merlin_bits``.
+    """
+
+    def __init__(self, n: int, id_bits: int, tables: int) -> None:
+        self.n = n
+        self.id_bits = id_bits
+        self.tables = tables
+
+    def _claim_fits(self, claim: Any) -> bool:
+        if not isinstance(claim, tuple) or len(claim) != 1 + self.tables:
+            return False
+        if not uint_fits(claim[0], 1):
+            return False
+        return all(uint_tuple_fits(table, self.n, self.id_bits)
+                   for table in claim[1:])
+
+    def encode(self, value, payload, header, escapes) -> None:
+        _write_length(value, header)
+        for claim in value:
+            if claim is None:
+                header.write(0, 1)
+                payload.write(0, 1)  # the charged found/pass bit
+            elif self._claim_fits(claim):
+                header.write(0, 1)
+                payload.write(1, 1)
+                payload.write(claim[0], 1)
+                for table in claim[1:]:
+                    for item in table:
+                        payload.write(item, self.id_bits)
+            else:
+                header.write(1, 1)
+                escapes.append(claim)
+
+    def decode(self, payload, header, escapes):
+        count = header.read(LENGTH_BITS)
+        items: List[Any] = []
+        for _ in range(count):
+            if header.read(1):
+                items.append(next(escapes))
+                continue
+            if not payload.read(1):
+                items.append(None)
+                continue
+            graph_bit = payload.read(1)
+            tables = tuple(
+                tuple(payload.read(self.id_bits) for _ in range(self.n))
+                for _ in range(self.tables))
+            items.append((graph_bit,) + tables)
+        return tuple(items)
+
+
+class MessageCodec:
+    """The frame codec for one Merlin round: an *ordered* field schema.
+
+    Field order is part of the wire format (it fixes payload bit
+    positions, hence audit spans and targeted corruption); schemas list
+    fields in a deterministic protocol-defined order.  Keys outside the
+    schema ride the escape lane via ``extras`` so arbitrary prover
+    dicts still round-trip exactly.
+    """
+
+    def __init__(self, fields: Sequence[Tuple[str, FieldCodec]]) -> None:
+        self.fields = tuple(fields)
+        self._names = frozenset(name for name, _ in self.fields)
+
+    def encode(self, message: Mapping[str, Any]) -> EncodedFrame:
+        payload = BitWriter()
+        header = BitWriter()
+        escapes: List[Any] = []
+        spans: List[Tuple[str, int, int]] = []
+        for name, codec in self.fields:
+            if name not in message:
+                header.write(FLAG_ABSENT, 2)
+                continue
+            value = message[name]
+            sub_payload = BitWriter()
+            sub_header = BitWriter()
+            sub_escapes: List[Any] = []
+            try:
+                codec.encode(value, sub_payload, sub_header, sub_escapes)
+            except CodecError:
+                header.write(FLAG_ESCAPED, 2)
+                escapes.append(value)
+                spans.append((name, len(payload), len(payload)))
+                continue
+            header.write(FLAG_ENCODED, 2)
+            start = len(payload)
+            payload.extend(sub_payload.finish())
+            header.extend(sub_header.finish())
+            escapes.extend(sub_escapes)
+            spans.append((name, start, len(payload)))
+        extras = tuple((key, message[key]) for key in message
+                       if key not in self._names)
+        return EncodedFrame(payload=payload.finish(),
+                            header=header.finish(),
+                            escapes=tuple(escapes), extras=extras,
+                            spans=tuple(spans))
+
+    def decode(self, frame: EncodedFrame) -> Dict[str, Any]:
+        payload = BitReader(frame.payload)
+        header = BitReader(frame.header)
+        escapes = iter(frame.escapes)
+        message: Dict[str, Any] = {}
+        for name, codec in self.fields:
+            flag = header.read(2)
+            if flag == FLAG_ABSENT:
+                continue
+            if flag == FLAG_ESCAPED:
+                message[name] = next(escapes)
+                continue
+            message[name] = codec.decode(payload, header, escapes)
+        for key, value in frame.extras:
+            message[key] = value
+        return message
+
+
+class ChallengeCodec:
+    """The frame codec for one Arthur round.
+
+    Challenges are generated by the runner, never by an adversary, so
+    there is no escape lane: a non-encodable challenge is a harness
+    bug and raises.  A well-formed challenge charges exactly the
+    protocol's declared ``arthur_bits``.
+    """
+
+    def __init__(self, codec: FieldCodec, width: int) -> None:
+        self._codec = codec
+        self.width = width
+
+    def encode(self, value: Any) -> EncodedFrame:
+        payload = BitWriter()
+        header = BitWriter()
+        escapes: List[Any] = []
+        self._codec.encode(value, payload, header, escapes)
+        if escapes:
+            raise CodecError(
+                f"challenge is not fully wire-encodable: {value!r}")
+        return EncodedFrame(payload=payload.finish(),
+                            header=header.finish(),
+                            spans=(("challenge", 0, len(payload)),))
+
+    def decode(self, frame: EncodedFrame) -> Any:
+        payload = BitReader(frame.payload)
+        header = BitReader(frame.header)
+        return self._codec.decode(payload, header, iter(()))
+
+    def zero_frame(self) -> EncodedFrame:
+        """The all-zeros codeword — what the prover substitutes when a
+        challenge frame is lost past the retransmit budget.  Challenge
+        codecs are fixed-width and header-free, so the substitute is
+        simply ``width`` zero bits."""
+        return EncodedFrame(payload=Bits(0, self.width), header=EMPTY_BITS,
+                            spans=(("challenge", 0, self.width),))
+
+
+class FixedTupleSeq(FieldCodec):
+    """A fixed-length tuple of fixed-shape uint tuples — the GNI
+    challenge layout (``reps`` repetitions of ``(c, s, a, b, y, ...)``).
+    No framing at all: length and shape are protocol constants."""
+
+    def __init__(self, length: int, widths: Sequence[int]) -> None:
+        self.length = length
+        self.widths = tuple(widths)
+
+    def encode(self, value, payload, header, escapes) -> None:
+        if not isinstance(value, tuple) or len(value) != self.length:
+            raise CodecError(f"not a {self.length}-tuple")
+        for item in value:
+            if (not isinstance(item, tuple)
+                    or len(item) != len(self.widths)
+                    or not all(uint_fits(part, width)
+                               for part, width in zip(item, self.widths))):
+                raise CodecError(f"malformed challenge element: {item!r}")
+            for part, width in zip(item, self.widths):
+                payload.write(part, width)
+
+    def decode(self, payload, header, escapes):
+        return tuple(
+            tuple(payload.read(width) for width in self.widths)
+            for _ in range(self.length))
+
+
+class FixedUIntSeq(FieldCodec):
+    """A fixed-length tuple of ``width``-bit uints (marked-GNI's A₂)."""
+
+    def __init__(self, length: int, width: int) -> None:
+        self.length = length
+        self.width = width
+
+    def encode(self, value, payload, header, escapes) -> None:
+        if not uint_tuple_fits(value, self.length, self.width):
+            raise CodecError(
+                f"not a {self.length}-tuple of {self.width}-bit uints")
+        for item in value:
+            payload.write(item, self.width)
+
+    def decode(self, payload, header, escapes):
+        return tuple(payload.read(self.width) for _ in range(self.length))

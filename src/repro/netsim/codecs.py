@@ -1,0 +1,277 @@
+"""Wire-codec registration for every protocol in the library.
+
+Each protocol class registers a builder that maps a protocol *instance*
+to its :class:`WireCodec`: one :class:`~repro.netsim.codec
+.ChallengeCodec` per Arthur round and one ordered
+:class:`~repro.netsim.codec.MessageCodec` per Merlin round.  Field
+widths are derived from the same protocol parameters ``merlin_bits``
+uses (identifier widths, hash primes, repetition counts), but through
+an *independent* implementation — the wire-cost audit cross-checks the
+two, so a drift in either is a test failure, not a silent bias.
+
+Subclasses resolve through the MRO: ``DSymDAMProtocol`` inherits the
+``FixedMappingProtocol`` codec, ``GNIDAMProtocol`` the base GNI codec.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple, Type
+
+from ..core.model import (Protocol, bits_for_identifier, bits_for_value)
+from ..network.spanning_tree import FIELD_DIST, FIELD_PARENT, FIELD_ROOT
+from ..protocols.fixed_map import FixedMappingProtocol
+from ..protocols.gni import GNIGoldwasserSipserProtocol
+from ..protocols.gni_general import GeneralGNIProtocol
+from ..protocols.gni_marked import MarkedGNIProtocol
+from ..protocols.lcp import ConnectivityLCP, DSymLCP, SymLCP
+from ..protocols.sym_dam import SymDAMProtocol
+from ..protocols.sym_dmam import SymDMAMProtocol
+from ..protocols import fixed_map, gni, gni_general, gni_marked, lcp, sym_dam
+from ..protocols import sym_dmam
+from .codec import (ChallengeCodec, ClaimSeq, FieldCodec, FixedTupleSeq,
+                    FixedUIntSeq, MessageCodec, OptUIntSeq, TupleSeq, UInt,
+                    UIntSeq, UIntTuple)
+
+
+class WireCodec:
+    """The complete wire format of one protocol instance."""
+
+    def __init__(self, protocol: Protocol,
+                 challenges: Dict[int, ChallengeCodec],
+                 messages: Dict[int, MessageCodec]) -> None:
+        self.protocol = protocol
+        self._challenges = challenges
+        self._messages = messages
+
+    def challenge_codec(self, round_idx: int) -> ChallengeCodec:
+        try:
+            return self._challenges[round_idx]
+        except KeyError:
+            raise LookupError(
+                f"{self.protocol.name}: round {round_idx} has no "
+                "challenge codec (not an Arthur round?)") from None
+
+    def message_codec(self, round_idx: int) -> MessageCodec:
+        try:
+            return self._messages[round_idx]
+        except KeyError:
+            raise LookupError(
+                f"{self.protocol.name}: round {round_idx} has no "
+                "message codec (not a Merlin round?)") from None
+
+
+_BUILDERS: Dict[Type[Protocol], Callable[[Protocol], WireCodec]] = {}
+
+
+def register_codec(protocol_cls: Type[Protocol]):
+    """Class decorator target: register a codec builder for a protocol
+    class (and, via the MRO, its subclasses)."""
+    def deco(builder: Callable[[Protocol], WireCodec]):
+        _BUILDERS[protocol_cls] = builder
+        return builder
+    return deco
+
+
+def wire_codec(protocol: Protocol) -> WireCodec:
+    """The wire codec for ``protocol``, resolved through its MRO."""
+    for cls in type(protocol).__mro__:
+        if cls in _BUILDERS:
+            return _BUILDERS[cls](protocol)
+    raise LookupError(
+        f"no wire codec registered for {type(protocol).__name__}")
+
+
+def _seed_challenge(seed_bits: int) -> ChallengeCodec:
+    return ChallengeCodec(UInt(seed_bits), seed_bits)
+
+
+@register_codec(SymDMAMProtocol)
+def _sym_dmam_codec(protocol: SymDMAMProtocol) -> WireCodec:
+    id_bits = bits_for_identifier(protocol.n)
+    value_bits = bits_for_value(protocol.family.p)
+    seed_bits = protocol.family.seed_bits
+    m0 = MessageCodec([
+        (FIELD_ROOT, UInt(id_bits)),
+        (sym_dmam.FIELD_RHO, UInt(id_bits)),
+        (FIELD_PARENT, UInt(id_bits)),
+        (FIELD_DIST, UInt(id_bits)),
+    ])
+    m2 = MessageCodec([
+        (sym_dmam.FIELD_SEED, UInt(seed_bits)),
+        (sym_dmam.FIELD_A, UInt(value_bits)),
+        (sym_dmam.FIELD_B, UInt(value_bits)),
+    ])
+    return WireCodec(protocol,
+                     {sym_dmam.ROUND_A1: _seed_challenge(seed_bits)},
+                     {sym_dmam.ROUND_M0: m0, sym_dmam.ROUND_M2: m2})
+
+
+@register_codec(SymDAMProtocol)
+def _sym_dam_codec(protocol: SymDAMProtocol) -> WireCodec:
+    id_bits = bits_for_identifier(protocol.n)
+    value_bits = bits_for_value(protocol.family.p)
+    seed_bits = protocol.family.seed_bits
+    m1 = MessageCodec([
+        (sym_dam.FIELD_RHO_TABLE, UIntTuple(protocol.n, id_bits)),
+        (sym_dam.FIELD_SEED, UInt(seed_bits)),
+        (FIELD_ROOT, UInt(id_bits)),
+        (FIELD_PARENT, UInt(id_bits)),
+        (FIELD_DIST, UInt(id_bits)),
+        (sym_dam.FIELD_A, UInt(value_bits)),
+        (sym_dam.FIELD_B, UInt(value_bits)),
+    ])
+    return WireCodec(protocol,
+                     {sym_dam.ROUND_A0: _seed_challenge(seed_bits)},
+                     {sym_dam.ROUND_M1: m1})
+
+
+@register_codec(FixedMappingProtocol)
+def _fixed_map_codec(protocol: FixedMappingProtocol) -> WireCodec:
+    id_bits = bits_for_identifier(protocol.n)
+    value_bits = bits_for_value(protocol.family.p)
+    seed_bits = protocol.family.seed_bits
+    m1 = MessageCodec([
+        (fixed_map.FIELD_SEED, UInt(seed_bits)),
+        (FIELD_PARENT, UInt(id_bits)),
+        (FIELD_DIST, UInt(id_bits)),
+        (fixed_map.FIELD_A, UInt(value_bits)),
+        (fixed_map.FIELD_B, UInt(value_bits)),
+    ])
+    return WireCodec(protocol,
+                     {fixed_map.ROUND_A0: _seed_challenge(seed_bits)},
+                     {fixed_map.ROUND_M1: m1})
+
+
+@register_codec(SymLCP)
+def _sym_lcp_codec(protocol: SymLCP) -> WireCodec:
+    n = protocol.n
+    m0 = MessageCodec([
+        (lcp.FIELD_MATRIX, UInt(n * n)),
+        (lcp.FIELD_RHO, UIntTuple(n, bits_for_identifier(n))),
+    ])
+    return WireCodec(protocol, {}, {lcp.ROUND_M0: m0})
+
+
+@register_codec(DSymLCP)
+def _dsym_lcp_codec(protocol: DSymLCP) -> WireCodec:
+    n = protocol.total_n
+    m0 = MessageCodec([(lcp.FIELD_MATRIX, UInt(n * n))])
+    return WireCodec(protocol, {}, {lcp.ROUND_M0: m0})
+
+
+@register_codec(ConnectivityLCP)
+def _connectivity_lcp_codec(protocol: ConnectivityLCP) -> WireCodec:
+    id_bits = bits_for_identifier(protocol.n)
+    m0 = MessageCodec([
+        (FIELD_ROOT, UInt(id_bits)),
+        (FIELD_PARENT, UInt(id_bits)),
+        (FIELD_DIST, UInt(id_bits)),
+        (lcp.FIELD_SIZE, UInt(bits_for_identifier(protocol.n + 1))),
+    ])
+    return WireCodec(protocol, {}, {lcp.ROUND_M0: m0})
+
+
+def _gs_widths(protocol) -> Tuple[int, int]:
+    """(node-part width, target width) of one GS challenge element."""
+    node_bits = protocol.hash.node_seed_bits
+    y_bits = protocol.hash.root_seed_bits - 3 * node_bits
+    return node_bits, y_bits
+
+
+@register_codec(GNIGoldwasserSipserProtocol)
+def _gni_codec(protocol: GNIGoldwasserSipserProtocol) -> WireCodec:
+    n = protocol.n
+    id_bits = bits_for_identifier(n)
+    q_bits = bits_for_value(protocol.hash.big_q)
+    node_bits, y_bits = _gs_widths(protocol)
+    rep_widths = (node_bits, node_bits, node_bits, node_bits, y_bits)
+    echo_widths = (node_bits, node_bits, node_bits, y_bits)
+
+    challenges = {}
+    messages = {}
+    for a_round, m_round in protocol.round_pairs():
+        reps = protocol.batch_sizes[protocol._batch(a_round)]
+        challenges[a_round] = ChallengeCodec(
+            FixedTupleSeq(reps, rep_widths), reps * sum(rep_widths))
+        fields: List[Tuple[str, FieldCodec]] = []
+        if m_round == gni.ROUND_M1:
+            fields += [(FIELD_PARENT, UInt(id_bits)),
+                       (FIELD_DIST, UInt(id_bits))]
+        fields += [
+            (gni.FIELD_ECHO, TupleSeq(echo_widths)),
+            (gni.FIELD_CLAIMS, ClaimSeq(n, id_bits, tables=1)),
+            (gni.FIELD_PARTIALS, OptUIntSeq(q_bits)),
+        ]
+        messages[m_round] = MessageCodec(fields)
+    return WireCodec(protocol, challenges, messages)
+
+
+@register_codec(GeneralGNIProtocol)
+def _gni_general_codec(protocol: GeneralGNIProtocol) -> WireCodec:
+    n = protocol.n
+    id_bits = protocol.id_bits
+    q_bits = bits_for_value(protocol.hash.big_q)
+    p2_bits = bits_for_value(protocol.aut_family.p)
+    aut_bits = protocol.aut_family.seed_bits
+    node_bits, y_bits = _gs_widths(protocol)
+    rep_widths = (node_bits, node_bits, node_bits, node_bits, y_bits,
+                  aut_bits)
+    echo_widths = (node_bits, node_bits, node_bits, y_bits, aut_bits)
+
+    challenges = {}
+    messages = {}
+    for a_round, m_round in ((gni_general.ROUND_A0, gni_general.ROUND_M1),
+                             (gni_general.ROUND_A2, gni_general.ROUND_M3)):
+        reps = protocol.batch_sizes[protocol._batch(a_round)]
+        challenges[a_round] = ChallengeCodec(
+            FixedTupleSeq(reps, rep_widths), reps * sum(rep_widths))
+        fields: List[Tuple[str, FieldCodec]] = []
+        if m_round == gni_general.ROUND_M1:
+            fields += [(FIELD_PARENT, UInt(id_bits)),
+                       (FIELD_DIST, UInt(id_bits))]
+        fields += [
+            (gni_general.FIELD_ECHO, TupleSeq(echo_widths)),
+            (gni_general.FIELD_CLAIMS, ClaimSeq(n, id_bits, tables=2)),
+            (gni_general.FIELD_PARTIALS, OptUIntSeq(q_bits)),
+            (gni_general.FIELD_AUT_LEFT, OptUIntSeq(p2_bits)),
+            (gni_general.FIELD_AUT_RIGHT, OptUIntSeq(p2_bits)),
+        ]
+        messages[m_round] = MessageCodec(fields)
+    return WireCodec(protocol, challenges, messages)
+
+
+@register_codec(MarkedGNIProtocol)
+def _gni_marked_codec(protocol: MarkedGNIProtocol) -> WireCodec:
+    n = protocol.n
+    id_bits = bits_for_identifier(n)
+    count_bits = bits_for_identifier(n + 1)
+    q_bits = bits_for_value(protocol.hash.big_q)
+    z_bits = bits_for_value(protocol.z_prime)
+    node_bits, y_bits = _gs_widths(protocol)
+    reps = protocol.repetitions
+    rep_widths = (node_bits, node_bits, node_bits, node_bits, y_bits)
+    echo_widths = (node_bits, node_bits, node_bits, y_bits)
+
+    m1 = MessageCodec([
+        (gni_marked.FIELD_MARK, UInt(2)),
+        (FIELD_PARENT, UInt(id_bits)),
+        (FIELD_DIST, UInt(id_bits)),
+        (gni_marked.FIELD_COUNT0, UInt(count_bits)),
+        (gni_marked.FIELD_COUNT1, UInt(count_bits)),
+        (gni_marked.FIELD_ECHO, TupleSeq(echo_widths)),
+        (gni_marked.FIELD_CLAIMS, ClaimSeq(n, id_bits, tables=0)),
+        (gni_marked.FIELD_LABELS, OptUIntSeq(id_bits)),
+    ])
+    m3 = MessageCodec([
+        (gni_marked.FIELD_ZECHO, UIntSeq(z_bits)),
+        (gni_marked.FIELD_PARTIALS, OptUIntSeq(q_bits)),
+        (gni_marked.FIELD_ZSUMS, OptUIntSeq(z_bits)),
+    ])
+    challenges = {
+        gni_marked.ROUND_A0: ChallengeCodec(
+            FixedTupleSeq(reps, rep_widths), reps * sum(rep_widths)),
+        gni_marked.ROUND_A2: ChallengeCodec(
+            FixedUIntSeq(reps, z_bits), reps * z_bits),
+    }
+    return WireCodec(protocol, challenges,
+                     {gni_marked.ROUND_M1: m1, gni_marked.ROUND_M3: m3})

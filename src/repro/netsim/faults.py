@@ -1,0 +1,104 @@
+"""Fault-injection policies for netsim channels and nodes.
+
+A :class:`FaultPlan` describes everything unreliable about a run:
+
+* per-channel :class:`ChannelPolicy` (drop / duplicate / bit-flip
+  corruption rates, latency, jitter, timeout and a bounded retransmit
+  budget), with a default policy and per-``(src, dst)`` overrides;
+* ``crashes`` — nodes that fail-stop at the start of a given round
+  (they stop sending challenges and relays, and decide ``False``);
+* ``byzantine`` — nodes that garble every frame they *relay* to their
+  neighbors (their own challenges to the prover stay honest; what they
+  pass along during cross-checking is adversarial noise).
+
+All fault randomness comes from a dedicated net rng, never from the
+protocol rng — which is why ``FAULT_FREE`` netsim runs are
+transcript-identical to the abstract runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+#: Channel endpoint naming the prover actor (vertices are >= 0).
+PROVER = -1
+
+
+@dataclass(frozen=True)
+class ChannelPolicy:
+    """Unreliability knobs for one directed channel.
+
+    ``drop``/``duplicate``/``corrupt`` are per-transmission
+    probabilities.  A dropped transmission is retried after ``timeout``
+    ticks, at most ``max_retries`` times; a frame dropped on every
+    attempt is lost (the trace records a terminal ``timeout`` event).
+    Corruption flips ``flips`` uniformly-chosen payload bits —
+    restricted to the span of ``corrupt_field`` when set — and always
+    preserves frame length.  ``jitter`` adds a uniform random delay in
+    ``[0, jitter]`` on top of ``latency``, which is what reorders
+    deliveries.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    flips: int = 1
+    latency: int = 1
+    jitter: int = 0
+    timeout: int = 2
+    max_retries: int = 3
+    corrupt_field: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1]: {rate}")
+        if self.flips < 1:
+            raise ValueError("corruption must flip at least one bit")
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if self.timeout < 1:
+            raise ValueError("timeout must be at least one tick")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    @property
+    def is_reliable(self) -> bool:
+        return (self.drop == 0.0 and self.duplicate == 0.0
+                and self.corrupt == 0.0)
+
+
+RELIABLE = ChannelPolicy()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault configuration of one netsim run."""
+
+    default: ChannelPolicy = RELIABLE
+    #: per-(src, dst) policy overrides; ``PROVER`` names the prover end.
+    channels: Mapping[Tuple[int, int], ChannelPolicy] = \
+        field(default_factory=dict)
+    #: node -> round index at whose start the node fail-stops.
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    #: nodes that garble everything they relay.
+    byzantine: FrozenSet[int] = frozenset()
+
+    def policy(self, src: int, dst: int) -> ChannelPolicy:
+        return self.channels.get((src, dst), self.default)
+
+    def crashed(self, node: int, round_idx: int) -> bool:
+        crash_round = self.crashes.get(node)
+        return crash_round is not None and round_idx >= crash_round
+
+    @property
+    def is_fault_free(self) -> bool:
+        return (self.default.is_reliable
+                and all(policy.is_reliable
+                        for policy in self.channels.values())
+                and not self.crashes and not self.byzantine)
+
+
+FAULT_FREE = FaultPlan()

@@ -29,7 +29,7 @@ from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence
 
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAM,
-                          bits_for_identifier, bits_for_value)
+                          bits_for_identifier, bits_for_value, field_cost)
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import theorem32_prime_window
 from ..hashing.rowmatrix import image_bits
@@ -114,8 +114,14 @@ class FixedMappingProtocol(Protocol):
     def merlin_bits(self, instance: Instance, round_idx: int,
                     message: NodeMessage) -> int:
         id_bits = bits_for_identifier(self.n)
-        return (self.family.seed_bits + 2 * id_bits
-                + 2 * bits_for_value(self.family.p))
+        value_bits = bits_for_value(self.family.p)
+        # Per-field charging: malformed fields cost 0 bits (they ride
+        # the codec escape lane and make the node reject).
+        return (field_cost(message, FIELD_SEED, self.family.seed_bits)
+                + field_cost(message, FIELD_PARENT, id_bits)
+                + field_cost(message, FIELD_DIST, id_bits)
+                + field_cost(message, FIELD_A, value_bits)
+                + field_cost(message, FIELD_B, value_bits))
 
     # -- decision ----------------------------------------------------------
 

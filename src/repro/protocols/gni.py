@@ -61,8 +61,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 from ..core.amplify import choose_threshold, threshold_guarantees
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAMAM,
-                          bits_for_identifier, bits_for_value,
-                          sequence_field)
+                          bits_for_identifier, bits_for_value, field_cost,
+                          sequence_field, uint_fits, uint_tuple_fits)
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.rowmatrix import image_bits
@@ -247,17 +247,29 @@ class GNIGoldwasserSipserProtocol(Protocol):
                     message: NodeMessage) -> int:
         id_bits = bits_for_identifier(self.n)
         q_bits = bits_for_value(self.hash.big_q)
+        node_bits = self.hash.node_seed_bits
+        echo_widths = (node_bits, node_bits, node_bits,
+                       self.hash.root_seed_bits - 3 * node_bits)
         total = 0
         if round_idx == ROUND_M1:
-            total += 2 * id_bits  # parent + dist
-        echo = sequence_field(message, FIELD_ECHO)
-        total += len(echo) * self.hash.root_seed_bits
+            total += field_cost(message, FIELD_PARENT, id_bits)
+            total += field_cost(message, FIELD_DIST, id_bits)
+        for item in sequence_field(message, FIELD_ECHO):
+            # An echo entry (s, a, b, y) is charged root_seed_bits when
+            # well-formed; malformed entries cost 0 (escape lane).
+            if (isinstance(item, tuple) and len(item) == len(echo_widths)
+                    and all(uint_fits(part, width)
+                            for part, width in zip(item, echo_widths))):
+                total += self.hash.root_seed_bits
         for claim in sequence_field(message, FIELD_CLAIMS):
-            total += 1  # the found/pass bit
-            if claim is not None:
-                total += 1 + self.n * id_bits  # graph bit + σ table
+            if claim is None:
+                total += 1  # the found/pass bit
+            elif (isinstance(claim, tuple) and len(claim) == 2
+                    and uint_fits(claim[0], 1)
+                    and uint_tuple_fits(claim[1], self.n, id_bits)):
+                total += 2 + self.n * id_bits  # pass + graph bit + σ table
         for partial in sequence_field(message, FIELD_PARTIALS):
-            if partial is not None:
+            if uint_fits(partial, q_bits):
                 total += q_bits
         return total
 

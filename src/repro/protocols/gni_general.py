@@ -50,8 +50,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from ..core.amplify import choose_threshold, threshold_guarantees
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAMAM,
-                          bits_for_identifier, bits_for_value,
-                          sequence_field)
+                          bits_for_identifier, bits_for_value, field_cost,
+                          sequence_field, uint_fits, uint_tuple_fits)
 from ..graphs.automorphism import all_automorphisms
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
@@ -245,22 +245,35 @@ class GeneralGNIProtocol(Protocol):
                     message: NodeMessage) -> int:
         q_bits = bits_for_value(self.hash.big_q)
         p2_bits = bits_for_value(self.aut_family.p)
+        node_bits = self.hash.node_seed_bits
+        echo_widths = (node_bits, node_bits, node_bits,
+                       self.hash.root_seed_bits - 3 * node_bits,
+                       self.aut_family.seed_bits)
         total = 0
         if round_idx == ROUND_M1:
-            total += 2 * self.id_bits
-        echo = sequence_field(message, FIELD_ECHO)
-        total += len(echo) * (self.hash.root_seed_bits
-                              + self.aut_family.seed_bits)
+            total += field_cost(message, FIELD_PARENT, self.id_bits)
+            total += field_cost(message, FIELD_DIST, self.id_bits)
+        for item in sequence_field(message, FIELD_ECHO):
+            # (s, a, b, y, s2): charged only when well-formed.
+            if (isinstance(item, tuple) and len(item) == len(echo_widths)
+                    and all(uint_fits(part, width)
+                            for part, width in zip(item, echo_widths))):
+                total += (self.hash.root_seed_bits
+                          + self.aut_family.seed_bits)
         for claim in sequence_field(message, FIELD_CLAIMS):
-            total += 1
-            if claim is not None:
-                total += 1 + 2 * self.n * self.id_bits  # σ and α tables
+            if claim is None:
+                total += 1
+            elif (isinstance(claim, tuple) and len(claim) == 3
+                    and uint_fits(claim[0], 1)
+                    and all(uint_tuple_fits(table, self.n, self.id_bits)
+                            for table in claim[1:])):
+                total += 2 + 2 * self.n * self.id_bits  # σ and α tables
         for partial in sequence_field(message, FIELD_PARTIALS):
-            if partial is not None:
+            if uint_fits(partial, q_bits):
                 total += q_bits
         for field in (FIELD_AUT_LEFT, FIELD_AUT_RIGHT):
             for value in sequence_field(message, field):
-                if value is not None:
+                if uint_fits(value, p2_bits):
                     total += p2_bits
         return total
 

@@ -54,8 +54,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from ..core.amplify import choose_threshold, threshold_guarantees
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAMAM,
-                          bits_for_identifier, bits_for_value,
-                          sequence_field)
+                          bits_for_identifier, bits_for_value, field_cost,
+                          sequence_field, uint_fits)
 from ..graphs.graph import Graph
 from ..hashing.api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from ..hashing.primes import prime_in_range
@@ -236,27 +236,44 @@ class MarkedGNIProtocol(Protocol):
     def merlin_bits(self, instance: Instance, round_idx: int,
                     message: NodeMessage) -> int:
         id_bits = bits_for_identifier(self.n)
+        count_bits = bits_for_identifier(self.n + 1)
         total = 0
         if round_idx == ROUND_M1:
-            total += 2 + 2 * id_bits          # mark + parent + dist
-            total += 2 * bits_for_identifier(self.n + 1)  # the counts
-            total += self.repetitions * self.hash.root_seed_bits  # echo
+            node_bits = self.hash.node_seed_bits
+            echo_widths = (node_bits, node_bits, node_bits,
+                           self.hash.root_seed_bits - 3 * node_bits)
+            total += field_cost(message, FIELD_MARK, 2)
+            total += field_cost(message, FIELD_PARENT, id_bits)
+            total += field_cost(message, FIELD_DIST, id_bits)
+            total += field_cost(message, FIELD_COUNT0, count_bits)
+            total += field_cost(message, FIELD_COUNT1, count_bits)
+            for item in sequence_field(message, FIELD_ECHO):
+                # (s, a, b, y): charged only when well-formed.
+                if (isinstance(item, tuple)
+                        and len(item) == len(echo_widths)
+                        and all(uint_fits(part, width)
+                                for part, width in zip(item, echo_widths))):
+                    total += self.hash.root_seed_bits
             for claim in sequence_field(message, FIELD_CLAIMS):
-                total += 1
-                if claim is not None:
-                    total += 1                 # the graph bit
+                if claim is None:
+                    total += 1
+                elif (isinstance(claim, tuple) and len(claim) == 1
+                        and uint_fits(claim[0], 1)):
+                    total += 2  # pass bit + the graph bit
             for label in sequence_field(message, FIELD_LABELS):
-                if label is not None:
+                if uint_fits(label, id_bits):
                     total += id_bits
         else:
-            total += self.repetitions * bits_for_value(self.z_prime)
             q_bits = bits_for_value(self.hash.big_q)
             z_bits = bits_for_value(self.z_prime)
+            for zvalue in sequence_field(message, FIELD_ZECHO):
+                if uint_fits(zvalue, z_bits):
+                    total += z_bits
             for partial in sequence_field(message, FIELD_PARTIALS):
-                if partial is not None:
+                if uint_fits(partial, q_bits):
                     total += q_bits
             for zsum in sequence_field(message, FIELD_ZSUMS):
-                if zsum is not None:
+                if uint_fits(zsum, z_bits):
                     total += z_bits
         return total
 

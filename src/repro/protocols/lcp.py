@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DNP,
-                          bits_for_identifier)
+                          bits_for_identifier, field_cost, tuple_field_cost)
 from ..graphs.automorphism import find_nontrivial_automorphism
 from ..graphs.dumbbell import DSymLayout, dsym_automorphism
 from ..graphs.graph import Graph
@@ -94,7 +94,10 @@ class SymLCP(Protocol):
 
     def merlin_bits(self, instance: Instance, round_idx: int,
                     message: NodeMessage) -> int:
-        return self.n * self.n + self.n * bits_for_identifier(self.n)
+        # Matrix (n² bits) + mapping table; malformed fields cost 0.
+        return (field_cost(message, FIELD_MATRIX, self.n * self.n)
+                + tuple_field_cost(message, FIELD_RHO, self.n,
+                                   bits_for_identifier(self.n)))
 
     def decide(self, view: LocalView) -> bool:
         msg = view.own_message(ROUND_M0)
@@ -168,7 +171,8 @@ class DSymLCP(Protocol):
 
     def merlin_bits(self, instance: Instance, round_idx: int,
                     message: NodeMessage) -> int:
-        return self.total_n * self.total_n
+        return field_cost(message, FIELD_MATRIX,
+                          self.total_n * self.total_n)
 
     def decide(self, view: LocalView) -> bool:
         msg = view.own_message(ROUND_M0)
@@ -245,7 +249,11 @@ class ConnectivityLCP(Protocol):
     def merlin_bits(self, instance: Instance, round_idx: int,
                     message: NodeMessage) -> int:
         id_bits = bits_for_identifier(self.n)
-        return 3 * id_bits + bits_for_identifier(self.n + 1)
+        return (field_cost(message, FIELD_ROOT, id_bits)
+                + field_cost(message, FIELD_PARENT, id_bits)
+                + field_cost(message, FIELD_DIST, id_bits)
+                + field_cost(message, FIELD_SIZE,
+                             bits_for_identifier(self.n + 1)))
 
     def decide(self, view: LocalView) -> bool:
         msg = view.own_message(ROUND_M0)

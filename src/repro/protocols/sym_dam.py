@@ -32,7 +32,8 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DAM,
-                          bits_for_identifier, bits_for_value)
+                          bits_for_identifier, bits_for_value, field_cost,
+                          tuple_field_cost)
 from ..graphs.graph import Graph
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import prime_in_range
@@ -102,9 +103,16 @@ class SymDAMProtocol(Protocol):
     def merlin_bits(self, instance: Instance, round_idx: int,
                     message: NodeMessage) -> int:
         id_bits = bits_for_identifier(self.n)
-        rho_bits = self.n * id_bits           # the full mapping table
-        return (rho_bits + self.family.seed_bits + 3 * id_bits
-                + 2 * bits_for_value(self.family.p))
+        value_bits = bits_for_value(self.family.p)
+        # The full mapping table plus tree/aggregate fields; each field
+        # is charged only if wire-encodable (malformed costs 0 bits).
+        return (tuple_field_cost(message, FIELD_RHO_TABLE, self.n, id_bits)
+                + field_cost(message, FIELD_SEED, self.family.seed_bits)
+                + field_cost(message, FIELD_ROOT, id_bits)
+                + field_cost(message, FIELD_PARENT, id_bits)
+                + field_cost(message, FIELD_DIST, id_bits)
+                + field_cost(message, FIELD_A, value_bits)
+                + field_cost(message, FIELD_B, value_bits))
 
     # -- decision ----------------------------------------------------------
 

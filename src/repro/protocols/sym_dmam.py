@@ -34,7 +34,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, PATTERN_DMAM,
-                          bits_for_identifier, bits_for_value)
+                          bits_for_identifier, bits_for_value, field_cost)
 from ..graphs.graph import Graph
 from ..hashing.linear import LinearHashFamily
 from ..hashing.primes import theorem32_prime_window
@@ -115,9 +115,16 @@ class SymDMAMProtocol(Protocol):
         id_bits = bits_for_identifier(self.n)
         if round_idx == ROUND_M0:
             # root + rho + parent are identifiers; dist is in [0, n).
-            return 4 * id_bits
+            # Each field is charged only if wire-encodable — malformed
+            # fields cost 0 bits (the codec escape-lane convention).
+            return sum(field_cost(message, name, id_bits)
+                       for name in (FIELD_ROOT, FIELD_RHO,
+                                    FIELD_PARENT, FIELD_DIST))
         if round_idx == ROUND_M2:
-            return self.family.seed_bits + 2 * bits_for_value(self.family.p)
+            value_bits = bits_for_value(self.family.p)
+            return (field_cost(message, FIELD_SEED, self.family.seed_bits)
+                    + field_cost(message, FIELD_A, value_bits)
+                    + field_cost(message, FIELD_B, value_bits))
         raise ValueError(f"round {round_idx} is not a Merlin round")
 
     # -- decision ----------------------------------------------------------

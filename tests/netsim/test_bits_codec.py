@@ -1,0 +1,132 @@
+"""Bit-level containers and wire codecs: exact round-trips, charged
+payload accounting, and the escape lane for malformed values."""
+
+import pytest
+
+from repro.netsim.bits import BitReader, Bits, BitWriter
+from repro.netsim.codec import (ChallengeCodec, ClaimSeq, CodecError,
+                                MessageCodec, OptUIntSeq, TupleSeq, UInt,
+                                UIntSeq, UIntTuple)
+from repro.netsim.codecs import wire_codec
+from repro.netsim.harness import golden_cases
+
+
+class TestBits:
+    def test_writer_reader_roundtrip(self):
+        writer = BitWriter()
+        writer.write(5, 3)
+        writer.write(0, 4)
+        writer.write(255, 8)
+        bits = writer.finish()
+        assert bits.length == 15
+        reader = BitReader(bits)
+        assert reader.read(3) == 5
+        assert reader.read(4) == 0
+        assert reader.read(8) == 255
+        assert reader.remaining == 0
+
+    def test_flip_is_involutive_and_local(self):
+        bits = Bits(0b10110, 5)
+        flipped = bits.flip([1, 3])
+        assert flipped != bits
+        assert flipped.flip([1, 3]) == bits
+        assert flipped.length == bits.length
+
+    def test_slice_int_matches_write_order(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b0110, 4)
+        bits = writer.finish()
+        assert bits.slice_int(0, 3) == 0b101
+        assert bits.slice_int(3, 7) == 0b0110
+
+
+class TestFieldCodecs:
+    def _roundtrip(self, codec, value):
+        payload, header, escapes = BitWriter(), BitWriter(), []
+        codec.encode(value, payload, header, escapes)
+        decoded = codec.decode(BitReader(payload.finish()),
+                               BitReader(header.finish()), iter(escapes))
+        return decoded, payload
+
+    @pytest.mark.parametrize("codec,value", [
+        (UInt(7), 100),
+        (UIntTuple(4, 3), (1, 2, 3, 4)),
+        (UIntSeq(5), (1, 2, 31)),
+        (OptUIntSeq(6), (None, 9, None, 63)),
+        (TupleSeq((3, 3, 4)), ((1, 2, 3), (7, 7, 15))),
+        (ClaimSeq(3, 2, tables=1), (None, (1, (0, 1, 2)), None)),
+    ])
+    def test_exact_roundtrip(self, codec, value):
+        decoded, _ = self._roundtrip(codec, value)
+        assert decoded == value
+
+    def test_uint_rejects_out_of_range(self):
+        payload, header = BitWriter(), BitWriter()
+        with pytest.raises(CodecError):
+            UInt(3).encode(8, payload, header, [])
+        with pytest.raises(CodecError):
+            UInt(3).encode("x", payload, header, [])
+
+    def test_sequence_escapes_malformed_elements_at_zero_bits(self):
+        codec = UIntSeq(4)
+        value = (3, "garbage", 15, -1)
+        decoded, payload = self._roundtrip(codec, value)
+        assert decoded == value
+        # Only the two well-formed elements are charged.
+        assert len(payload) == 2 * 4
+
+    def test_claimseq_charges_flag_plus_content(self):
+        codec = ClaimSeq(3, 2, tables=1)
+        decoded, payload = self._roundtrip(
+            codec, (None, (1, (0, 1, 2))))
+        assert decoded == (None, (1, (0, 1, 2)))
+        # None: 1 flag bit; claim: 1 flag + 1 graph bit + 3·2 table.
+        assert len(payload) == 1 + (1 + 1 + 3 * 2)
+
+
+class TestMessageCodec:
+    def _codec(self):
+        return MessageCodec([("a", UInt(4)), ("b", UIntTuple(2, 3))])
+
+    def test_roundtrip_with_absent_escaped_and_extra(self):
+        codec = self._codec()
+        message = {"a": 9, "b": [1, 2], "weird": object()}
+        frame = codec.encode(message)
+        decoded = codec.decode(frame)
+        assert decoded["a"] == 9
+        assert decoded["b"] == [1, 2]          # escaped list, exact
+        assert decoded["weird"] is message["weird"]
+        # Only the well-formed field is charged.
+        assert frame.charged_bits == 4
+        assert frame.span_of("a") == (0, 4)
+        lo, hi = frame.span_of("b")
+        assert lo == hi  # escaped: empty span
+
+    def test_corruption_must_preserve_length(self):
+        frame = self._codec().encode({"a": 1, "b": (1, 2)})
+        with pytest.raises(ValueError):
+            frame.with_payload(Bits(0, frame.charged_bits + 1))
+
+    def test_challenge_codec_has_no_escape_lane(self):
+        codec = ChallengeCodec(UInt(5), 5)
+        frame = codec.encode(17)
+        assert frame.charged_bits == 5
+        assert codec.decode(frame) == 17
+        assert codec.decode(codec.zero_frame()) == 0
+        with pytest.raises(CodecError):
+            codec.encode("not-a-uint")
+
+
+class TestWireCodecRegistry:
+    def test_every_golden_protocol_has_a_codec(self):
+        for case in golden_cases():
+            codec = wire_codec(case.protocol)
+            assert codec.protocol is case.protocol
+
+    def test_unknown_protocol_rejected(self):
+        class Mystery:
+            name = "mystery"
+
+        with pytest.raises(LookupError, match="Mystery"):
+            wire_codec(Mystery())

@@ -1,0 +1,62 @@
+"""Satellite: scheduler determinism.
+
+A netsim run is a pure function of its seeds: same (seed, net_seed,
+faults) ⇒ byte-identical event trace; the fork-pool trial loop is
+chunking-independent (parallel ≡ serial).
+"""
+
+import random
+
+from repro import Instance
+from repro.graphs import cycle_graph
+from repro.netsim import (ChannelPolicy, FaultPlan, netsim_trials,
+                          run_netsim)
+from repro.protocols import SymDMAMProtocol
+
+SEED = 77
+FAULTS = FaultPlan(default=ChannelPolicy(drop=0.2, duplicate=0.3,
+                                         corrupt=0.1, jitter=2,
+                                         max_retries=2))
+
+
+def _run(net_seed=SEED, faults=FAULTS):
+    protocol = SymDMAMProtocol(8)
+    instance = Instance(cycle_graph(8))
+    return run_netsim(protocol, instance, protocol.honest_prover(),
+                      random.Random(SEED), faults=faults,
+                      net_seed=net_seed, trace=True)
+
+
+def test_same_seed_byte_identical_trace():
+    first, second = _run(), _run()
+    assert len(first.trace) == len(second.trace)
+    assert first.trace.to_json() == second.trace.to_json()
+    assert first.decisions == second.decisions
+    assert first.channel_bits == second.channel_bits
+
+
+def test_different_net_seed_different_fault_draws():
+    assert _run(net_seed=1).trace.to_json() \
+        != _run(net_seed=2).trace.to_json()
+
+
+def test_trace_records_are_causal_and_typed():
+    trace = _run().trace
+    assert trace.count("round") == 3  # dMAM: M0, A1, M2
+    kinds = {event["kind"] for event in trace.events}
+    assert "send" in kinds and "deliver" in kinds
+    for event in trace.events:
+        assert "t" in event  # every event stamps its logical time
+        assert isinstance(event["kind"], str)
+
+
+def test_parallel_trials_equal_serial():
+    protocol = SymDMAMProtocol(8)
+    instance = Instance(cycle_graph(8))
+    serial = netsim_trials(protocol, instance, protocol.honest_prover(),
+                           9, SEED, faults=FAULTS)
+    parallel = netsim_trials(protocol, instance,
+                             protocol.honest_prover(), 9, SEED,
+                             faults=FAULTS, workers=3)
+    assert parallel.accepted == serial.accepted
+    assert parallel.trials == serial.trials

@@ -1,0 +1,76 @@
+"""The equivalence gate: faults-off netsim ≡ abstract runner,
+bit-for-bit, on every golden-battery case."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import execution_to_jsonable, run_protocol
+from repro.core.runner import run_trials
+from repro.netsim import netsim_trials, run_netsim
+from repro.netsim.harness import (GOLDEN_SEED, equivalence_report,
+                                  golden_cases)
+
+CASES = golden_cases()
+
+
+def _canonical(protocol, instance, result):
+    return json.dumps(execution_to_jsonable(protocol, instance, result),
+                      sort_keys=True)
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+@pytest.mark.parametrize("crosscheck", ["exact", "hashed"])
+def test_faults_off_is_bit_identical(case, crosscheck):
+    abstract = run_protocol(case.protocol, case.instance,
+                            case.protocol.honest_prover(),
+                            random.Random(GOLDEN_SEED))
+    net = run_netsim(case.protocol, case.instance,
+                     case.protocol.honest_prover(),
+                     random.Random(GOLDEN_SEED), crosscheck=crosscheck,
+                     net_seed=GOLDEN_SEED)
+    assert net.accepted == abstract.accepted
+    assert net.decisions == abstract.decisions
+    assert net.node_cost_bits == abstract.node_cost_bits
+    assert _canonical(case.protocol, case.instance, net) \
+        == _canonical(case.protocol, case.instance, abstract)
+    # Substrate counters exist without perturbing the proof cost.
+    assert net.overhead_bits > 0
+    assert net.crosscheck_bits > 0
+    assert net.lost_frames == 0
+
+
+def test_equivalence_report_is_green():
+    report = equivalence_report(GOLDEN_SEED, smoke=True)
+    assert report["all_equivalent"]
+    assert all(row["accepted"] for row in report["cases"])
+
+
+def test_trial_streams_match_abstract_runner():
+    """netsim_trials consumes the same per-trial seeds as run_trials,
+    so faults-off acceptance estimates are identical."""
+    case = CASES[0]
+    trials = 5
+    abstract = run_trials(case.protocol, case.instance,
+                          case.protocol.honest_prover(), trials,
+                          GOLDEN_SEED)
+    net = netsim_trials(case.protocol, case.instance,
+                        case.protocol.honest_prover(), trials,
+                        GOLDEN_SEED)
+    assert net.accepted == abstract.accepted
+    assert net.trials == abstract.trials
+
+
+def test_net_seed_does_not_touch_protocol_stream():
+    """Fault/fingerprint randomness is segregated: changing net_seed
+    never changes the transcript of a faults-off run."""
+    case = CASES[0]
+    runs = [run_netsim(case.protocol, case.instance,
+                       case.protocol.honest_prover(),
+                       random.Random(GOLDEN_SEED), crosscheck="hashed",
+                       net_seed=net_seed, trace=False)
+            for net_seed in (0, 1, 12345)]
+    baselines = [_canonical(case.protocol, case.instance, run)
+                 for run in runs]
+    assert baselines[0] == baselines[1] == baselines[2]

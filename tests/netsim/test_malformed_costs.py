@@ -1,0 +1,123 @@
+"""Satellite: malformed prover fields are rejected and charged zero,
+uniformly — in ``merlin_bits``, in the codec, and end-to-end.
+
+The convention (inherited from ``core.model.sequence_field``): a value
+that does not fit its declared wire shape contributes **0 bits** to
+the round's cost, rides the escape lane unchanged, and is rejected by
+the decision functions — never crashes, never double-charges.
+"""
+
+import random
+
+import pytest
+
+from repro import Instance, run_protocol
+from repro.core.model import field_cost, tuple_field_cost, uint_fits
+from repro.graphs import cycle_graph
+from repro.netsim import run_netsim
+from repro.netsim.codecs import wire_codec
+from repro.protocols import SymDAMProtocol, SymDMAMProtocol
+
+SEED = 404
+
+
+class _Mangler:
+    """Wrap the honest prover, corrupting chosen fields of round 0."""
+
+    def __init__(self, inner, mangle):
+        self._inner = inner
+        self._mangle = mangle
+        self.context = None
+
+    def reset(self):
+        self._inner.reset()
+
+    def bind_context(self, context):
+        self.context = context
+        self._inner.bind_context(context)
+
+    def respond(self, instance, round_idx, randomness, messages, rng):
+        response = self._inner.respond(instance, round_idx, randomness,
+                                       messages, rng)
+        if round_idx == 0:
+            for node_message in response.values():
+                node_message.update(self._mangle)
+        return response
+
+
+MANGLES = [
+    {"rho": "not-an-identifier"},
+    {"rho": -3},
+    {"parent": (1, 2)},
+    {"root": None, "dist": 2.5},
+]
+
+
+@pytest.mark.parametrize("mangle", MANGLES,
+                         ids=[repr(m) for m in MANGLES])
+def test_malformed_fields_charge_zero_and_reject(mangle):
+    protocol = SymDMAMProtocol(8)
+    instance = Instance(cycle_graph(8))
+    codec = wire_codec(protocol).message_codec(0)
+    honest = run_protocol(protocol, instance, protocol.honest_prover(),
+                          random.Random(SEED))
+    honest_message = honest.transcript.messages[0][0]
+    honest_bits = protocol.merlin_bits(instance, 0, honest_message)
+
+    mangled = dict(honest_message)
+    mangled.update(mangle)
+    declared = protocol.merlin_bits(instance, 0, mangled)
+    frame = codec.encode(mangled)
+    # merlin_bits and the codec agree: mangled fields charge zero.
+    assert frame.charged_bits == declared
+    lost = sum(
+        3 if name in ("root", "rho", "parent", "dist") else 0
+        for name in mangle
+        if not uint_fits(mangle[name], 3))
+    assert declared == honest_bits - lost
+    # The escape lane round-trips the garbage exactly.
+    assert codec.decode(frame) == mangled
+
+
+@pytest.mark.parametrize("mangle", MANGLES,
+                         ids=[repr(m) for m in MANGLES])
+def test_end_to_end_runner_and_netsim_agree(mangle):
+    protocol = SymDMAMProtocol(8)
+    instance = Instance(cycle_graph(8))
+    abstract = run_protocol(
+        protocol, instance,
+        _Mangler(protocol.honest_prover(), mangle), random.Random(SEED))
+    net = run_netsim(
+        protocol, instance,
+        _Mangler(protocol.honest_prover(), mangle), random.Random(SEED),
+        net_seed=SEED, trace=False)
+    # Both substrates see the same garbage and reach the same verdicts
+    # at the same (zero-charged) cost.
+    assert not abstract.accepted
+    assert net.accepted == abstract.accepted
+    assert net.decisions == abstract.decisions
+    assert net.node_cost_bits == abstract.node_cost_bits
+
+
+def test_field_cost_helpers_are_the_convention():
+    assert field_cost({"x": 5}, "x", 3) == 3
+    assert field_cost({"x": 8}, "x", 3) == 0      # out of range
+    assert field_cost({"x": "s"}, "x", 3) == 0    # wrong type
+    assert field_cost({}, "x", 3) == 0            # absent
+    assert tuple_field_cost({"t": (1, 2)}, "t", 2, 3) == 6
+    assert tuple_field_cost({"t": (1, 2, 3)}, "t", 2, 3) == 0
+    assert tuple_field_cost({"t": [1, 2]}, "t", 2, 3) == 0
+
+
+def test_rho_table_convention_in_sym_dam():
+    """The dAM protocol's n-entry table: malformed ⇒ whole field 0."""
+    protocol = SymDAMProtocol(6)
+    instance = Instance(cycle_graph(6))
+    honest = run_protocol(protocol, instance, protocol.honest_prover(),
+                          random.Random(SEED))
+    message = dict(honest.transcript.messages[1][0])
+    well_formed = protocol.merlin_bits(instance, 1, message)
+    message["rho_table"] = tuple(message["rho_table"][:-1]) + ("x",)
+    codec = wire_codec(protocol).message_codec(1)
+    assert protocol.merlin_bits(instance, 1, message) \
+        == codec.encode(message).charged_bits < well_formed

@@ -1,0 +1,56 @@
+"""Satellite: the wire-cost audit over every battery protocol.
+
+For every protocol in ``protocols.batteries`` (plus the golden
+battery), on a grid of instances, every encoded challenge and message
+frame must charge exactly the declared ``arthur_bits``/``merlin_bits``
+— failures name the protocol, round and field.
+"""
+
+import random
+
+import pytest
+
+from repro.core.model import ProtocolViolation
+from repro.netsim.audit import (audit_cases, audit_execution,
+                                _mismatching_fields)
+from repro.netsim.codecs import wire_codec
+from repro.netsim.harness import GOLDEN_SEED
+
+CASES = audit_cases(sizes=(6, 7))
+
+
+@pytest.mark.parametrize("case,protocol,instance", CASES,
+                         ids=[c[0] for c in CASES])
+def test_measured_equals_declared(case, protocol, instance):
+    try:
+        report = audit_execution(protocol, instance,
+                                 protocol.honest_prover(),
+                                 random.Random(GOLDEN_SEED), case=case)
+    except ProtocolViolation:
+        pytest.skip("honest prover refuses this instance")
+    assert report.frames > 0
+    assert report.ok, "wire-cost mismatches:\n" + "\n".join(
+        entry.describe() for entry in report.mismatches)
+
+
+def test_mismatch_names_the_field():
+    """A deliberately broken frame is reported down to the field."""
+    from repro import Instance
+    from repro.graphs import cycle_graph
+    from repro.protocols import SymDMAMProtocol
+
+    protocol = SymDMAMProtocol(8)
+    instance = Instance(cycle_graph(8))
+    codec = wire_codec(protocol).message_codec(0)
+    # A malformed rho: merlin_bits charges 0, and the codec escapes it
+    # at 0 payload bits — so the frame still matches.  But a *wrong
+    # declared* cost (simulated by comparing against a doctored
+    # message) is pinned to the field.
+    message = {"root": 0, "rho": "garbage", "parent": 0, "dist": 0}
+    frame = codec.encode(message)
+    declared = protocol.merlin_bits(instance, 0, message)
+    assert frame.charged_bits == declared
+    fields = _mismatching_fields(
+        protocol, instance, 0, {"root": 0, "rho": 3, "parent": 0,
+                                "dist": 0}, frame)
+    assert "rho" in fields

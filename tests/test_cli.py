@@ -1,5 +1,7 @@
 """Smoke tests for the ``python -m repro`` command-line demos."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -61,6 +63,30 @@ class TestCLI:
                      "--runs", "1"]) == 0
         out = capsys.readouterr().out
         assert "general (symmetric inputs allowed)" in out
+
+    def test_netsim_run_smoke(self, capsys):
+        assert main(["netsim", "run", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence gate" in out
+        assert "wire-cost audit" in out
+        assert "netsim gate: ok" in out
+
+    def test_netsim_run_smoke_json(self, capsys):
+        assert main(["netsim", "run", "--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_equivalent"] is True
+        assert payload["audit"]["ok"] is True
+        assert payload["audit"]["frames"] > 0
+
+    def test_netsim_faults(self, capsys):
+        assert main(["netsim", "faults", "--trials", "6",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_ok"] is True
+        rows = {row["fault"]: row for row in payload["rows"]}
+        assert rows["baseline"]["accept_rate"] == 1.0
+        detect = rows["corrupt-broadcast-seed"]
+        assert detect["detection_rate"] >= detect["analytic_bound"]
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
