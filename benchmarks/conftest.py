@@ -6,30 +6,42 @@ experiment's *result rows* — communication costs, acceptance rates,
 implied bounds — in ``benchmark.extra_info`` and prints them, so
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the tables.
 
-The recording machinery lives in :class:`repro.lab.TableRecorder`; this
-conftest is a thin session wrapper around it.  At session end every
-reported table is flushed to two machine-readable mirrors:
+The recording machinery is :class:`repro.obs.BenchRecorder`: every
+table is attributed to the bench module that reported it (inferred
+from the caller's frame), and at session end one ``BENCH_<name>.json``
+summary is flushed per module — ``bench_runner.py`` produces
+``BENCH_runner.json``, which is also the legacy CI artifact, so no
+separate aggregate is written.  The lab result store keeps its
+``bench_tables.jsonl`` mirror exactly as before.
 
-* ``benchmarks/BENCH_runner.json`` — the legacy CI artifact;
-* ``benchmarks/lab_store/bench_tables.jsonl`` — the same payload in
-  the lab result store, one record per table.
+The whole pytest session runs inside a metrics-only observability
+session (no span capture — benchmarks loop too hot for that), so each
+summary carries the engines' deterministic counters for the work the
+module actually did.
 """
 
 from __future__ import annotations
 
 import random
+import sys
+from contextlib import ExitStack
 from pathlib import Path
 
 import pytest
 
 from repro.graphs import rigid_family_exhaustive
-from repro.lab import TableRecorder
+from repro.obs import BenchRecorder
+from repro.obs import session as obs_session
 
-_JSON_PATH = Path(__file__).resolve().parent / "BENCH_runner.json"
+_BENCH_DIR = Path(__file__).resolve().parent
 
 #: The session's recorder; ``report_table`` delegates to it and
 #: ``pytest_sessionfinish`` flushes it.
-_RECORDER = TableRecorder(json_path=_JSON_PATH)
+_RECORDER = BenchRecorder(_BENCH_DIR)
+
+#: Holds the session-scoped ambient obs session open between the
+#: pytest session hooks.
+_OBS = ExitStack()
 
 
 @pytest.fixture(scope="session")
@@ -46,10 +58,20 @@ def report_table(benchmark, title, header, rows):
     """Attach a result table to the benchmark and print it.
 
     ``benchmark`` may be None for plain (non-pytest-benchmark) tests;
-    the table still lands in the session mirrors.
+    the table still lands in the session mirrors.  The reporting bench
+    module is inferred from the caller so the table is filed into the
+    right ``BENCH_<name>.json``.
     """
-    print(_RECORDER.report(benchmark, title, header, rows))
+    module = sys._getframe(1).f_globals.get("__name__", "benchmarks")
+    print(_RECORDER.report(module, benchmark, title, header, rows))
+
+
+def pytest_sessionstart(session):
+    _OBS.enter_context(obs_session(trace=False))
 
 
 def pytest_sessionfinish(session, exitstatus):
+    # Flush first: the recorder snapshots the still-active obs session's
+    # metrics into each summary.
     _RECORDER.flush()
+    _OBS.close()

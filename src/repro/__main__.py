@@ -19,6 +19,10 @@ Commands
                equivalence gate plus the wire-cost audit, ``netsim
                faults`` the fault-injection matrix with analytic
                detection bounds.
+``obs``        Observability: ``obs record`` executes the golden
+               battery under tracing (and gates trace bit counters
+               against declared costs), ``obs report``/``obs top``
+               render a recorded run, ``obs diff`` compares two runs.
 """
 
 from __future__ import annotations
@@ -246,6 +250,9 @@ def main(argv=None) -> int:
 
     from repro.netsim.cli import add_netsim_parser
     add_netsim_parser(sub)
+
+    from repro.obs.cli import add_obs_parser
+    add_obs_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

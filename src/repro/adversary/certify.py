@@ -31,12 +31,14 @@ never beats the analytic bound".
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
 from ..core.context import InstanceContext
+from ..obs.session import active
 from ..core.model import Instance, Protocol, Prover
 from ..core.provers import (RandomGarbageProver, ReplayProver,
                             record_responses)
@@ -241,6 +243,20 @@ def default_adversaries(protocol: Protocol, *, seed: int = 2018,
     return panel
 
 
+def _solve_game(protocol: Protocol, instance: Instance, **options):
+    """Run the exact solver and publish its work counters
+    (``adversary/solver/*``) to the ambient observability session."""
+    solution = solve_protocol_game(protocol, instance, **options)
+    sess = active()
+    if sess is not None and sess.metrics_enabled:
+        metrics = sess.metrics
+        metrics.counter("adversary/solver/solved").inc()
+        metrics.counter("adversary/solver/leaves").inc(solution.leaves)
+        metrics.counter("adversary/solver/merlin_nodes").inc(
+            solution.merlin_nodes)
+    return solution
+
+
 def _commitment_of(prover: Prover,
                    instance: Instance) -> Optional[Tuple[int, ...]]:
     """The mapping a committed-style prover ended up playing, if its
@@ -275,8 +291,41 @@ def certify_protocol(protocol: Protocol,
             protocol, seed=seed,
             search_trials=max(12, trials // 2), workers=workers)
     completeness_bound, soundness_bound = analytic_bounds(protocol)
-    certificates = []
-    for index, item in enumerate(battery):
+    sess = active()
+    outer = nullcontext() if sess is None else sess.span(
+        "adversary.certify", protocol=protocol.name,
+        instances=len(battery), trials=trials, seed=seed)
+    with outer:
+        certificates = [
+            _certify_instance(protocol, item, index, trials=trials,
+                              seed=seed, alpha=alpha, workers=workers,
+                              adversaries=adversaries,
+                              solver_options=solver_options, sess=sess)
+            for index, item in enumerate(battery)]
+        if sess is not None and sess.metrics_enabled:
+            metrics = sess.metrics
+            metrics.counter("adversary/certify/instances").inc(
+                len(certificates))
+            metrics.counter("adversary/certify/passes").inc(
+                sum(cert.passes for cert in certificates))
+    return CertificationReport(
+        protocol_name=protocol.name, alpha=alpha, trials=trials,
+        seed=seed, workers=workers, instances=certificates,
+        analytic_completeness=completeness_bound,
+        analytic_soundness=soundness_bound)
+
+
+def _certify_instance(protocol: Protocol, item: LabeledInstance,
+                      index: int, *, trials: int, seed: int, alpha: float,
+                      workers: int,
+                      adversaries: Mapping[str, AdversaryFactory],
+                      solver_options: Optional[Dict[str, Any]],
+                      sess) -> InstanceCertificate:
+    """One battery instance's certificate (optionally under a span)."""
+    with (nullcontext() if sess is None else
+          sess.span("adversary.certify_instance", protocol=protocol.name,
+                    label=item.label, is_yes=item.is_yes,
+                    n=item.instance.n)):
         context = InstanceContext(item.instance, protocol)
         base_seed = seed + 7919 * index
         outcomes = []
@@ -314,18 +363,13 @@ def certify_protocol(protocol: Protocol,
         game_value = None
         if solver_options is not None:
             try:
-                game_value = solve_protocol_game(
-                    protocol, item.instance, **solver_options).value
+                game_value = _solve_game(protocol, item.instance,
+                                         **solver_options).value
             except SolverInfeasible:
                 game_value = None
-        certificates.append(InstanceCertificate(
+        return InstanceCertificate(
             label=item.label, is_yes=item.is_yes, n=item.instance.n,
-            alpha=alpha, outcomes=outcomes, game_value=game_value))
-    return CertificationReport(
-        protocol_name=protocol.name, alpha=alpha, trials=trials,
-        seed=seed, workers=workers, instances=certificates,
-        analytic_completeness=completeness_bound,
-        analytic_soundness=soundness_bound)
+            alpha=alpha, outcomes=outcomes, game_value=game_value)
 
 
 @dataclass
@@ -395,8 +439,8 @@ def solver_cross_validation(*, seed: int = 2018, trials: int = 300,
     for graph in rigid_family_exhaustive(6)[:graphs]:
         protocol = SymDMAMProtocol(6, family=family)
         instance = Instance(graph)
-        solution = solve_protocol_game(protocol, instance,
-                                       candidates="permutations")
+        solution = _solve_game(protocol, instance,
+                               candidates="permutations")
         _mapping, analysis_value = optimal_committed_cheater(graph, family)
         search = LocalSearchProver(protocol, trials=48, seed=seed,
                                    restarts=2, workers=workers)

@@ -39,12 +39,14 @@ Design points:
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.context import InstanceContext
 from ..core.model import Instance, NodeMessage, Prover
 from ..core.runner import AcceptanceEstimate, run_trials
+from ..obs.session import active
 from ..protocols.sym_dam import CommittedDAMProver, SymDAMProtocol
 from ..protocols.sym_dmam import CommittedMappingProver, SymDMAMProtocol
 
@@ -159,6 +161,29 @@ class LocalSearchProver(Prover):
     def search(self, instance: Instance) -> SearchResult:
         """Run the coordinate ascent on ``instance`` and adopt the best
         mapping found as this prover's commitment."""
+        sess = active()
+        outer = nullcontext() if sess is None else sess.span(
+            "adversary.search", protocol=self.protocol.name,
+            n=instance.graph.n, trials=self.trials, seed=self.seed,
+            restarts=self.restarts)
+        with outer as span:
+            result = self._search(instance)
+            if span is not None:
+                span.set(evaluations=result.evaluations,
+                         improvements=result.improvements,
+                         starts=result.starts,
+                         best_accepted=result.best_estimate.accepted)
+            if sess is not None and sess.metrics_enabled:
+                metrics = sess.metrics
+                metrics.counter("adversary/search/evaluations").inc(
+                    result.evaluations)
+                metrics.counter("adversary/search/improvements").inc(
+                    result.improvements)
+                metrics.counter("adversary/search/starts").inc(
+                    result.starts)
+        return result
+
+    def _search(self, instance: Instance) -> SearchResult:
         n = instance.graph.n
         context = self.acquire_context(instance)
         # The oracle stream is fixed once per search: common random

@@ -30,15 +30,23 @@ batched engine on top of single executions:
 Both :class:`ExecutionResult` and :class:`AcceptanceEstimate` carry
 lightweight instrumentation (per-phase wall time and call counters,
 excluded from equality) so speedups are measurable, not anecdotal.
+When an observability session (:mod:`repro.obs`) is active,
+:func:`run_trials` additionally records per-trial spans and publishes
+the batch's counters and timers under the ``runner/*`` namespace; with
+no session installed the instrumentation collapses to one global read
+per batch (the ``bench_obs`` overhead gate pins this under 3%).
 """
 
 from __future__ import annotations
 
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.session import (Collected, active, collecting,
+                           export_collected, merge_collected)
 from .context import InstanceContext
 from .model import (Instance, LocalView, NodeMessage, Protocol,
                     ProtocolViolation, Prover, ROUND_ARTHUR, ROUND_MERLIN)
@@ -304,6 +312,10 @@ class AcceptanceEstimate:
     short_circuits: int = field(default=0, compare=False)
     #: worker processes used (1 = serial).
     workers: int = field(default=1, compare=False)
+    #: whether ``elapsed_seconds``/``phase_seconds`` were measured.
+    #: Hand-built estimates (tests, analytic tooling) leave this False,
+    #: so a zero rate means "untimed", never "instantaneous".
+    timed: bool = field(default=False, compare=False)
 
     @property
     def probability(self) -> float:
@@ -311,8 +323,8 @@ class AcceptanceEstimate:
 
     @property
     def trials_per_second(self) -> float:
-        """Batch throughput (0.0 when timing was not recorded)."""
-        if self.elapsed_seconds <= 0.0:
+        """Batch throughput (0.0 when the estimate was not timed)."""
+        if not self.timed or self.elapsed_seconds <= 0.0:
             return 0.0
         return self.trials / self.elapsed_seconds
 
@@ -350,25 +362,63 @@ class AcceptanceEstimate:
 def _trial_batch(protocol: Protocol, instance: Instance, prover: Prover,
                  context: InstanceContext, seed: int, start: int,
                  count: int, stop_on_first_reject: bool
-                 ) -> Tuple[int, int, int, Dict[str, float]]:
+                 ) -> Tuple[int, int, int, Dict[str, float], Collected]:
     """Run trials ``start .. start+count-1`` of the stream; returns
-    ``(accepted, decide_calls, short_circuits, phase_seconds)``."""
+    ``(accepted, decide_calls, short_circuits, phase_seconds,
+    collected)``.
+
+    When an observability session is active, every trial records a
+    ``runner.trial`` span and the batch accumulates ``runner/*``
+    metrics into a buffer session (:func:`repro.obs.session.collecting`)
+    whose export is the ``collected`` element — the caller merges
+    buffers in trial order, which makes parallel and serial traces
+    byte-identical on the deterministic projection.  With observability
+    off the buffer is None and the whole block below reduces to the
+    bare trial loop.
+    """
     n = instance.n
     accepted = 0
     decide_calls = 0
     short_circuits = 0
+    proof_bits = 0
     phase = {"arthur": 0.0, "merlin": 0.0, "decide": 0.0}
-    for t in range(start, start + count):
-        result = run_protocol(protocol, instance, prover,
-                              random.Random(seed + t), context=context,
-                              stop_on_first_reject=stop_on_first_reject)
-        accepted += result.accepted
-        decide_calls += result.decide_calls
-        short_circuits += (not result.accepted
-                           and result.decide_calls < n)
-        for key, value in result.phase_seconds.items():
-            phase[key] += value
-    return accepted, decide_calls, short_circuits, phase
+    with collecting() as buf:
+        for t in range(start, start + count):
+            if buf is None:
+                result = run_protocol(
+                    protocol, instance, prover, random.Random(seed + t),
+                    context=context,
+                    stop_on_first_reject=stop_on_first_reject)
+            else:
+                with buf.span("runner.trial", trial=t) as span:
+                    result = run_protocol(
+                        protocol, instance, prover,
+                        random.Random(seed + t), context=context,
+                        stop_on_first_reject=stop_on_first_reject)
+                    bits = sum(result.node_cost_bits.values())
+                    proof_bits += bits
+                    if span is not None:
+                        span.set(accepted=result.accepted,
+                                 decide_calls=result.decide_calls,
+                                 max_cost_bits=result.max_cost_bits)
+                        span.add("proof_bits", bits)
+            accepted += result.accepted
+            decide_calls += result.decide_calls
+            short_circuits += (not result.accepted
+                               and result.decide_calls < n)
+            for key, value in result.phase_seconds.items():
+                phase[key] += value
+        if buf is not None and buf.metrics_enabled:
+            metrics = buf.metrics
+            metrics.counter("runner/trials").inc(count)
+            metrics.counter("runner/accepted").inc(accepted)
+            metrics.counter("runner/decide_calls").inc(decide_calls)
+            metrics.counter("runner/short_circuits").inc(short_circuits)
+            metrics.counter("runner/proof_bits").inc(proof_bits)
+            for key, value in phase.items():
+                metrics.timer(f"runner/seconds/{key}").inc(value)
+        collected = export_collected(buf)
+    return accepted, decide_calls, short_circuits, phase, collected
 
 
 #: Fork-inherited state for pool workers — set by :func:`run_trials`
@@ -380,7 +430,7 @@ _WORKER_STATE: Optional[Tuple[Protocol, Instance, Prover, InstanceContext,
 
 
 def _worker_batch(span: Tuple[int, int]
-                  ) -> Tuple[int, int, int, Dict[str, float]]:
+                  ) -> Tuple[int, int, int, Dict[str, float], Collected]:
     assert _WORKER_STATE is not None
     protocol, instance, prover, context, seed, stop = _WORKER_STATE
     start, count = span
@@ -441,41 +491,63 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
     workers = min(workers, max(trials, 1))
     pool_ctx = _fork_pool_context() if workers > 1 and trials > 1 else None
 
-    if pool_ctx is None:
-        accepted, decide_calls, short_circuits, phase = _trial_batch(
-            protocol, instance, prover, context, seed, 0, trials,
-            stop_on_first_reject)
-        used_workers = 1
-    else:
-        # Warm the context in-parent on trial 0, then fork.
-        accepted, decide_calls, short_circuits, phase = _trial_batch(
-            protocol, instance, prover, context, seed, 0, 1,
-            stop_on_first_reject)
-        global _WORKER_STATE
-        _WORKER_STATE = (protocol, instance, prover, context, seed,
-                         stop_on_first_reject)
-        try:
-            with pool_ctx.Pool(processes=workers) as pool:
-                parts = pool.map(_worker_batch,
-                                 _spans(trials - 1, workers, 1))
-        finally:
-            _WORKER_STATE = None
-        for part_accepted, part_calls, part_short, part_phase in parts:
-            accepted += part_accepted
-            decide_calls += part_calls
-            short_circuits += part_short
-            for key, value in part_phase.items():
-                phase[key] += value
-        used_workers = workers
+    sess = active()
+    outer = nullcontext() if sess is None else sess.span(
+        "runner.run_trials", protocol=protocol.name, n=instance.n,
+        trials=trials, seed=seed)
+    with outer as span:
+        if pool_ctx is None:
+            (accepted, decide_calls, short_circuits, phase,
+             collected) = _trial_batch(
+                protocol, instance, prover, context, seed, 0, trials,
+                stop_on_first_reject)
+            merge_collected(sess, collected)
+            used_workers = 1
+        else:
+            # Warm the context in-parent on trial 0, then fork.  The
+            # children inherit the active session and buffer their own
+            # spans/metrics; merging the parts in trial order below is
+            # what keeps parallel traces identical to serial ones.
+            (accepted, decide_calls, short_circuits, phase,
+             collected) = _trial_batch(
+                protocol, instance, prover, context, seed, 0, 1,
+                stop_on_first_reject)
+            merge_collected(sess, collected)
+            global _WORKER_STATE
+            _WORKER_STATE = (protocol, instance, prover, context, seed,
+                             stop_on_first_reject)
+            try:
+                with pool_ctx.Pool(processes=workers) as pool:
+                    parts = pool.map(_worker_batch,
+                                     _spans(trials - 1, workers, 1))
+            finally:
+                _WORKER_STATE = None
+            for (part_accepted, part_calls, part_short, part_phase,
+                 part_collected) in parts:
+                accepted += part_accepted
+                decide_calls += part_calls
+                short_circuits += part_short
+                for key, value in part_phase.items():
+                    phase[key] += value
+                merge_collected(sess, part_collected)
+            used_workers = workers
+
+        elapsed = time.perf_counter() - start_time
+        if span is not None:
+            span.set(accepted=accepted)
+            span.note(workers=used_workers)
+        if sess is not None and sess.metrics_enabled:
+            sess.metrics.timer("runner/seconds/batch").inc(elapsed)
 
     return AcceptanceEstimate(
         accepted=accepted,
         trials=trials,
-        elapsed_seconds=time.perf_counter() - start_time,
+        elapsed_seconds=elapsed,
         phase_seconds=phase,
         decide_calls=decide_calls,
         short_circuits=short_circuits,
         workers=used_workers,
+        timed=True,
     )
 
 

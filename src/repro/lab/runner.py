@@ -15,11 +15,13 @@ from __future__ import annotations
 import json
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.model import Instance, Protocol, Prover, ROUND_ARTHUR
 from ..core.runner import run_protocol, run_trials
+from ..obs.session import active
 from .spec import (ExperimentSpec, GRAPHS, KIND_COLLISION, KIND_EDGECHECK,
                    KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS, KIND_PACKING,
                    KIND_SWEEP, PROTOCOLS, PROVERS)
@@ -278,17 +280,35 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
     and nothing is written — the regression gate's comparison mode.
     """
     stored = store.load_cells(spec) if (store and resume) else {}
+    sess = active()
+    outer = nullcontext() if sess is None else sess.span(
+        "lab.run_spec", spec=spec.name, kind=spec.kind, seed=spec.seed,
+        quick=quick)
     results: List[CellResult] = []
-    for n, prover_key, trials in spec_cells(spec, quick):
-        key = cell_key(n, prover_key, trials, spec.seed)
-        if key in stored:
-            results.append(CellResult(spec.name, key, stored[key], True))
-            continue
-        record = compute_cell(spec, n, prover_key, trials, workers)
-        if store is not None:
-            store.append_cell(spec, record)
-            stored[key] = record
-        results.append(CellResult(spec.name, key, record, False))
+    with outer as span:
+        for n, prover_key, trials in spec_cells(spec, quick):
+            key = cell_key(n, prover_key, trials, spec.seed)
+            if key in stored:
+                results.append(CellResult(spec.name, key, stored[key],
+                                          True))
+                continue
+            with (nullcontext() if sess is None else
+                  sess.span("lab.cell", spec=spec.name, n=n,
+                            prover=prover_key, trials=trials)):
+                record = compute_cell(spec, n, prover_key, trials,
+                                      workers)
+            if store is not None:
+                store.append_cell(spec, record)
+                stored[key] = record
+            results.append(CellResult(spec.name, key, record, False))
+        ran = sum(not r.skipped for r in results)
+        if span is not None:
+            span.set(cells=len(results), ran=ran,
+                     skipped=len(results) - ran)
+        if sess is not None and sess.metrics_enabled:
+            metrics = sess.metrics
+            metrics.counter("lab/cells/ran").inc(ran)
+            metrics.counter("lab/cells/skipped").inc(len(results) - ran)
     return results
 
 
@@ -321,6 +341,9 @@ def run_specs(specs, store: Optional[ResultStore] = None, *,
         summary["skipped"] += skipped
         summary["wall"] += time.perf_counter() - start
     summary["wall"] = round(summary["wall"], 3)
+    sess = active()
+    if sess is not None and sess.metrics_enabled:
+        sess.metrics.timer("lab/seconds/specs").inc(summary["wall"])
     return summary
 
 

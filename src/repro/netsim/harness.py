@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import json
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
 from ..core import Instance, execution_to_jsonable, run_protocol
+from ..obs.session import active
 from ..core.model import Protocol
 from ..graphs import (DSymLayout, Graph, cycle_graph, dsym_graph,
                       path_graph, star_graph)
@@ -104,10 +106,31 @@ def equivalence_report(seed: int = GOLDEN_SEED,
     case is *equivalent* when verdicts, per-node costs and the full
     serialized transcript agree byte-for-byte.
     """
+    sess = active()
+    outer = nullcontext() if sess is None else sess.span(
+        "netsim.equivalence_report", seed=seed, smoke=smoke)
     cases = []
-    for case in golden_cases():
-        if smoke and case.name not in SMOKE_CASES:
-            continue
+    with outer as gate_span:
+        for case in golden_cases():
+            if smoke and case.name not in SMOKE_CASES:
+                continue
+            cases.append(_equivalence_case(case, seed, sess))
+        if gate_span is not None:
+            gate_span.set(cases=len(cases),
+                          all_equivalent=all(row["equivalent"]
+                                             for row in cases))
+    return {
+        "seed": seed,
+        "cases": cases,
+        "all_equivalent": all(row["equivalent"] for row in cases),
+    }
+
+
+def _equivalence_case(case: GoldenCase, seed: int, sess) -> Dict[str, Any]:
+    """One equivalence-gate row (optionally under a per-case span)."""
+    with (nullcontext() if sess is None else
+          sess.span("netsim.equivalence_case", case=case.name,
+                    protocol=case.protocol.name, n=case.instance.n)):
         abstract = run_protocol(case.protocol, case.instance,
                                 case.protocol.honest_prover(),
                                 random.Random(seed))
@@ -135,12 +158,7 @@ def equivalence_report(seed: int = GOLDEN_SEED,
                 row["crosscheck_bits"] = net.crosscheck_bits
         row["equivalent"] = (row["equivalent_exact"]
                              and row["equivalent_hashed"])
-        cases.append(row)
-    return {
-        "seed": seed,
-        "cases": cases,
-        "all_equivalent": all(row["equivalent"] for row in cases),
-    }
+    return row
 
 
 def _fault_rows(protocol: Protocol) -> List[Dict[str, Any]]:
@@ -191,21 +209,25 @@ def fault_matrix(seed: int = GOLDEN_SEED, trials: int = 20,
     protocol = SymDMAMProtocol(n)
     instance = Instance(cycle_graph(n))
     analytic = 1.0 - equality_scheme(protocol.family.seed_bits).error_bound
+    sess = active()
     rows = []
     for spec in _fault_rows(protocol):
         accepted = 0
         detected = 0
         lost = 0
-        for t in range(trials):
-            result = run_netsim(protocol, instance,
-                                protocol.honest_prover(),
-                                random.Random(seed + t),
-                                faults=spec["faults"],
-                                crosscheck=spec["crosscheck"],
-                                net_seed=seed + t, trace=False)
-            accepted += result.accepted
-            detected += result.broadcast_violations > 0
-            lost += result.lost_frames
+        with (nullcontext() if sess is None else
+              sess.span("netsim.fault_case", fault=spec["fault"],
+                        protocol=protocol.name, n=n, trials=trials)):
+            for t in range(trials):
+                result = run_netsim(protocol, instance,
+                                    protocol.honest_prover(),
+                                    random.Random(seed + t),
+                                    faults=spec["faults"],
+                                    crosscheck=spec["crosscheck"],
+                                    net_seed=seed + t, trace=False)
+                accepted += result.accepted
+                detected += result.broadcast_violations > 0
+                lost += result.lost_frames
         row: Dict[str, Any] = {
             "fault": spec["fault"],
             "crosscheck": spec["crosscheck"],

@@ -47,10 +47,13 @@ from __future__ import annotations
 
 import random
 import time as _time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.context import InstanceContext
+from ..obs.session import (Collected, active, collecting,
+                           export_collected, merge_collected)
 from ..core.model import (Instance, LocalView, NodeMessage, Protocol,
                           ProtocolViolation, Prover, ROUND_ARTHUR,
                           ROUND_MERLIN)
@@ -170,6 +173,19 @@ class _Simulation:
         self.violating: set = set()
         self._frame_ids = 0
         self._delivered_ids: set = set()
+        #: fault-injection event counts by kind (drop, corrupt, ...),
+        #: published as ``netsim/faults/<kind>`` at the end of the run.
+        self.fault_events: Dict[str, int] = {}
+        #: the ambient observability session, captured once per
+        #: simulation so the hot paths pay one attribute read.
+        self.obs = active()
+        self._frame_hist = (
+            self.obs.metrics.histogram("netsim/frame_bits")
+            if self.obs is not None and self.obs.metrics_enabled
+            else None)
+
+    def _fault(self, kind: str) -> None:
+        self.fault_events[kind] = self.fault_events.get(kind, 0) + 1
 
     # -- channel pipeline --------------------------------------------------
 
@@ -190,12 +206,15 @@ class _Simulation:
             garbled = Bits(rng.getrandbits(frame.payload.length),
                            frame.payload.length)
             frame = frame.with_payload(garbled)
+            self._fault(EV_CORRUPT)
             self.trace.record(EV_CORRUPT, t=self.queue.time, frame=fid,
                               src=src, dst=dst, round=round_idx,
                               byzantine=True)
 
         bits = frame.payload.length + frame.header.length + extra_bits
         self.overhead_bits += frame.header.length + extra_bits
+        if self._frame_hist is not None:
+            self._frame_hist.observe(bits)
         self.trace.record(EV_RELAY if relay else EV_SEND,
                           t=self.queue.time, frame=fid, src=src, dst=dst,
                           round=round_idx, bits=bits)
@@ -210,17 +229,20 @@ class _Simulation:
                 self.crosscheck_bits += bits
             if rng.random() >= policy.drop:
                 break
+            self._fault(EV_DROP)
             self.trace.record(EV_DROP, t=send_time + attempt * policy.timeout,
                               frame=fid, src=src, dst=dst, round=round_idx,
                               attempt=attempt)
             if attempt >= policy.max_retries:
                 self.lost_frames += 1
+                self._fault(EV_TIMEOUT)
                 self.trace.record(EV_TIMEOUT,
                                   t=send_time + attempt * policy.timeout,
                                   frame=fid, src=src, dst=dst,
                                   round=round_idx)
                 return
             attempt += 1
+            self._fault(EV_RETRANSMIT)
             self.trace.record(EV_RETRANSMIT,
                               t=send_time + attempt * policy.timeout,
                               frame=fid, src=src, dst=dst, round=round_idx,
@@ -242,12 +264,14 @@ class _Simulation:
                 positions = sorted(rng.sample(
                     range(lo, hi), min(policy.flips, hi - lo)))
                 frame = frame.with_payload(frame.payload.flip(positions))
+                self._fault(EV_CORRUPT)
                 self.trace.record(EV_CORRUPT, t=send_time, frame=fid,
                                   src=src, dst=dst, round=round_idx,
                                   positions=positions)
 
         def deliver(frame=frame, fid=fid) -> None:
             if fid in self._delivered_ids:
+                self._fault(EV_DUPLICATE)
                 self.trace.record(EV_DUPLICATE, t=self.queue.time,
                                   frame=fid, src=src, dst=dst,
                                   round=round_idx)
@@ -270,6 +294,7 @@ class _Simulation:
     def _record_crashes(self, round_idx: int) -> None:
         for v in sorted(self.faults.crashes):
             if self.faults.crashes[v] == round_idx:
+                self._fault(EV_CRASH)
                 self.trace.record(EV_CRASH, t=self.queue.time, node=v,
                                   round=round_idx)
 
@@ -442,6 +467,7 @@ class _Simulation:
                 else:
                     self.broadcast_violations += 1
                     self.violating.add(u)
+                    self._fault(EV_VIOLATION)
                     self.trace.record(EV_VIOLATION, t=self.queue.time,
                                       node=u, src=v, round=round_idx)
             self._transmit(v, u, round_idx, EV_RELAY, uni_frame,
@@ -483,20 +509,52 @@ class _Simulation:
 
     # -- top level ---------------------------------------------------------
 
+    def _publish_obs(self, span, accepted: bool) -> None:
+        """Emit the simulation's counters under ``netsim/*`` and stamp
+        the ``netsim.run`` span — called once per run, observability on."""
+        proof_bits = sum(self.node_cost.values())
+        if span is not None:
+            span.set(accepted=accepted,
+                     lost_frames=self.lost_frames,
+                     broadcast_violations=self.broadcast_violations)
+            span.add("proof_bits", proof_bits)
+        sess = self.obs
+        if sess is None or not sess.metrics_enabled:
+            return
+        metrics = sess.metrics
+        metrics.counter("netsim/runs").inc()
+        metrics.counter("netsim/proof_bits").inc(proof_bits)
+        metrics.counter("netsim/channel_bits").inc(
+            sum(self.channel_bits.values()))
+        metrics.counter("netsim/crosscheck_bits").inc(self.crosscheck_bits)
+        metrics.counter("netsim/overhead_bits").inc(self.overhead_bits)
+        metrics.counter("netsim/lost_frames").inc(self.lost_frames)
+        metrics.counter("netsim/broadcast_violations").inc(
+            self.broadcast_violations)
+        for kind in sorted(self.fault_events):
+            metrics.counter(f"netsim/faults/{kind}").inc(
+                self.fault_events[kind])
+
     def run(self) -> NetExecutionResult:
-        self.prover.reset()
-        self.prover.bind_context(self.context)
-        for round_idx, kind in enumerate(self.protocol.pattern):
-            self.trace.record(EV_ROUND, t=self.queue.time,
-                              round=round_idx, type=kind)
-            self._record_crashes(round_idx)
-            if kind == ROUND_ARTHUR:
-                self._arthur_round(round_idx)
-            elif kind == ROUND_MERLIN:
-                self._merlin_round(round_idx)
-            else:  # pragma: no cover - patterns are library-defined
-                raise ValueError(f"unknown round kind {kind!r}")
-        accepted, decisions = self._decide()
+        outer = nullcontext() if self.obs is None else self.obs.span(
+            "netsim.run", protocol=self.protocol.name,
+            n=self.instance.n, crosscheck=self.crosscheck)
+        with outer as span:
+            self.prover.reset()
+            self.prover.bind_context(self.context)
+            for round_idx, kind in enumerate(self.protocol.pattern):
+                self.trace.record(EV_ROUND, t=self.queue.time,
+                                  round=round_idx, type=kind)
+                self._record_crashes(round_idx)
+                if kind == ROUND_ARTHUR:
+                    self._arthur_round(round_idx)
+                elif kind == ROUND_MERLIN:
+                    self._merlin_round(round_idx)
+                else:  # pragma: no cover - patterns are library-defined
+                    raise ValueError(f"unknown round kind {kind!r}")
+            accepted, decisions = self._decide()
+            if self.obs is not None:
+                self._publish_obs(span, accepted)
         return NetExecutionResult(
             accepted=accepted,
             decisions=decisions,
@@ -539,15 +597,25 @@ def run_netsim(protocol: Protocol, instance: Instance, prover: Prover,
 def _netsim_trial_batch(protocol: Protocol, instance: Instance,
                         prover: Prover, context: InstanceContext,
                         seed: int, start: int, count: int,
-                        faults: FaultPlan, crosscheck: str) -> int:
+                        faults: FaultPlan, crosscheck: str
+                        ) -> Tuple[int, Collected]:
+    """Run netsim trials ``start .. start+count-1``; with an active
+    observability session the per-run ``netsim.run`` spans and the
+    ``netsim/*`` counters accumulate into a buffer session returned as
+    the ``collected`` element (merged in trial order by the caller, so
+    parallel traces equal serial ones)."""
     accepted = 0
-    for t in range(start, start + count):
-        result = run_netsim(protocol, instance, prover,
-                            random.Random(seed + t), faults=faults,
-                            crosscheck=crosscheck, net_seed=seed + t,
-                            context=context, trace=False)
-        accepted += result.accepted
-    return accepted
+    with collecting() as buf:
+        for t in range(start, start + count):
+            result = run_netsim(protocol, instance, prover,
+                                random.Random(seed + t), faults=faults,
+                                crosscheck=crosscheck, net_seed=seed + t,
+                                context=context, trace=False)
+            accepted += result.accepted
+        if buf is not None and buf.metrics_enabled:
+            buf.metrics.counter("netsim/trials").inc(count)
+        collected = export_collected(buf)
+    return accepted, collected
 
 
 #: Fork-inherited worker state, mirroring ``core.runner._WORKER_STATE``.
@@ -556,7 +624,7 @@ _NETSIM_WORKER_STATE: Optional[Tuple[Protocol, Instance, Prover,
                                      str]] = None
 
 
-def _netsim_worker_batch(span: Tuple[int, int]) -> int:
+def _netsim_worker_batch(span: Tuple[int, int]) -> Tuple[int, Collected]:
     assert _NETSIM_WORKER_STATE is not None
     protocol, instance, prover, context, seed, faults, crosscheck = \
         _NETSIM_WORKER_STATE
@@ -593,31 +661,49 @@ def netsim_trials(protocol: Protocol, instance: Instance, prover: Prover,
     workers = min(workers, max(trials, 1))
     pool_ctx = _fork_pool_context() if workers > 1 and trials > 1 else None
 
-    if pool_ctx is None:
-        accepted = _netsim_trial_batch(protocol, instance, prover,
-                                       context, seed, 0, trials,
-                                       faults, crosscheck)
-        used_workers = 1
-    else:
-        # Warm the context in-parent on trial 0, then fork.
-        accepted = _netsim_trial_batch(protocol, instance, prover,
-                                       context, seed, 0, 1,
-                                       faults, crosscheck)
-        global _NETSIM_WORKER_STATE
-        _NETSIM_WORKER_STATE = (protocol, instance, prover, context,
-                                seed, faults, crosscheck)
-        try:
-            with pool_ctx.Pool(processes=workers) as pool:
-                parts = pool.map(_netsim_worker_batch,
-                                 _spans(trials - 1, workers, 1))
-        finally:
-            _NETSIM_WORKER_STATE = None
-        accepted += sum(parts)
-        used_workers = workers
+    sess = active()
+    outer = nullcontext() if sess is None else sess.span(
+        "netsim.netsim_trials", protocol=protocol.name, n=instance.n,
+        trials=trials, seed=seed, crosscheck=crosscheck)
+    with outer as span:
+        if pool_ctx is None:
+            accepted, collected = _netsim_trial_batch(
+                protocol, instance, prover, context, seed, 0, trials,
+                faults, crosscheck)
+            merge_collected(sess, collected)
+            used_workers = 1
+        else:
+            # Warm the context in-parent on trial 0, then fork; merge
+            # worker buffers in trial order (parallel ≡ serial traces).
+            accepted, collected = _netsim_trial_batch(
+                protocol, instance, prover, context, seed, 0, 1,
+                faults, crosscheck)
+            merge_collected(sess, collected)
+            global _NETSIM_WORKER_STATE
+            _NETSIM_WORKER_STATE = (protocol, instance, prover, context,
+                                    seed, faults, crosscheck)
+            try:
+                with pool_ctx.Pool(processes=workers) as pool:
+                    parts = pool.map(_netsim_worker_batch,
+                                     _spans(trials - 1, workers, 1))
+            finally:
+                _NETSIM_WORKER_STATE = None
+            for part_accepted, part_collected in parts:
+                accepted += part_accepted
+                merge_collected(sess, part_collected)
+            used_workers = workers
+
+        elapsed = _time.perf_counter() - start_time
+        if span is not None:
+            span.set(accepted=accepted)
+            span.note(workers=used_workers)
+        if sess is not None and sess.metrics_enabled:
+            sess.metrics.timer("netsim/seconds/batch").inc(elapsed)
 
     return AcceptanceEstimate(
         accepted=accepted,
         trials=trials,
-        elapsed_seconds=_time.perf_counter() - start_time,
+        elapsed_seconds=elapsed,
         workers=used_workers,
+        timed=True,
     )

@@ -1,0 +1,72 @@
+"""repro.obs — unified tracing, metrics and profiling.
+
+One zero-dependency observability layer shared by every engine in the
+repo: the abstract runner (:mod:`repro.core.runner`), the netsim
+substrate (:mod:`repro.netsim`), the adversary search/certifier
+(:mod:`repro.adversary`) and the lab orchestrator (:mod:`repro.lab`).
+
+Three ideas:
+
+* **Ambient session** (:func:`session` / :func:`active`) — when no
+  session is installed, every instrumentation site short-circuits on a
+  single module-global read, so observability costs nothing when off
+  (the ``bench_obs`` gate pins the overhead under 3%).
+* **Deterministic spans** (:class:`Tracer` / :class:`Span`) — each
+  span splits identity (``attrs``/``metrics``, byte-identical across
+  reruns and worker counts) from environment (``seconds``/``meta``/
+  ``profile``); the deterministic projection makes parallel ≡ serial a
+  byte-equality check.
+* **Namespaced metrics** (:class:`MetricsRegistry`) — runner, netsim,
+  adversary and lab numbers all land under one slash-namespaced
+  registry with order-deterministic worker merging.
+
+CLI: ``python -m repro obs record|report|top|diff``.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NS_ADVERSARY, NS_LAB, NS_NETSIM, NS_RUNNER)
+from .io import ObsRun, default_obs_root, load_run, resolve_run
+from .profiling import PROFILE_CPROFILE, PROFILE_MODES, PROFILE_TRACEMALLOC, \
+    profiled
+from .recorder import BenchRecorder, bench_summary_name
+from .session import (Collected, EMPTY_COLLECTED, ObsSession, active,
+                      collecting, export_collected, merge_collected,
+                      session, use_session)
+from .trace import (DETERMINISTIC_KEYS, Span, Tracer, deterministic_span,
+                    flatten_spans, nest_spans)
+
+__all__ = [
+    "BenchRecorder",
+    "Collected",
+    "Counter",
+    "DETERMINISTIC_KEYS",
+    "EMPTY_COLLECTED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NS_ADVERSARY",
+    "NS_LAB",
+    "NS_NETSIM",
+    "NS_RUNNER",
+    "ObsRun",
+    "ObsSession",
+    "PROFILE_CPROFILE",
+    "PROFILE_MODES",
+    "PROFILE_TRACEMALLOC",
+    "Span",
+    "Tracer",
+    "active",
+    "bench_summary_name",
+    "collecting",
+    "default_obs_root",
+    "deterministic_span",
+    "export_collected",
+    "flatten_spans",
+    "load_run",
+    "merge_collected",
+    "nest_spans",
+    "profiled",
+    "resolve_run",
+    "session",
+    "use_session",
+]

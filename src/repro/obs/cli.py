@@ -1,0 +1,231 @@
+"""The ``python -m repro obs`` command group.
+
+``obs record``   run the golden battery under tracing and write a run
+                 directory (``trace.jsonl`` + ``metrics.jsonl`` +
+                 ``summary.json``).  The command is also a gate: the
+                 trace's aggregated bit counters must exactly match
+                 the declared ``node_cost_bits`` (recomputed
+                 independently), the netsim substrate's charged bits,
+                 and the wire-cost audit — exit 1 on any mismatch.
+``obs report``   render a run's per-phase / per-protocol breakdown.
+``obs top``      the hottest spans by self time.
+``obs diff``     compare two runs metric by metric; ``--strict`` makes
+                 any deterministic drift exit 1 (the perf-trajectory
+                 regression check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+from typing import Any, Dict, Optional
+
+from .io import DEFAULT_RUN_NAME, default_obs_root, load_run, resolve_run
+from .report import (diff_runs, render_diff, render_report, render_top,
+                     report_jsonable, top_spans)
+from .session import ObsSession, session
+
+
+def _counter_value(sess: ObsSession, name: str) -> float:
+    return sess.metrics.counter(name).value if name in sess.metrics else 0
+
+
+def _case_trace_bits(sess: ObsSession, case: str) -> int:
+    """Sum the ``proof_bits`` metric over the ``runner.trial`` spans
+    under ``case``'s span — the 'aggregated bit counters of the trace'
+    side of the record gate (netsim spans are audited separately)."""
+    def walk(span: Dict[str, Any]) -> int:
+        total = (span.get("metrics", {}).get("proof_bits", 0)
+                 if span.get("name") == "runner.trial" else 0)
+        return total + sum(walk(child)
+                           for child in span.get("children", ()))
+    return sum(walk(span) for span in sess.tracer.export()
+               if span.get("attrs", {}).get("case") == case)
+
+
+def record_battery(*, trials: int = 5, seed: int = 20180723,
+                   smoke: bool = True,
+                   profile: Optional[str] = None,
+                   sess: Optional[ObsSession] = None) -> Dict[str, Any]:
+    """Execute the golden battery under the given (or ambient) session
+    and return the consistency summary (see the CLI docstring)."""
+    from ..core.runner import run_protocol, run_trials
+    from ..netsim.audit import audit_execution
+    from ..netsim.harness import SMOKE_CASES, golden_cases
+    from ..netsim.sim import run_netsim
+    from .session import active
+
+    sess = sess or active()
+    assert sess is not None, "record_battery needs an obs session"
+    cases = []
+    for case in golden_cases():
+        if smoke and case.name not in SMOKE_CASES:
+            continue
+        protocol, instance = case.protocol, case.instance
+        runner_before = _counter_value(sess, "runner/proof_bits")
+        netsim_before = _counter_value(sess, "netsim/proof_bits")
+        with sess.profiled_span("obs.case", case=case.name,
+                                protocol=protocol.name, n=instance.n):
+            estimate = run_trials(protocol, instance,
+                                  protocol.honest_prover(), trials, seed)
+            net = run_netsim(protocol, instance,
+                             protocol.honest_prover(),
+                             random.Random(seed), net_seed=seed,
+                             trace=False)
+        # Independent ground truth: re-run the same trial seed stream
+        # through the abstract runner, outside any span bookkeeping.
+        per_trial_declared = [
+            sum(run_protocol(protocol, instance,
+                             protocol.honest_prover(),
+                             random.Random(seed + t),
+                             stop_on_first_reject=True)
+                .node_cost_bits.values())
+            for t in range(trials)]
+        declared_bits = sum(per_trial_declared)
+        netsim_bits = sum(net.node_cost_bits.values())
+        audit = audit_execution(protocol, instance,
+                                protocol.honest_prover(),
+                                random.Random(seed), case=case.name)
+        trace_bits = _case_trace_bits(sess, case.name)
+        metric_bits = (_counter_value(sess, "runner/proof_bits")
+                       - runner_before)
+        netsim_metric = (_counter_value(sess, "netsim/proof_bits")
+                         - netsim_before)
+        row = {
+            "case": case.name,
+            "protocol": protocol.name,
+            "n": instance.n,
+            "trials": trials,
+            "accepted": estimate.accepted,
+            "declared_bits": declared_bits,
+            "trace_bits": trace_bits,
+            "metric_bits": metric_bits,
+            "netsim_bits": netsim_bits,
+            "netsim_metric_bits": netsim_metric,
+            "audit_frames": audit.frames,
+            "audit_mismatches": len(audit.mismatches),
+            # The netsim run shares trial 0's protocol rng, so its
+            # charged proof bits must equal trial 0's declared cost.
+            "consistent": (trace_bits == metric_bits == declared_bits
+                           and netsim_bits == netsim_metric
+                           and netsim_bits == per_trial_declared[0]
+                           and audit.ok),
+        }
+        cases.append(row)
+    return {
+        "seed": seed,
+        "trials": trials,
+        "smoke": smoke,
+        "profile": profile,
+        "cases": cases,
+        "consistent": all(row["consistent"] for row in cases),
+    }
+
+
+def cmd_obs_record(args: argparse.Namespace) -> int:
+    out = args.out or str(default_obs_root() / DEFAULT_RUN_NAME)
+    with session(profile=args.profile) as sess:
+        summary = record_battery(trials=args.trials, seed=args.seed,
+                                 smoke=not args.full,
+                                 profile=args.profile, sess=sess)
+        paths = sess.write(out, summary=summary)
+    if args.json:
+        print(json.dumps({**summary, "out": out}, indent=2,
+                         sort_keys=True))
+    else:
+        print(f"obs record -> {out}")
+        for row in summary["cases"]:
+            status = "ok" if row["consistent"] else "MISMATCH"
+            print(f"  {row['case']:<18} n={row['n']:<3} "
+                  f"trials={row['trials']} "
+                  f"bits: trace={row['trace_bits']} "
+                  f"declared={row['declared_bits']} "
+                  f"netsim={row['netsim_bits']} "
+                  f"audit={row['audit_frames']}f/"
+                  f"{row['audit_mismatches']}x  {status}")
+        print(f"wrote {', '.join(str(p) for p in paths.values())}")
+        print("record gate:",
+              "consistent" if summary["consistent"] else "FAILED")
+    return 0 if summary["consistent"] else 1
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    run = resolve_run(args.run)
+    if args.json:
+        print(json.dumps(report_jsonable(run), indent=2, sort_keys=True))
+    else:
+        print("\n".join(render_report(run)))
+    return 0
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    run = resolve_run(args.run)
+    if args.json:
+        print(json.dumps(top_spans(run, args.k), indent=2,
+                         sort_keys=True))
+    else:
+        print("\n".join(render_top(run, args.k)))
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    diff = diff_runs(load_run(args.a), load_run(args.b))
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print("\n".join(render_diff(diff)))
+    if args.strict and not diff["deterministic_ok"]:
+        return 1
+    return 0
+
+
+def add_obs_parser(sub) -> None:
+    """Register the ``obs`` command group on the main CLI."""
+    p = sub.add_parser(
+        "obs", help="observability: record traced runs, report, diff")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    record = obs_sub.add_parser(
+        "record",
+        help="run the golden battery under tracing (bit-consistency "
+             "gate) and write a run directory")
+    record.add_argument("--trials", type=int, default=5,
+                        help="trials per battery case")
+    record.add_argument("--seed", type=int, default=20180723,
+                        help="golden battery seed")
+    record.add_argument("--full", action="store_true",
+                        help="all golden cases (default: smoke subset)")
+    record.add_argument("--out", metavar="DIR",
+                        help=f"run directory (default: "
+                             f"{default_obs_root() / DEFAULT_RUN_NAME})")
+    record.add_argument("--profile", choices=["cprofile", "tracemalloc"],
+                        help="profile each case span")
+    record.add_argument("--json", action="store_true",
+                        help="machine-readable summary")
+    record.set_defaults(func=cmd_obs_record)
+
+    report = obs_sub.add_parser(
+        "report", help="per-phase / per-protocol breakdown of a run")
+    report.add_argument("run", nargs="?",
+                        help="run directory (default: the last "
+                             "`obs record` output)")
+    report.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    report.set_defaults(func=cmd_obs_report)
+
+    top = obs_sub.add_parser("top", help="hottest spans by self time")
+    top.add_argument("run", nargs="?")
+    top.add_argument("-k", type=int, default=15,
+                     help="spans to show")
+    top.add_argument("--json", action="store_true")
+    top.set_defaults(func=cmd_obs_top)
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two runs metric by metric")
+    diff.add_argument("a", help="baseline run directory")
+    diff.add_argument("b", help="candidate run directory")
+    diff.add_argument("--strict", action="store_true",
+                      help="exit 1 on any deterministic metric drift")
+    diff.add_argument("--json", action="store_true")
+    diff.set_defaults(func=cmd_obs_diff)

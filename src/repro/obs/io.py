@@ -1,0 +1,88 @@
+"""Loading observability run directories.
+
+A *run* is what :meth:`repro.obs.session.ObsSession.write` produces:
+``trace.jsonl`` (flattened spans), ``metrics.jsonl`` (one metric per
+line) and optionally ``summary.json``.  The default location is
+``benchmarks/obs_store/<name>``, mirroring the lab result store's
+layout one directory over.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .session import METRICS_FILE, SUMMARY_FILE, TRACE_FILE
+from .trace import nest_spans
+
+#: Default run-directory root, next to the lab store.
+DEFAULT_RUN_NAME = "latest"
+
+
+def default_obs_root() -> Path:
+    """``benchmarks/obs_store`` next to the source tree when running
+    from a checkout, else under the current working directory."""
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "obs_store"
+    return Path.cwd() / "benchmarks" / "obs_store"
+
+
+@dataclass
+class ObsRun:
+    """One loaded run: flat span rows, nested forest, metrics."""
+
+    root: Path
+    #: flattened span rows (id/parent links), file order.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: metric name -> snapshot dict.
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    summary: Optional[Dict[str, Any]] = None
+
+    @property
+    def forest(self) -> List[Dict[str, Any]]:
+        return nest_spans(self.spans)
+
+    def metric_value(self, name: str, default: Any = None) -> Any:
+        snap = self.metrics.get(name)
+        if snap is None:
+            return default
+        if snap["kind"] == "histogram":
+            return snap["count"]
+        return snap["value"]
+
+
+def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
+    if not path.exists():
+        return []
+    with path.open("r", encoding="ascii") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def load_run(path: Path) -> ObsRun:
+    """Load a run directory (or a bare ``trace.jsonl``/``metrics.jsonl``
+    file, resolving its siblings)."""
+    path = Path(path)
+    if path.is_file():
+        path = path.parent
+    if not path.is_dir():
+        raise FileNotFoundError(f"no obs run at {path}")
+    run = ObsRun(root=path)
+    run.spans = _read_jsonl(path / TRACE_FILE)
+    run.metrics = {record["name"]: {k: v for k, v in record.items()
+                                    if k != "name"}
+                   for record in _read_jsonl(path / METRICS_FILE)}
+    summary_path = path / SUMMARY_FILE
+    if summary_path.exists():
+        run.summary = json.loads(summary_path.read_text(encoding="ascii"))
+    return run
+
+
+def resolve_run(arg: Optional[str]) -> ObsRun:
+    """CLI argument -> run: an explicit path, or the default
+    ``benchmarks/obs_store/latest``."""
+    if arg:
+        return load_run(Path(arg))
+    return load_run(default_obs_root() / DEFAULT_RUN_NAME)

@@ -1,0 +1,215 @@
+"""The metrics half of :mod:`repro.obs`: namespaced counters, gauges
+and histograms behind one registry.
+
+Every number the execution engines used to keep in private dicts —
+runner phase seconds and decide-call counts, netsim bit and fault
+counters, adversary search/solver work counts, lab cell progress —
+lands here under a slash-namespaced name (``runner/proof_bits``,
+``netsim/faults/drop``, ``adversary/solver/leaves``, ``lab/cells/ran``)
+so one query answers "where did the bits and the seconds go".
+
+Determinism
+-----------
+Each metric carries a ``deterministic`` flag fixed at creation:
+
+* **deterministic** metrics (bit counts, trial counts, tree sizes) are
+  pure functions of the work's inputs; they must be bit-identical
+  across reruns and worker counts, and the regression tooling treats a
+  change as a real drift;
+* **non-deterministic** metrics (wall-clock timers created with
+  :meth:`MetricsRegistry.timer`) are environment facts, excluded from
+  :meth:`MetricsRegistry.deterministic_snapshot`.
+
+Merging
+-------
+Fork-pool workers accumulate into buffer registries which the parent
+merges **in trial order** via :meth:`MetricsRegistry.merge`: counters
+and histograms are order-independent sums, and gauges are last-wins —
+so the merge order (= trial order) makes parallel gauge values equal
+serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+#: Metric namespaces emitted by the retrofitted engines.
+NS_RUNNER = "runner"
+NS_NETSIM = "netsim"
+NS_ADVERSARY = "adversary"
+NS_LAB = "lab"
+
+
+class Counter:
+    """A monotonically accumulating sum."""
+
+    __slots__ = ("name", "deterministic", "value")
+    kind = KIND_COUNTER
+
+    def __init__(self, name: str, deterministic: bool = True) -> None:
+        self.name = name
+        self.deterministic = deterministic
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "deterministic": self.deterministic,
+                "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins value (``None`` until first set)."""
+
+    __slots__ = ("name", "deterministic", "value")
+    kind = KIND_GAUGE
+
+    def __init__(self, name: str, deterministic: bool = True) -> None:
+        self.name = name
+        self.deterministic = deterministic
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "deterministic": self.deterministic,
+                "value": self.value}
+
+
+class Histogram:
+    """Power-of-two bucketed distribution plus exact moments.
+
+    Bucket ``k`` counts observations in ``[2^(k-1), 2^k)`` (bucket 0 is
+    ``[0, 1)``); negative observations raise.  Buckets are stored
+    sparsely, so wide ranges cost nothing.
+    """
+
+    __slots__ = ("name", "deterministic", "count", "total", "min", "max",
+                 "buckets")
+    kind = KIND_HISTOGRAM
+
+    def __init__(self, name: str, deterministic: bool = True) -> None:
+        self.name = name
+        self.deterministic = deterministic
+        self.count = 0
+        self.total: float = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r}: negative "
+                             f"observation {value!r}")
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bucket = max(0, int(value).bit_length()) if value >= 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "deterministic": self.deterministic,
+                "count": self.count, "total": self.total,
+                "min": self.min, "max": self.max,
+                "buckets": {str(k): v
+                            for k, v in sorted(self.buckets.items())}}
+
+
+class MetricsRegistry:
+    """The single namespaced home for every instrumentation number."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory, deterministic: bool):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name, deterministic)
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}")
+        return metric
+
+    def counter(self, name: str, deterministic: bool = True) -> Counter:
+        return self._get(name, Counter, deterministic)
+
+    def gauge(self, name: str, deterministic: bool = True) -> Gauge:
+        return self._get(name, Gauge, deterministic)
+
+    def histogram(self, name: str,
+                  deterministic: bool = True) -> Histogram:
+        return self._get(name, Histogram, deterministic)
+
+    def timer(self, name: str) -> Counter:
+        """A seconds accumulator — a counter marked non-deterministic,
+        because wall time is an environment fact."""
+        return self.counter(name, deterministic=False)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- serialization / merging ----------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every metric's state, keyed by name, in sorted order."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def deterministic_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Only the deterministic metrics — the regression surface."""
+        return {name: snap for name, snap in self.snapshot().items()
+                if snap["deterministic"]}
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a snapshot (e.g. a worker buffer's) into this registry.
+
+        Counters and histogram moments add; gauges take the incoming
+        value (last-wins — callers merge buffers in trial order so the
+        result is order-deterministic); histogram min/max combine.
+        """
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            kind = snap["kind"]
+            deterministic = snap["deterministic"]
+            if kind == KIND_COUNTER:
+                self.counter(name, deterministic).value += snap["value"]
+            elif kind == KIND_GAUGE:
+                if snap["value"] is not None:
+                    self.gauge(name, deterministic).set(snap["value"])
+            elif kind == KIND_HISTOGRAM:
+                hist = self.histogram(name, deterministic)
+                hist.count += snap["count"]
+                hist.total += snap["total"]
+                for edge in ("min", "max"):
+                    incoming = snap[edge]
+                    if incoming is not None:
+                        current = getattr(hist, edge)
+                        combine = min if edge == "min" else max
+                        setattr(hist, edge,
+                                incoming if current is None
+                                else combine(current, incoming))
+                for bucket, count in snap["buckets"].items():
+                    key = int(bucket)
+                    hist.buckets[key] = hist.buckets.get(key, 0) + count
+            else:  # pragma: no cover - snapshots are library-produced
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """JSONL-ready rows, one metric per line, sorted by name."""
+        return [{"name": name, **snap}
+                for name, snap in self.snapshot().items()]

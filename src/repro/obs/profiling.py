@@ -1,0 +1,87 @@
+"""Optional per-span profiling hooks: ``cProfile`` and ``tracemalloc``.
+
+Both profilers ship with CPython, so this module adds no dependencies;
+it only runs when a session was created with ``profile="cprofile"`` or
+``profile="tracemalloc"`` and the call site used ``profiled_span``.
+Profiler output is attached to the span's non-deterministic layer
+(``span.profile``), so profiled and unprofiled runs still compare
+byte-identical on the deterministic projection.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .trace import Span
+
+PROFILE_CPROFILE = "cprofile"
+PROFILE_TRACEMALLOC = "tracemalloc"
+PROFILE_MODES = (PROFILE_CPROFILE, PROFILE_TRACEMALLOC)
+
+#: Top-N functions kept from a cProfile capture.
+_TOP_FUNCTIONS = 15
+
+
+def _cprofile_top(profile) -> list:
+    """The ``_TOP_FUNCTIONS`` hottest rows by cumulative time."""
+    import pstats
+
+    stats = pstats.Stats(profile)
+    rows = []
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in \
+            entries[:_TOP_FUNCTIONS]:
+        rows.append({
+            "function": f"{filename}:{line}:{func}",
+            "calls": nc,
+            "self_seconds": round(tt, 6),
+            "cumulative_seconds": round(ct, 6),
+        })
+    return rows
+
+
+@contextmanager
+def profiled(span_ctx, mode: Optional[str]) -> Iterator[Optional[Span]]:
+    """Wrap a span context manager with the selected profiler.
+
+    ``mode=None`` degrades to the bare span.  With ``cprofile`` the
+    span gains the top functions by cumulative time; with
+    ``tracemalloc`` it gains current/peak allocation bytes for the
+    region.  A disabled tracer (span is None) skips profiling too.
+    """
+    if mode is not None and mode not in PROFILE_MODES:
+        raise ValueError(f"unknown profile mode {mode!r}; "
+                         f"expected one of {PROFILE_MODES}")
+    with span_ctx as span:
+        if span is None or mode is None:
+            yield span
+            return
+        if mode == PROFILE_CPROFILE:
+            import cProfile
+
+            profile = cProfile.Profile()
+            profile.enable()
+            try:
+                yield span
+            finally:
+                profile.disable()
+                span.profile = {"mode": mode,
+                                "top": _cprofile_top(profile)}
+        else:
+            import tracemalloc
+
+            nested = tracemalloc.is_tracing()
+            if not nested:
+                tracemalloc.start()
+            baseline = tracemalloc.get_traced_memory()[0]
+            try:
+                yield span
+            finally:
+                current, peak = tracemalloc.get_traced_memory()
+                if not nested:
+                    tracemalloc.stop()
+                span.profile = {"mode": mode,
+                                "current_bytes": current - baseline,
+                                "peak_bytes": peak}

@@ -1,0 +1,131 @@
+"""The obs-backed benchmark recorder: per-bench ``BENCH_<name>.json``.
+
+Historically only an aggregate ``BENCH_runner.json`` was flushed by
+the benchmark conftest, so the per-bench performance trajectory the
+ROADMAP asks for was never populated.  :class:`BenchRecorder` fixes
+that: every table reported during a pytest-benchmark session is
+attributed to the bench module that produced it, and at session end
+one ``BENCH_<name>.json`` summary is written per module (``bench_gni``
+→ ``BENCH_gni.json``) next to the legacy aggregate, each carrying the
+session's obs metrics snapshot when an observability session was
+active.
+
+The lab result store's table channel (``bench_tables.jsonl``) keeps
+receiving every table exactly as before — the recorder wraps
+:class:`repro.lab.store.ResultStore`, it does not replace it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from .session import active
+
+
+def bench_summary_name(source: str) -> str:
+    """``bench_gni`` / ``benchmarks/bench_gni.py`` -> ``BENCH_gni.json``
+    (sources without the ``bench_`` convention keep their stem)."""
+    stem = Path(source).stem
+    if stem.startswith("bench_"):
+        stem = stem[len("bench_"):]
+    return f"BENCH_{stem}.json"
+
+
+class BenchRecorder:
+    """Collects per-module result tables and flushes obs-backed
+    summaries.
+
+    Parameters
+    ----------
+    bench_dir:
+        Directory the ``BENCH_<name>.json`` summaries land in
+        (``benchmarks/`` in a checkout).
+    store:
+        The lab :class:`~repro.lab.store.ResultStore` mirror; None
+        uses the default store root.
+    aggregate:
+        Optional path for the legacy all-tables aggregate
+        (``BENCH_runner.json`` historically).
+    """
+
+    def __init__(self, bench_dir: Path,
+                 store: Optional[Any] = None,
+                 aggregate: Optional[Path] = None,
+                 source: str = "benchmarks/conftest.py") -> None:
+        from ..lab.store import ResultStore
+
+        self.bench_dir = Path(bench_dir)
+        self.store = store if store is not None else ResultStore()
+        self.aggregate = Path(aggregate) if aggregate else None
+        self.source = source
+        #: module name -> its tables, in report order.
+        self.by_module: Dict[str, List[Dict[str, Any]]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def report(self, module: str, benchmark: Any, title: str,
+               header: Iterable[Any],
+               rows: Iterable[Iterable[Any]]) -> str:
+        """Record one table under ``module``; returns the printable
+        rendering (same format the session console always printed)."""
+        header = list(header)
+        rows = [list(row) for row in rows]
+        table = {"title": title, "header": header, "rows": rows}
+        self.by_module.setdefault(module, []).append(table)
+        if benchmark is not None:
+            benchmark.extra_info["table"] = table
+        width = max(len(str(cell))
+                    for row in rows + [header] for cell in row) + 2
+        lines = [f"\n=== {title} ===",
+                 "".join(str(cell).ljust(width) for cell in header)]
+        lines.extend("".join(str(cell).ljust(width) for cell in row)
+                     for row in rows)
+        return "\n".join(lines)
+
+    @property
+    def tables(self) -> List[Dict[str, Any]]:
+        """Every recorded table, in module order."""
+        return [table for module in sorted(self.by_module)
+                for table in self.by_module[module]]
+
+    # -- flushing --------------------------------------------------------
+
+    def _metrics_snapshot(self) -> Optional[Dict[str, Any]]:
+        sess = active()
+        if sess is None or not len(sess.metrics):
+            return None
+        return sess.metrics.snapshot()
+
+    def flush(self) -> List[Path]:
+        """Write per-module summaries, the legacy aggregate, and the
+        store's table channel.  Returns the summary paths written."""
+        if not self.by_module:
+            return []
+        self.store.write_tables(self.source, self.tables)
+        metrics = self._metrics_snapshot()
+        written: List[Path] = []
+        self.bench_dir.mkdir(parents=True, exist_ok=True)
+        for module in sorted(self.by_module):
+            payload: Dict[str, Any] = {
+                "source": module,
+                "recorder": "repro.obs",
+                "tables": self.by_module[module],
+            }
+            if metrics is not None:
+                payload["metrics"] = metrics
+            path = self.bench_dir / bench_summary_name(module)
+            path.write_text(json.dumps(payload, indent=2,
+                                       default=str) + "\n",
+                            encoding="ascii")
+            written.append(path)
+        if self.aggregate is not None:
+            payload = {"source": self.source, "tables": self.tables}
+            if metrics is not None:
+                payload["metrics"] = metrics
+            self.aggregate.write_text(
+                json.dumps(payload, indent=2, default=str) + "\n",
+                encoding="ascii")
+            written.append(self.aggregate)
+        return written

@@ -1,0 +1,260 @@
+"""Rendering observability runs: report, top, diff.
+
+These back the ``python -m repro obs`` CLI:
+
+* **report** — the per-phase / per-protocol breakdown: where the
+  seconds and the proof bits went, per engine namespace and per
+  protocol, from one run's metrics + spans.
+* **top** — the hottest spans by self time (a poor man's flame view).
+* **diff** — two runs side by side: every metric's old/new/delta, with
+  deterministic drifts called out separately from wall-clock movement
+  — the tool that turns committed run directories into a perf
+  trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .io import ObsRun
+
+#: Timer-metric naming convention: <engine>/seconds/<phase>.
+_SECONDS_SEGMENT = "/seconds/"
+
+
+def _format_table(header: Tuple[str, ...],
+                  rows: List[Tuple[Any, ...]]) -> List[str]:
+    widths = [max(len(str(cell)) for cell in column)
+              for column in zip(header, *rows)] if rows else \
+        [len(cell) for cell in header]
+    lines = ["  ".join(str(cell).ljust(width)
+                       for cell, width in zip(header, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width)
+                               for cell, width in zip(row, widths))
+                     .rstrip())
+    return lines
+
+
+# -- report ---------------------------------------------------------------
+
+def phase_breakdown(run: ObsRun) -> List[Dict[str, Any]]:
+    """Every ``<engine>/seconds/<phase>`` timer as one row with its
+    share of the engine's total."""
+    timers: Dict[str, Dict[str, float]] = {}
+    for name, snap in run.metrics.items():
+        if _SECONDS_SEGMENT not in name or snap["kind"] != "counter":
+            continue
+        engine, phase = name.split(_SECONDS_SEGMENT, 1)
+        timers.setdefault(engine, {})[phase] = snap["value"]
+    rows = []
+    for engine in sorted(timers):
+        total = sum(timers[engine].values())
+        for phase in sorted(timers[engine]):
+            seconds = timers[engine][phase]
+            rows.append({
+                "engine": engine,
+                "phase": phase,
+                "seconds": round(seconds, 6),
+                "share": round(seconds / total, 4) if total else 0.0,
+            })
+    return rows
+
+
+def _walk(span: Dict[str, Any], protocol: Optional[str],
+          groups: Dict[str, Dict[str, Any]]) -> None:
+    own = span.get("attrs", {}).get("protocol")
+    if own is not None and own != protocol:
+        group = groups.setdefault(own, {"protocol": own, "spans": 0,
+                                        "trials": 0, "seconds": 0.0,
+                                        "metrics": {}})
+        # Only the outermost span of a protocol contributes seconds,
+        # so nested engine spans don't double-count wall time.
+        group["seconds"] += span.get("seconds", 0.0)
+        protocol = own
+    if protocol is not None:
+        # Every span below (attributed or not) accrues to the protocol
+        # it is nested under — trial spans carry no protocol attr.
+        group = groups[protocol]
+        group["spans"] += 1
+        group["trials"] += span.get("name") == "runner.trial"
+        for name, value in span.get("metrics", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool):
+                group["metrics"][name] = \
+                    group["metrics"].get(name, 0) + value
+    for child in span.get("children", ()):
+        _walk(child, protocol, groups)
+
+
+def protocol_breakdown(run: ObsRun) -> List[Dict[str, Any]]:
+    """Aggregate spans by their ``protocol`` attribute: span counts,
+    wall seconds (outermost spans only), and summed span metrics."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    for span in run.forest:
+        _walk(span, None, groups)
+    rows = []
+    for protocol in sorted(groups):
+        group = groups[protocol]
+        rows.append({
+            "protocol": protocol,
+            "spans": group["spans"],
+            "seconds": round(group["seconds"], 6),
+            "proof_bits": group["metrics"].get("proof_bits", 0),
+            "trials": group["trials"],
+        })
+    return rows
+
+
+def report_jsonable(run: ObsRun) -> Dict[str, Any]:
+    return {
+        "root": str(run.root),
+        "spans": len(run.spans),
+        "metrics": run.metrics,
+        "phases": phase_breakdown(run),
+        "protocols": protocol_breakdown(run),
+        "summary": run.summary,
+    }
+
+
+def render_report(run: ObsRun) -> List[str]:
+    lines = [f"obs report: {run.root}",
+             f"  spans: {len(run.spans)}   metrics: {len(run.metrics)}"]
+    phases = phase_breakdown(run)
+    if phases:
+        lines.append("")
+        lines.append("per-phase wall time")
+        lines.extend("  " + line for line in _format_table(
+            ("engine", "phase", "seconds", "share"),
+            [(row["engine"], row["phase"], f"{row['seconds']:.4f}",
+              f"{row['share'] * 100:.1f}%") for row in phases]))
+    protocols = protocol_breakdown(run)
+    if protocols:
+        lines.append("")
+        lines.append("per-protocol breakdown")
+        lines.extend("  " + line for line in _format_table(
+            ("protocol", "spans", "seconds", "trials", "proof bits"),
+            [(row["protocol"], row["spans"], f"{row['seconds']:.4f}",
+              row["trials"], row["proof_bits"])
+             for row in protocols]))
+    counters = [(name, snap) for name, snap in sorted(run.metrics.items())
+                if snap["kind"] == "counter" and snap["deterministic"]]
+    if counters:
+        lines.append("")
+        lines.append("deterministic counters")
+        lines.extend("  " + line for line in _format_table(
+            ("counter", "value"),
+            [(name, snap["value"]) for name, snap in counters]))
+    return lines
+
+
+# -- top ------------------------------------------------------------------
+
+def top_spans(run: ObsRun, k: int = 15) -> List[Dict[str, Any]]:
+    """The ``k`` hottest spans by *self* time (own seconds minus the
+    seconds of direct children)."""
+    children_seconds: Dict[Optional[int], float] = {}
+    for row in run.spans:
+        parent = row.get("parent")
+        children_seconds[parent] = (children_seconds.get(parent, 0.0)
+                                    + row.get("seconds", 0.0))
+    rows = []
+    for row in run.spans:
+        total = row.get("seconds", 0.0)
+        self_seconds = max(0.0, total
+                           - children_seconds.get(row["id"], 0.0))
+        rows.append({
+            "id": row["id"],
+            "name": row["name"],
+            "attrs": row.get("attrs", {}),
+            "seconds": round(total, 6),
+            "self_seconds": round(self_seconds, 6),
+        })
+    rows.sort(key=lambda r: (-r["self_seconds"], r["id"]))
+    return rows[:k]
+
+
+def render_top(run: ObsRun, k: int = 15) -> List[str]:
+    rows = top_spans(run, k)
+    lines = [f"obs top: {run.root} ({len(run.spans)} spans)"]
+    table = [(row["name"],
+              ",".join(f"{key}={value}"
+                       for key, value in sorted(row["attrs"].items()))
+              or "-",
+              f"{row['self_seconds']:.4f}", f"{row['seconds']:.4f}")
+             for row in rows]
+    lines.extend("  " + line for line in _format_table(
+        ("span", "attrs", "self s", "total s"), table))
+    return lines
+
+
+# -- diff -----------------------------------------------------------------
+
+def diff_runs(a: ObsRun, b: ObsRun) -> Dict[str, Any]:
+    """Metric-by-metric comparison of two runs.
+
+    Deterministic metrics that changed are *drifts* (a behavior
+    change: different bits, different counts); non-deterministic ones
+    are *movement* (wall-clock trajectory).  Metrics present in only
+    one run are reported as added/removed.
+    """
+    names = sorted(set(a.metrics) | set(b.metrics))
+    entries = []
+    drifts = []
+    for name in names:
+        left, right = a.metrics.get(name), b.metrics.get(name)
+        entry: Dict[str, Any] = {"name": name}
+        if left is None or right is None:
+            entry["status"] = "added" if left is None else "removed"
+            entry["a"] = None if left is None else a.metric_value(name)
+            entry["b"] = None if right is None else b.metric_value(name)
+            deterministic = (left or right)["deterministic"]
+        else:
+            va, vb = a.metric_value(name), b.metric_value(name)
+            entry["a"], entry["b"] = va, vb
+            entry["status"] = "same" if va == vb else "changed"
+            if isinstance(va, (int, float)) \
+                    and isinstance(vb, (int, float)):
+                entry["delta"] = round(vb - va, 6)
+                if va:
+                    entry["ratio"] = round(vb / va, 4)
+            deterministic = right["deterministic"]
+        entry["deterministic"] = deterministic
+        if deterministic and entry["status"] != "same":
+            drifts.append(name)
+        entries.append(entry)
+    return {
+        "a": str(a.root),
+        "b": str(b.root),
+        "metrics": entries,
+        "deterministic_drifts": drifts,
+        "deterministic_ok": not drifts,
+    }
+
+
+def render_diff(diff: Dict[str, Any]) -> List[str]:
+    lines = [f"obs diff: {diff['a']} -> {diff['b']}"]
+    changed = [entry for entry in diff["metrics"]
+               if entry["status"] != "same"]
+    if not changed:
+        lines.append("  no metric changes")
+    else:
+        table = []
+        for entry in changed:
+            delta = entry.get("delta")
+            table.append((
+                entry["name"],
+                "det" if entry["deterministic"] else "wall",
+                entry["status"],
+                "-" if entry["a"] is None else entry["a"],
+                "-" if entry["b"] is None else entry["b"],
+                "-" if delta is None else f"{delta:+g}",
+            ))
+        lines.extend("  " + line for line in _format_table(
+            ("metric", "kind", "status", "a", "b", "delta"), table))
+    if diff["deterministic_drifts"]:
+        lines.append(f"DETERMINISTIC DRIFT: "
+                     f"{', '.join(diff['deterministic_drifts'])}")
+    else:
+        lines.append("deterministic metrics: no drift")
+    return lines

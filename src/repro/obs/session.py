@@ -1,0 +1,181 @@
+"""The ambient observability session: one tracer + one registry.
+
+Instrumentation sites across the engines ask :func:`active` for the
+current session; when none is installed (the default) they get ``None``
+and skip all recording — the entire disabled cost is one module-global
+read per call site, which the ``bench_obs`` gate pins under 3% of
+``run_trials`` throughput.
+
+Install a session around any workload::
+
+    from repro import obs
+
+    with obs.session() as sess:
+        run_trials(protocol, instance, prover, 200, seed)
+    sess.metrics.counter("runner/proof_bits").value
+    sess.write(Path("benchmarks/obs_store/my-run"))
+
+Worker buffers
+--------------
+:func:`collecting` is the bridge between the ambient session and the
+fork worker pool: it installs a *fresh buffer session* (mirroring the
+active session's switches) for the duration of a trial batch, and the
+batch returns the buffer's exported spans + metrics snapshot so the
+parent can merge them **in trial order** — the exact same code path
+serial execution uses, which is why parallel and serial runs produce
+byte-identical deterministic traces.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .profiling import profiled
+from .trace import Tracer, flatten_spans
+
+TRACE_FILE = "trace.jsonl"
+METRICS_FILE = "metrics.jsonl"
+SUMMARY_FILE = "summary.json"
+
+
+class ObsSession:
+    """One observability capture: a tracer, a registry, and switches."""
+
+    def __init__(self, trace: bool = True, metrics: bool = True,
+                 profile: Optional[str] = None,
+                 max_spans: int = 250_000) -> None:
+        self.tracer = Tracer(enabled=trace, max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self.metrics_enabled = metrics
+        self.profile = profile
+
+    # -- recording façade -----------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """A span on this session's tracer (no-op ctx when disabled)."""
+        return self.tracer.span(name, **attrs)
+
+    def profiled_span(self, name: str, **attrs: Any):
+        """A span additionally profiled with the session's profiler
+        (``cprofile`` or ``tracemalloc``); plain span when profiling
+        is off."""
+        return profiled(self.tracer.span(name, **attrs), self.profile)
+
+    def counter(self, name: str, deterministic: bool = True):
+        return self.metrics.counter(name, deterministic)
+
+    # -- persistence -----------------------------------------------------
+
+    def write(self, root: Path,
+              summary: Optional[Dict[str, Any]] = None) -> Dict[str, Path]:
+        """Export the session as a *run directory*: ``trace.jsonl``
+        (one span per line, pre-order, with ``id``/``parent`` links),
+        ``metrics.jsonl`` (one metric per line, sorted), and optionally
+        ``summary.json``.  Returns the written paths."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        paths: Dict[str, Path] = {}
+
+        trace_path = root / TRACE_FILE
+        with trace_path.open("w", encoding="ascii") as handle:
+            for row in flatten_spans(self.tracer.export()):
+                handle.write(json.dumps(row, sort_keys=True,
+                                        default=str) + "\n")
+        paths["trace"] = trace_path
+
+        metrics_path = root / METRICS_FILE
+        with metrics_path.open("w", encoding="ascii") as handle:
+            for record in self.metrics.to_records():
+                handle.write(json.dumps(record, sort_keys=True,
+                                        default=str) + "\n")
+        paths["metrics"] = metrics_path
+
+        if summary is not None:
+            summary_path = root / SUMMARY_FILE
+            summary_path.write_text(
+                json.dumps(summary, indent=2, sort_keys=True,
+                           default=str) + "\n", encoding="ascii")
+            paths["summary"] = summary_path
+        return paths
+
+
+#: The ambient session; None = observability off (the default).
+_ACTIVE: Optional[ObsSession] = None
+
+
+def active() -> Optional[ObsSession]:
+    """The installed session, or None when observability is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def session(trace: bool = True, metrics: bool = True,
+            profile: Optional[str] = None,
+            max_spans: int = 250_000) -> Iterator[ObsSession]:
+    """Install a fresh session as the ambient one for the block."""
+    sess = ObsSession(trace=trace, metrics=metrics, profile=profile,
+                      max_spans=max_spans)
+    with use_session(sess):
+        yield sess
+
+
+@contextmanager
+def use_session(sess: Optional[ObsSession]) -> Iterator[Optional[ObsSession]]:
+    """Install an existing session (or None to force-disable) for the
+    block, restoring the previous ambient session after."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = sess
+    try:
+        yield sess
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def collecting() -> Iterator[Optional[ObsSession]]:
+    """A buffer session for one trial batch (see module docstring).
+
+    Yields None — and installs nothing — when observability is off, so
+    the disabled path stays a single global read.  The caller exports
+    the buffer with :func:`export_collected` and merges it into the
+    real session with :func:`merge_collected`.
+    """
+    parent = _ACTIVE
+    if parent is None:
+        yield None
+        return
+    buffer = ObsSession(trace=parent.tracer.enabled,
+                        metrics=parent.metrics_enabled,
+                        profile=None,
+                        max_spans=parent.tracer.max_spans)
+    with use_session(buffer):
+        yield buffer
+
+
+#: The wire form a batch returns: (exported spans, metrics snapshot).
+Collected = Tuple[List[Dict[str, Any]], Dict[str, Dict[str, Any]]]
+
+EMPTY_COLLECTED: Collected = ([], {})
+
+
+def export_collected(buffer: Optional[ObsSession]) -> Collected:
+    """Serialize a batch buffer for return across the fork boundary."""
+    if buffer is None:
+        return EMPTY_COLLECTED
+    return buffer.tracer.export(), buffer.metrics.snapshot()
+
+
+def merge_collected(sess: Optional[ObsSession],
+                    collected: Collected) -> None:
+    """Fold a batch buffer into ``sess`` (spans under the current
+    span, metrics by kind).  Call once per batch, in trial order."""
+    if sess is None:
+        return
+    spans, snapshot = collected
+    sess.tracer.attach(spans)
+    sess.metrics.merge(snapshot)

@@ -1,0 +1,223 @@
+"""Nested, deterministic spans: the tracing half of :mod:`repro.obs`.
+
+A **span** is one timed region of work — a batch of trials, a single
+trial, a netsim execution, a lab cell — carrying three kinds of data:
+
+* ``attrs`` — deterministic identity attributes (protocol name,
+  instance size, trial index, verdicts).  These are a pure function of
+  the work's inputs and are byte-identical across reruns, worker
+  counts and machines.
+* ``metrics`` — deterministic numeric measurements accumulated inside
+  the span (proof bits, decide calls, game-tree leaves).  Same
+  contract as ``attrs``.
+* ``meta`` + ``seconds`` (+ optional ``profile``) — wall-clock and
+  environment facts (monotonic duration, worker count, profiler
+  output).  These vary run to run and are **excluded** from the
+  deterministic serialization.
+
+The split is the whole design: ``Span.deterministic()`` drops the
+non-deterministic layer, so "parallel ≡ serial" and "replay ≡ record"
+are byte-equality checks on the deterministic form, while the full
+form still answers "where did the seconds go".
+
+Worker merging
+--------------
+Spans recorded inside a fork-pool worker cannot reach the parent's
+tracer; instead batch code records into a *buffer* tracer
+(:func:`repro.obs.session.collecting`), exports it, and the parent
+grafts the exported subtrees under its own current span with
+:meth:`Tracer.attach` — in trial order, so the merged tree is
+byte-identical to a serial run's.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Span fields that survive into the deterministic serialization.
+DETERMINISTIC_KEYS = ("name", "attrs", "metrics", "children")
+
+
+class Span:
+    """One region of traced work (see module docstring for the
+    deterministic / non-deterministic field split)."""
+
+    __slots__ = ("name", "attrs", "metrics", "children", "seconds",
+                 "meta", "profile")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None
+                 ) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.metrics: Dict[str, Any] = {}
+        #: exported child span dicts, in recording order.
+        self.children: List[Dict[str, Any]] = []
+        self.seconds: float = 0.0
+        self.meta: Dict[str, Any] = {}
+        self.profile: Optional[Dict[str, Any]] = None
+
+    # -- recording -------------------------------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Set deterministic attributes on the span."""
+        self.attrs.update(attrs)
+
+    def note(self, **meta: Any) -> None:
+        """Set non-deterministic metadata (worker counts, hosts...)."""
+        self.meta.update(meta)
+
+    def add(self, name: str, value: Any = 1) -> None:
+        """Accumulate a deterministic span-local metric."""
+        self.metrics[name] = self.metrics.get(name, 0) + value
+
+    # -- serialization ---------------------------------------------------
+
+    def export(self) -> Dict[str, Any]:
+        """The full span dict (children are already dicts)."""
+        span: Dict[str, Any] = {
+            "name": self.name,
+            "attrs": self.attrs,
+            "metrics": self.metrics,
+            "children": self.children,
+            "seconds": round(self.seconds, 6),
+            "meta": self.meta,
+        }
+        if self.profile is not None:
+            span["profile"] = self.profile
+        return span
+
+
+def deterministic_span(span: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic projection of an exported span dict."""
+    return {
+        "name": span["name"],
+        "attrs": span.get("attrs", {}),
+        "metrics": span.get("metrics", {}),
+        "children": [deterministic_span(child)
+                     for child in span.get("children", ())],
+    }
+
+
+class Tracer:
+    """Produces a forest of nested spans.
+
+    ``enabled=False`` yields a no-op tracer: :meth:`span` returns a
+    shared null context manager and records nothing, so a disabled
+    tracer costs one attribute check per call site.  ``max_spans``
+    bounds the total recorded span count (a runaway-loop backstop —
+    spans beyond it are counted in ``truncated`` but not stored; runs
+    near the cap lose the parallel-≡-serial byte guarantee, so size
+    workloads below it when comparing traces).
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_spans: int = 250_000) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.roots: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self.count = 0
+        self.truncated = 0
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None at the top level."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """Open a child span of the current span (or a new root)."""
+        if not self.enabled:
+            yield None
+            return
+        if self.count >= self.max_spans:
+            self.truncated += 1
+            yield None
+            return
+        self.count += 1
+        span = Span(name, attrs)
+        self._stack.append(span)
+        tick = perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds = perf_counter() - tick
+            self._stack.pop()
+            exported = span.export()
+            if self._stack:
+                self._stack[-1].children.append(exported)
+            else:
+                self.roots.append(exported)
+
+    def attach(self, spans: List[Dict[str, Any]]) -> None:
+        """Graft exported span dicts (e.g. a worker buffer's roots)
+        under the current span, preserving their order."""
+        if not self.enabled or not spans:
+            return
+        self.count += sum(_span_count(span) for span in spans)
+        if self._stack:
+            self._stack[-1].children.extend(spans)
+        else:
+            self.roots.extend(spans)
+
+    # -- serialization ---------------------------------------------------
+
+    def export(self, deterministic: bool = False) -> List[Dict[str, Any]]:
+        """The recorded forest; open spans are not included."""
+        if deterministic:
+            return [deterministic_span(span) for span in self.roots]
+        return list(self.roots)
+
+    def to_json(self, deterministic: bool = True) -> str:
+        """Canonical byte form — the trace-equivalence tests compare
+        the deterministic projection of two runs with this."""
+        return json.dumps(self.export(deterministic=deterministic),
+                          sort_keys=True, separators=(",", ":"))
+
+
+def _span_count(span: Dict[str, Any]) -> int:
+    return 1 + sum(_span_count(child)
+                   for child in span.get("children", ()))
+
+
+def flatten_spans(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten a span forest into JSONL-ready rows.
+
+    Each row carries ``id`` (pre-order index) and ``parent`` (parent's
+    id, or None for roots) instead of nested children, so a trace file
+    is one span per line and can be streamed.
+    """
+    rows: List[Dict[str, Any]] = []
+
+    def walk(span: Dict[str, Any], parent: Optional[int]) -> None:
+        row = {key: value for key, value in span.items()
+               if key != "children"}
+        row["id"] = len(rows)
+        row["parent"] = parent
+        rows.append(row)
+        for child in span.get("children", ()):
+            walk(child, row["id"])
+
+    for span in spans:
+        walk(span, None)
+    return rows
+
+
+def nest_spans(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Invert :func:`flatten_spans` (used by the trace loaders)."""
+    by_id: Dict[int, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    for row in rows:
+        span = {key: value for key, value in row.items()
+                if key not in ("id", "parent")}
+        span.setdefault("children", [])
+        by_id[row["id"]] = span
+        parent = row.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent]["children"].append(span)
+    return roots

@@ -1,0 +1,93 @@
+"""CLI smoke: obs record / report / top / diff end to end."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import load_run
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One recorded smoke-battery run, shared across the module."""
+    out = tmp_path_factory.mktemp("obs") / "run_a"
+    code = main(["obs", "record", "--trials", "1", "--out", str(out)])
+    assert code == 0  # the record gate: bit counters consistent
+    return out
+
+
+class TestRecord:
+    def test_run_directory_layout(self, recorded):
+        assert (recorded / "trace.jsonl").exists()
+        assert (recorded / "metrics.jsonl").exists()
+        summary = json.loads((recorded / "summary.json").read_text())
+        assert summary["consistent"]
+        for row in summary["cases"]:
+            assert row["trace_bits"] == row["metric_bits"] \
+                == row["declared_bits"]
+            assert row["netsim_bits"] == row["netsim_metric_bits"]
+            assert row["audit_mismatches"] == 0
+
+    def test_json_flag(self, recorded, tmp_path, capsys):
+        out = tmp_path / "json_run"
+        code = main(["obs", "record", "--trials", "1",
+                     "--out", str(out), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consistent"]
+        assert payload["out"] == str(out)
+
+    def test_load_run(self, recorded):
+        run = load_run(recorded)
+        assert run.spans
+        assert run.metric_value("runner/trials") > 0
+        assert run.summary["consistent"]
+
+
+class TestReportTopDiff:
+    def test_report_renders(self, recorded, capsys):
+        assert main(["obs", "report", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall time" in out
+        assert "per-protocol breakdown" in out
+        assert "deterministic counters" in out
+
+    def test_report_json(self, recorded, capsys):
+        assert main(["obs", "report", str(recorded), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocols"]
+        assert all(row["trials"] >= 1 for row in payload["protocols"])
+
+    def test_top(self, recorded, capsys):
+        assert main(["obs", "top", str(recorded), "-k", "3",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert 0 < len(rows) <= 3
+        assert all(row["self_seconds"] <= row["seconds"] + 1e-9
+                   for row in rows)
+
+    def test_diff_identical_runs_clean(self, recorded, tmp_path, capsys):
+        twin = tmp_path / "twin"
+        assert main(["obs", "record", "--trials", "1",
+                     "--out", str(twin)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(recorded), str(twin),
+                     "--strict", "--json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["deterministic_ok"]
+        assert diff["deterministic_drifts"] == []
+
+    def test_diff_strict_flags_drift(self, recorded, tmp_path, capsys):
+        other = tmp_path / "other"
+        assert main(["obs", "record", "--trials", "2",
+                     "--out", str(other)]) == 0
+        capsys.readouterr()
+        code = main(["obs", "diff", str(recorded), str(other),
+                     "--strict", "--json"])
+        diff = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert "runner/trials" in diff["deterministic_drifts"]
+        # Timers moved too, but wall movement is never a drift.
+        assert all("/seconds/" not in name
+                   for name in diff["deterministic_drifts"])

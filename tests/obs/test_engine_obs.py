@@ -1,0 +1,174 @@
+"""The retrofit contract: engines under an obs session.
+
+The headline guarantee — a parallel run's trace and metrics are
+byte-identical to a serial run's on the deterministic projection — plus
+the bit-consistency of what the runner and netsim record against the
+declared per-node costs.
+"""
+
+import random
+
+import pytest
+
+from repro import Instance, run_protocol
+from repro.core.runner import AcceptanceEstimate, run_trials
+from repro.graphs import cycle_graph
+from repro.netsim.sim import netsim_trials, run_netsim
+from repro.obs import session, use_session
+from repro.protocols import SymDMAMProtocol
+
+N = 8
+TRIALS = 6
+SEED = 77
+
+
+def _traced_run_trials(workers):
+    protocol = SymDMAMProtocol(N)
+    instance = Instance(cycle_graph(N))
+    with session() as sess:
+        estimate = run_trials(protocol, instance,
+                              protocol.honest_prover(), TRIALS, SEED,
+                              workers=workers)
+    return sess, estimate
+
+
+class TestRunnerParallelEquivalence:
+    def test_deterministic_trace_byte_identical_under_workers(self):
+        serial_sess, serial = _traced_run_trials(workers=1)
+        parallel_sess, parallel = _traced_run_trials(workers=2)
+        assert serial == parallel
+        assert parallel.workers == 2
+        assert serial_sess.tracer.to_json(deterministic=True) \
+            == parallel_sess.tracer.to_json(deterministic=True)
+
+    def test_deterministic_metrics_identical_under_workers(self):
+        serial_sess, _ = _traced_run_trials(workers=1)
+        parallel_sess, _ = _traced_run_trials(workers=2)
+        assert serial_sess.metrics.deterministic_snapshot() \
+            == parallel_sess.metrics.deterministic_snapshot()
+
+    def test_trial_spans_in_trial_order(self):
+        sess, _ = _traced_run_trials(workers=2)
+        root = sess.tracer.export()[0]
+        assert root["name"] == "runner.run_trials"
+        trials = [child["attrs"]["trial"]
+                  for child in root["children"]
+                  if child["name"] == "runner.trial"]
+        assert trials == list(range(TRIALS))
+        # Worker count is wall metadata, never a deterministic attr.
+        assert "workers" not in root["attrs"]
+        assert root["meta"]["workers"] == 2
+
+    def test_counters_match_declared_costs(self):
+        protocol = SymDMAMProtocol(N)
+        instance = Instance(cycle_graph(N))
+        sess, estimate = _traced_run_trials(workers=1)
+        declared = sum(
+            sum(run_protocol(protocol, instance,
+                             protocol.honest_prover(),
+                             random.Random(SEED + t),
+                             stop_on_first_reject=True)
+                .node_cost_bits.values())
+            for t in range(TRIALS))
+        assert sess.metrics.counter("runner/proof_bits").value == declared
+        assert sess.metrics.counter("runner/trials").value == TRIALS
+        assert sess.metrics.counter("runner/accepted").value \
+            == estimate.accepted
+
+
+class TestNetsimObs:
+    def _traced(self, workers):
+        protocol = SymDMAMProtocol(N)
+        instance = Instance(cycle_graph(N))
+        with session() as sess:
+            estimate = netsim_trials(protocol, instance,
+                                     protocol.honest_prover(), 4, SEED,
+                                     workers=workers)
+        return sess, estimate
+
+    def test_parallel_equals_serial(self):
+        serial_sess, serial = self._traced(workers=1)
+        parallel_sess, parallel = self._traced(workers=2)
+        assert serial == parallel
+        assert serial_sess.tracer.to_json(deterministic=True) \
+            == parallel_sess.tracer.to_json(deterministic=True)
+        assert serial_sess.metrics.deterministic_snapshot() \
+            == parallel_sess.metrics.deterministic_snapshot()
+
+    def test_proof_bits_counter_matches_result(self):
+        protocol = SymDMAMProtocol(N)
+        instance = Instance(cycle_graph(N))
+        with session() as sess:
+            result = run_netsim(protocol, instance,
+                                protocol.honest_prover(),
+                                random.Random(SEED), net_seed=SEED,
+                                trace=False)
+        assert sess.metrics.counter("netsim/proof_bits").value \
+            == sum(result.node_cost_bits.values())
+        assert sess.metrics.counter("netsim/runs").value == 1
+        # The frame-size histogram saw every transmitted frame.
+        hist = sess.metrics.histogram("netsim/frame_bits")
+        assert hist.count > 0
+
+    def test_netsim_run_span_attrs(self):
+        protocol = SymDMAMProtocol(N)
+        instance = Instance(cycle_graph(N))
+        with session() as sess:
+            run_netsim(protocol, instance, protocol.honest_prover(),
+                       random.Random(SEED), net_seed=SEED, trace=False)
+        root = sess.tracer.export()[0]
+        assert root["name"] == "netsim.run"
+        assert root["attrs"]["protocol"] == protocol.name
+        assert root["attrs"]["accepted"] is True
+
+
+class TestAdversaryAndLabObs:
+    def test_search_publishes_work_counters(self):
+        from repro.adversary import LocalSearchProver
+        from repro.graphs import SMALLEST_ASYMMETRIC
+
+        protocol = SymDMAMProtocol(6)
+        with session() as sess:
+            LocalSearchProver(protocol, trials=4, seed=3,
+                              restarts=1).search(
+                Instance(SMALLEST_ASYMMETRIC))
+        assert sess.metrics.counter(
+            "adversary/search/evaluations").value > 0
+        root = sess.tracer.export()[0]
+        assert root["name"] == "adversary.search"
+        assert "evaluations" in root["attrs"]
+
+    def test_lab_cells_counted(self, tmp_path):
+        from repro.lab import ResultStore, get_spec, run_spec
+
+        spec = get_spec("E6-order-dmam")
+        with session() as sess:
+            run_spec(spec, ResultStore(tmp_path), quick=True)
+        ran = sess.metrics.counter("lab/cells/ran").value
+        skipped = sess.metrics.counter("lab/cells/skipped").value
+        root = sess.tracer.export()[0]
+        assert root["name"] == "lab.run_spec"
+        assert root["attrs"]["ran"] == ran
+        cells = [c for c in root["children"] if c["name"] == "lab.cell"]
+        assert len(cells) == ran
+        assert ran + skipped == root["attrs"]["cells"]
+
+
+class TestDisabledPath:
+    def test_no_session_records_nothing_and_is_timed(self):
+        protocol = SymDMAMProtocol(N)
+        instance = Instance(cycle_graph(N))
+        with use_session(None):
+            estimate = run_trials(protocol, instance,
+                                  protocol.honest_prover(), 3, SEED)
+        assert estimate.timed
+        assert estimate.trials_per_second > 0
+
+    def test_untimed_estimate_reports_zero_rate(self):
+        estimate = AcceptanceEstimate(accepted=3, trials=4)
+        assert not estimate.timed
+        assert estimate.trials_per_second == 0.0
+        # Equality ignores instrumentation: a timed twin compares equal.
+        timed = AcceptanceEstimate(accepted=3, trials=4,
+                                   elapsed_seconds=1.0, timed=True)
+        assert estimate == timed

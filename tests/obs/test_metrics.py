@@ -1,0 +1,104 @@
+"""Unit tests for the metrics registry half of repro.obs."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestKinds:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("runner/trials").inc()
+        reg.counter("runner/trials").inc(4)
+        assert reg.counter("runner/trials").value == 5
+
+    def test_gauge_last_wins(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("lab/progress")
+        assert gauge.value is None
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+
+    def test_histogram_buckets_and_moments(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("netsim/frame_bits")
+        for value in (0, 1, 2, 3, 4, 1024):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # [0,1) -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1024 -> 11.
+        assert snap["buckets"] == {"0": 1, "1": 1, "2": 2, "3": 1,
+                                   "11": 1}
+        assert snap["count"] == 6
+        assert snap["total"] == 1034
+        assert snap["min"] == 0 and snap["max"] == 1024
+        assert hist.mean == pytest.approx(1034 / 6)
+
+    def test_histogram_rejects_negative(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            hist.observe(-1)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_timer_is_nondeterministic_counter(self):
+        reg = MetricsRegistry()
+        timer = reg.timer("runner/seconds/batch")
+        timer.inc(0.5)
+        assert not timer.deterministic
+        assert "runner/seconds/batch" not in reg.deterministic_snapshot()
+        assert "runner/seconds/batch" in reg.snapshot()
+
+
+class TestMerge:
+    def test_counter_and_histogram_merge_is_a_sum(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("runner/trials").inc(3)
+        worker.counter("runner/trials").inc(2)
+        worker.histogram("bits").observe(8)
+        worker.histogram("bits").observe(1024)
+        parent.histogram("bits").observe(2)
+        parent.merge(worker.snapshot())
+        assert parent.counter("runner/trials").value == 5
+        hist = parent.histogram("bits")
+        assert hist.count == 3
+        assert hist.min == 2 and hist.max == 1024
+
+    def test_gauge_merge_order_determines_value(self):
+        # Buffers merged in trial order: the last buffer's gauge wins,
+        # which is exactly what a serial run would have produced.
+        buffers = []
+        for value in (1.0, 2.0, 3.0):
+            buf = MetricsRegistry()
+            buf.gauge("lab/progress").set(value)
+            buffers.append(buf.snapshot())
+        parent = MetricsRegistry()
+        for snap in buffers:
+            parent.merge(snap)
+        assert parent.gauge("lab/progress").value == 3.0
+        # None-valued gauges never clobber a set one.
+        empty = MetricsRegistry()
+        empty.gauge("lab/progress")
+        parent.merge(empty.snapshot())
+        assert parent.gauge("lab/progress").value == 3.0
+
+    def test_merge_preserves_determinism_flag(self):
+        worker = MetricsRegistry()
+        worker.timer("runner/seconds/batch").inc(1.0)
+        worker.counter("runner/trials").inc(1)
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        det = parent.deterministic_snapshot()
+        assert "runner/trials" in det
+        assert "runner/seconds/batch" not in det
+
+    def test_to_records_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        names = [record["name"] for record in reg.to_records()]
+        assert names == sorted(names)

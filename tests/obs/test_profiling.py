@@ -1,0 +1,70 @@
+"""Per-span profiling: cProfile and tracemalloc attachments."""
+
+import pytest
+
+from repro.obs import (PROFILE_CPROFILE, PROFILE_MODES,
+                       PROFILE_TRACEMALLOC, ObsSession, Tracer, profiled)
+
+
+def _busy():
+    return sum(i * i for i in range(5000))
+
+
+class TestProfiled:
+    def test_no_mode_is_plain_span(self):
+        tracer = Tracer()
+        with profiled(tracer.span("work"), None) as span:
+            _busy()
+        assert span.profile is None
+        assert tracer.export()[0].get("profile") is None
+
+    def test_cprofile_attaches_top_functions(self):
+        tracer = Tracer()
+        with profiled(tracer.span("work"), PROFILE_CPROFILE):
+            _busy()
+        exported = tracer.export()[0]
+        profile = exported["profile"]
+        assert profile["mode"] == PROFILE_CPROFILE
+        assert profile["top"]
+        assert all("cumulative_seconds" in entry
+                   for entry in profile["top"])
+
+    def test_tracemalloc_attaches_peak(self):
+        tracer = Tracer()
+        with profiled(tracer.span("work"), PROFILE_TRACEMALLOC):
+            blob = [0] * 50_000
+        exported = tracer.export()[0]
+        profile = exported["profile"]
+        assert profile["mode"] == PROFILE_TRACEMALLOC
+        assert profile["peak_bytes"] > 0
+        del blob
+
+    def test_unknown_mode_raises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with profiled(tracer.span("work"), "perf"):
+                pass
+
+    def test_profile_excluded_from_deterministic_form(self):
+        tracer = Tracer()
+        with profiled(tracer.span("work"), PROFILE_CPROFILE):
+            _busy()
+        assert "profile" not in tracer.export(deterministic=True)[0]
+
+    def test_disabled_tracer_skips_profiling(self):
+        tracer = Tracer(enabled=False)
+        with profiled(tracer.span("work"), PROFILE_CPROFILE) as span:
+            assert span is None
+
+
+class TestSessionProfiledSpan:
+    def test_session_mode_applies(self):
+        sess = ObsSession(profile=PROFILE_TRACEMALLOC)
+        with sess.profiled_span("case", label="x"):
+            pass
+        assert sess.tracer.export()[0]["profile"]["mode"] \
+            == PROFILE_TRACEMALLOC
+
+    def test_modes_constant(self):
+        assert set(PROFILE_MODES) \
+            == {PROFILE_CPROFILE, PROFILE_TRACEMALLOC}

@@ -1,0 +1,119 @@
+"""Unit tests for the span/tracer half of repro.obs."""
+
+import json
+
+import pytest
+
+from repro.obs import (Span, Tracer, deterministic_span, flatten_spans,
+                       nest_spans)
+
+
+class TestSpan:
+    def test_set_note_add(self):
+        span = Span("work", {"case": "a"})
+        span.set(protocol="sym-dmam", n=8)
+        span.note(workers=4)
+        span.add("proof_bits", 128)
+        span.add("proof_bits", 64)
+        span.add("trials")
+        exported = span.export()
+        assert exported["attrs"] == {"case": "a",
+                                     "protocol": "sym-dmam", "n": 8}
+        assert exported["metrics"] == {"proof_bits": 192, "trials": 1}
+        assert exported["meta"] == {"workers": 4}
+        assert "profile" not in exported
+
+    def test_deterministic_projection_drops_wall_facts(self):
+        span = Span("work")
+        span.note(workers=2)
+        span.seconds = 1.5
+        projected = deterministic_span(span.export())
+        assert set(projected) == {"name", "attrs", "metrics", "children"}
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", protocol="p") as outer:
+            with tracer.span("inner", trial=0):
+                assert tracer.current.name == "inner"
+            assert tracer.current is outer
+        forest = tracer.export()
+        assert len(forest) == 1
+        assert forest[0]["name"] == "outer"
+        assert [c["name"] for c in forest[0]["children"]] == ["inner"]
+        assert tracer.count == 2
+
+    def test_disabled_tracer_yields_none(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as span:
+            assert span is None
+        assert tracer.export() == []
+        assert tracer.count == 0
+
+    def test_max_spans_truncation(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(4):
+            with tracer.span("work", i=i) as span:
+                if i < 2:
+                    assert span is not None
+                else:
+                    assert span is None
+        assert tracer.count == 2
+        assert tracer.truncated == 2
+        assert len(tracer.export()) == 2
+
+    def test_attach_grafts_under_current(self):
+        worker = Tracer()
+        with worker.span("runner.trial", trial=1):
+            pass
+        parent = Tracer()
+        with parent.span("batch"):
+            parent.attach(worker.export())
+        forest = parent.export()
+        assert forest[0]["children"][0]["name"] == "runner.trial"
+        assert parent.count == 2
+
+    def test_to_json_is_canonical(self):
+        a, b = Tracer(), Tracer()
+        for tracer in (a, b):
+            with tracer.span("work", case="x") as span:
+                span.add("bits", 8)
+        # Wall time differs between the two; the deterministic form
+        # must not.
+        assert a.to_json() == b.to_json()
+        assert a.export()[0]["seconds"] != b.export()[0]["seconds"] \
+            or True  # seconds may coincide; the json equality is the test
+        payload = json.loads(a.to_json())
+        assert payload[0]["metrics"] == {"bits": 8}
+
+
+class TestFlattenNest:
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("a", x=1) as span:
+            span.add("bits", 4)
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        forest = tracer.export()
+        rows = flatten_spans(forest)
+        assert [row["id"] for row in rows] == [0, 1, 2]
+        assert [row["parent"] for row in rows] == [None, 0, None]
+        assert nest_spans(rows) == forest
+
+    def test_flatten_is_streamable(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        for row in flatten_spans(tracer.export()):
+            assert "children" not in row
+            json.dumps(row)  # JSONL-ready
+
+
+@pytest.mark.parametrize("spans", [[], [{"name": "solo", "attrs": {},
+                                         "metrics": {}, "children": []}]])
+def test_nest_degenerate(spans):
+    assert nest_spans(flatten_spans(spans)) == spans

@@ -23,10 +23,11 @@ class TestExports:
         import repro.hashing
         import repro.lowerbound
         import repro.network
+        import repro.obs
         import repro.protocols
         for pkg in (repro.adversary, repro.core, repro.graphs,
                     repro.hashing, repro.lowerbound, repro.network,
-                    repro.protocols):
+                    repro.obs, repro.protocols):
             assert pkg.__all__
             for name in pkg.__all__:
                 assert hasattr(pkg, name), (pkg.__name__, name)
