@@ -8,7 +8,12 @@ Measures, on Protocol 1 (Sym/dMAM) at n = 64 with 200 trials:
 * **cached** — `run_trials` with a shared `InstanceContext` and
   first-reject short-circuiting, single worker.  The acceptance
   criterion: ≥ 3× over seed-style *before* any parallelism;
-* **parallel** — the same batch fanned over a fork worker pool.
+* **parallel** — the same batch fanned over a fork worker pool;
+* **numpy kernel** — `run_trials(engine="numpy")`, the vectorized
+  trial kernels of `repro.core.kernels`.  The acceptance criterion:
+  ≥ 10× over the cached single-worker engine once the kernel tables
+  are warm, plus an n = 1024 headroom point the reference engine
+  cannot reasonably reach (skipped when numpy is not installed).
 
 All three produce the identical accepted count (deterministic
 `seed + trial_index` streams), so this is a pure throughput comparison.
@@ -24,9 +29,11 @@ import os
 import random
 import time
 
+import pytest
 from conftest import report_table
 
-from repro import Instance, run_protocol, run_trials
+from repro import Instance, InstanceContext, run_protocol, run_trials
+from repro.core.kernels import numpy_available
 from repro.graphs import cycle_graph, random_connected_graph
 from repro.lab.quick import pick, quick_mode
 from repro.protocols import CommittedMappingProver, SymDMAMProtocol
@@ -36,6 +43,9 @@ N = pick(64, 16)
 TRIALS = pick(200, 20)
 SEED = 0x5EED
 WORKERS = min(8, os.cpu_count() or 1)
+#: The vectorized-engine headroom point: far beyond what the python
+#: engine can sweep, well within one kernel call.
+N_LARGE = pick(1024, 64)
 
 
 def seed_style_accepts(protocol, instance, prover, trials, seed):
@@ -88,6 +98,74 @@ def test_batched_speedup(benchmark):
     if not QUICK:
         assert ratio >= 3.0, (
             f"cached single-worker engine only {ratio:.2f}x over seed path")
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_numpy_kernel_speedup(benchmark):
+    protocol = SymDMAMProtocol(N)
+    instance = Instance(cycle_graph(N))
+    prover = protocol.honest_prover()
+    context = InstanceContext(instance, protocol)
+
+    cached = run_trials(protocol, instance, prover, TRIALS, SEED,
+                        context=context, engine="python")
+    # First kernel call: builds the adjacency/permutation tables and
+    # pays the trial-0 cross-check against the reference engine.
+    cold = run_trials(protocol, instance, prover, TRIALS, SEED,
+                      context=context, engine="numpy")
+    warm = benchmark.pedantic(
+        lambda: run_trials(protocol, instance, prover, TRIALS, SEED,
+                           context=context, engine="numpy"),
+        rounds=1, iterations=1)
+
+    assert warm.engine == cold.engine == "numpy"
+    assert warm == cold == cached  # bit-identical estimates
+    assert warm.decide_calls == cached.decide_calls
+
+    # The headroom point: one warm kernel sweep at n = 1024 (table
+    # build + cross-check paid by a 1-trial call first).  The
+    # automorphism witness search recurses one frame per vertex, so
+    # the default stack is too small at this size on either engine.
+    import sys
+    big_protocol = SymDMAMProtocol(N_LARGE)
+    big_instance = Instance(cycle_graph(N_LARGE))
+    big_prover = big_protocol.honest_prover()
+    big_context = InstanceContext(big_instance, big_protocol)
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, 20 * N_LARGE))
+    try:
+        run_trials(big_protocol, big_instance, big_prover, 1, SEED,
+                   context=big_context, engine="numpy")
+        big = run_trials(big_protocol, big_instance, big_prover, TRIALS,
+                         SEED, context=big_context, engine="numpy")
+    finally:
+        sys.setrecursionlimit(limit)
+    assert big.engine == "numpy"
+    assert big.accepted == TRIALS  # honest prover on a symmetric graph
+
+    cold_ratio = cached.elapsed_seconds / cold.elapsed_seconds
+    warm_ratio = cached.elapsed_seconds / warm.elapsed_seconds
+    rows = [
+        (f"python cached (n={N})", f"{cached.elapsed_seconds:.3f}",
+         f"{cached.trials_per_second:.1f}", "1.0x", cached.accepted),
+        (f"numpy cold (n={N})", f"{cold.elapsed_seconds:.3f}",
+         f"{cold.trials_per_second:.1f}", f"{cold_ratio:.1f}x",
+         cold.accepted),
+        (f"numpy warm (n={N})", f"{warm.elapsed_seconds:.3f}",
+         f"{warm.trials_per_second:.1f}", f"{warm_ratio:.1f}x",
+         warm.accepted),
+        (f"numpy warm (n={N_LARGE})", f"{big.elapsed_seconds:.3f}",
+         f"{big.trials_per_second:.1f}", "-", big.accepted),
+    ]
+    report_table(benchmark,
+                 f"runner: numpy kernel vs cached engine, "
+                 f"trials={TRIALS}",
+                 ("engine", "seconds", "trials/s", "speedup", "accepted"),
+                 rows)
+    if not QUICK:
+        assert warm_ratio >= 10.0, (
+            f"numpy kernel only {warm_ratio:.2f}x over the cached "
+            f"python engine")
 
 
 def test_short_circuit_soundness(benchmark):

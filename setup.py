@@ -15,4 +15,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "fast": ["numpy"],
+    },
 )

@@ -159,6 +159,82 @@ class InstanceContext:
             self._automorphism = find_nontrivial_automorphism(self.graph)
         return self._automorphism
 
+    # -- batch-kernel structure (numpy engine) ---------------------------
+    #
+    # ndarray mirrors of the tuple/bitmask caches above, materialized
+    # once per context for the vectorized trial kernels.  numpy is
+    # imported lazily through the kernels' gate, so a context built on
+    # a bare interpreter never touches these.  Everything here is still
+    # randomness-free instance structure; the locality discipline is
+    # unchanged (the arrays feed the kernels, which reproduce exactly
+    # the per-LocalView decisions of the reference engine).
+
+    def closed_adjacency(self):
+        """The (n, n) int64 closed adjacency matrix (1s on the diagonal).
+
+        One row per node's ``closed_row`` bitmask; the kernels' matmul
+        operand for hashing all n adjacency rows of a trial batch at
+        once.
+        """
+        def build():
+            from .kernels._np import require_numpy
+            np = require_numpy()
+            n = self.graph.n
+            arr = np.zeros((n, n), dtype=np.int64)
+            for v, row in enumerate(self.closed_rows):
+                while row:
+                    low = row & -row
+                    arr[v, low.bit_length() - 1] = 1
+                    row ^= low
+            arr.setflags(write=False)
+            return arr
+        return self.memo("kernels.closed_adjacency", build)
+
+    def permuted_closed_adjacency(self, sigma: Tuple[int, ...]):
+        """Closed adjacency of the graph relabeled by permutation σ.
+
+        ``A_σ[a, b] = A[σ⁻¹(a), σ⁻¹(b)]`` — the whole relabeling is one
+        ``np.ix_`` fancy-indexing op on :meth:`closed_adjacency`.  Row
+        ``σ(v)`` is the characteristic vector of ``σ(N[v])``, which is
+        what the Sym kernels hash on the committed-mapping side.
+        """
+        def build():
+            from .kernels._np import require_numpy
+            np = require_numpy()
+            adj = self.closed_adjacency()
+            inverse = np.argsort(np.asarray(sigma, dtype=np.int64))
+            arr = adj[np.ix_(inverse, inverse)]
+            arr.setflags(write=False)
+            return arr
+        return self.memo(("kernels.permuted_closed_adjacency", tuple(sigma)),
+                         build)
+
+    def tree_levels(self, root: int):
+        """Leaf-to-root aggregation schedule of the BFS tree at ``root``.
+
+        A tuple of ``(nodes, parents)`` int64 array pairs, one per
+        depth, deepest level first — the order in which the kernels
+        fold per-node hash terms up the tree (``np.add.at`` per level,
+        duplicates in ``parents`` accumulate).  Prover-side structure,
+        like :meth:`tree_advice` it derives from.
+        """
+        def build():
+            from .kernels._np import require_numpy
+            np = require_numpy()
+            advice = self.tree_advice(root)
+            by_depth: Dict[int, list] = {}
+            for v, entry in advice.items():
+                if v != root:
+                    by_depth.setdefault(entry.dist, []).append(v)
+            levels = []
+            for dist in sorted(by_depth, reverse=True):
+                nodes = sorted(by_depth[dist])
+                parents = [advice[v].parent for v in nodes]
+                levels.append((np.asarray(nodes, dtype=np.int64),
+                               np.asarray(parents, dtype=np.int64)))
+            return tuple(levels)
+        return self.memo(("kernels.tree_levels", root), build)
+
     def memo(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Generic instance-keyed memo: ``factory()`` runs at most once.
 

@@ -1,0 +1,66 @@
+"""Vectorized trial kernels — the numpy batch engine's kernel registry.
+
+``run_trials(..., engine="numpy")`` asks this package for a kernel
+matching its ``(protocol, prover, instance)`` triple.  A kernel replays
+whole trial batches as int64 array programs with byte-identical results
+(transcripts, per-node bits, per-trial randomness streams) to the
+reference python engine — see :mod:`repro.core.kernels.base` for the
+contract and :mod:`repro.core.kernels.sym` for the Protocol 1/2
+kernels.  Triples without a kernel (GNI, adaptive/randomized provers,
+paper-sized Protocol-2 primes) fall back to the reference engine
+inside the same call, so ``engine="numpy"`` is always safe to request.
+
+numpy itself is optional (``pip install repro[fast]``); this package
+imports without it and reports availability via
+:func:`numpy_available`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..context import InstanceContext
+from ..model import Instance, Protocol, Prover
+from ._np import (MAX_MODULUS_BITS, mulmod, numpy_available, powmod_column,
+                  require_numpy, supported_modulus)
+from .base import KernelMismatch, TrialBatch, TrialKernel
+
+#: Registry of kernel builders; each returns a kernel or None.  Order
+#: matters only if two builders claim the same triple (none do).
+KERNEL_BUILDERS: List[Callable[[Protocol, Instance, Prover,
+                                InstanceContext],
+                               Optional[TrialKernel]]] = []
+
+
+def find_kernel(protocol: Protocol, instance: Instance, prover: Prover,
+                context: InstanceContext) -> Optional[TrialKernel]:
+    """The kernel for this triple, or None → reference engine."""
+    if not numpy_available():
+        return None
+    for build in KERNEL_BUILDERS:
+        kernel = build(protocol, instance, prover, context)
+        if kernel is not None:
+            return kernel
+    return None
+
+
+def _register_builtin_kernels() -> None:
+    from .sym import build_sym_kernel
+    KERNEL_BUILDERS.append(build_sym_kernel)
+
+
+_register_builtin_kernels()
+
+__all__ = [
+    "KERNEL_BUILDERS",
+    "KernelMismatch",
+    "MAX_MODULUS_BITS",
+    "TrialBatch",
+    "TrialKernel",
+    "find_kernel",
+    "mulmod",
+    "numpy_available",
+    "powmod_column",
+    "require_numpy",
+    "supported_modulus",
+]

@@ -144,6 +144,20 @@ class Prover(ABC):
     def reset(self) -> None:
         """Hook for stateful provers; called once per execution."""
 
+    def batch_plan(self, context) -> Optional[Mapping[str, Any]]:
+        """Opt-in hook for the numpy batch engine (``engine="numpy"``).
+
+        A prover whose whole strategy is a deterministic function of the
+        instance may describe it here — e.g. the Sym provers return
+        ``{"rho": ..., "root": ...}`` — so a trial kernel
+        (:mod:`repro.core.kernels`) can replay thousands of trials
+        without calling :meth:`respond`.  The default ``None`` means
+        "no batchable description": the runner silently falls back to
+        the per-trial reference engine, which is always correct.
+        Challenge-adaptive or randomized provers must not override this.
+        """
+        return None
+
     def bind_context(self, context) -> None:
         """Attach the batch's per-instance cache (called by the runner).
 

@@ -39,6 +39,11 @@ class RandomGarbageProver(Prover):
         self.value_range = value_range
         self.tuple_fields = dict(tuple_fields or {})
 
+    def batch_plan(self, context):
+        """Never batched: responses are drawn fresh from the trial rng,
+        so only the reference engine reproduces the per-trial streams."""
+        return None
+
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, Any]],
                 own_messages: Mapping[int, Mapping[int, NodeMessage]],
@@ -76,6 +81,12 @@ class TamperingProver(Prover):
 
     def reset(self) -> None:
         self.base.reset()
+
+    def batch_plan(self, context):
+        """Never batched: corruptions apply to the base prover's live
+        responses, which no kernel models (mutation tests must exercise
+        the real decision functions anyway)."""
+        return None
 
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, Any]],

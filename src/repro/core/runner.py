@@ -25,7 +25,13 @@ batched engine on top of single executions:
   trials);
 * ``workers > 1`` fans trials out over a fork-based
   ``multiprocessing`` pool (falling back to serial execution where
-  ``fork`` is unavailable).
+  ``fork`` is unavailable);
+* ``engine="numpy"`` replays whole batches through the vectorized
+  trial kernels of :mod:`repro.core.kernels` when one models the
+  (protocol, prover) pair — byte-identical outputs (estimates, obs
+  spans, metrics) to the reference python engine, cross-checked on
+  trial 0 of every batch, with automatic fallback when numpy is absent
+  or no kernel matches.
 
 Both :class:`ExecutionResult` and :class:`AcceptanceEstimate` carry
 lightweight instrumentation (per-phase wall time and call counters,
@@ -41,15 +47,25 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..obs.session import (Collected, active, collecting,
-                           export_collected, merge_collected)
+                           export_collected, merge_collected, use_session)
 from .context import InstanceContext
 from .model import (Instance, LocalView, NodeMessage, Protocol,
                     ProtocolViolation, Prover, ROUND_ARTHUR, ROUND_MERLIN)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (lazy at runtime)
+    from .kernels.base import TrialKernel
+
+#: Engines :func:`run_trials` accepts.  "python" is the per-trial
+#: reference implementation; "numpy" batches trials through the
+#: vectorized kernels of :mod:`repro.core.kernels` where one matches
+#: the (protocol, prover) pair, falling back to "python" otherwise.
+ENGINES = ("python", "numpy")
 
 #: Exception types from a decision function that mean "the prover's
 #: response was malformed" and therefore a local reject — never a crash.
@@ -312,6 +328,11 @@ class AcceptanceEstimate:
     short_circuits: int = field(default=0, compare=False)
     #: worker processes used (1 = serial).
     workers: int = field(default=1, compare=False)
+    #: engine that executed the batch ("python", or "numpy" when a
+    #: vectorized kernel actually ran — a numpy request that fell back
+    #: reports "python").  Excluded from equality like the rest of the
+    #: provenance fields: engines are byte-equivalent by contract.
+    engine: str = field(default="python", compare=False)
     #: whether ``elapsed_seconds``/``phase_seconds`` were measured.
     #: Hand-built estimates (tests, analytic tooling) leave this False,
     #: so a zero rate means "untimed", never "instantaneous".
@@ -421,19 +442,110 @@ def _trial_batch(protocol: Protocol, instance: Instance, prover: Prover,
     return accepted, decide_calls, short_circuits, phase, collected
 
 
+def _kernel_batch(kernel: "TrialKernel", seed: int, start: int, count: int,
+                  stop_on_first_reject: bool
+                  ) -> Tuple[int, int, int, Dict[str, float], Collected]:
+    """The numpy engine's counterpart of :func:`_trial_batch`: one
+    vectorized kernel call, then the *same* per-trial spans and batch
+    metrics the reference loop records (all values converted to plain
+    python ints/bools so the serialized traces stay byte-identical
+    across engines)."""
+    n = kernel.instance.n
+    batch = kernel.run_batch(seed, start, count, stop_on_first_reject)
+    accepted = int(batch.accepted.sum())
+    decide_calls = int(batch.decide_calls.sum())
+    short_circuits = int((~batch.accepted
+                          & (batch.decide_calls < n)).sum())
+    proof_bits = int(batch.proof_bits.sum())
+    with collecting() as buf:
+        if buf is not None:
+            for i in range(count):
+                with buf.span("runner.trial", trial=start + i) as span:
+                    if span is not None:
+                        bits = int(batch.proof_bits[i])
+                        span.set(accepted=bool(batch.accepted[i]),
+                                 decide_calls=int(batch.decide_calls[i]),
+                                 max_cost_bits=int(batch.max_cost_bits[i]))
+                        span.add("proof_bits", bits)
+            if buf.metrics_enabled:
+                metrics = buf.metrics
+                metrics.counter("runner/trials").inc(count)
+                metrics.counter("runner/accepted").inc(accepted)
+                metrics.counter("runner/decide_calls").inc(decide_calls)
+                metrics.counter("runner/short_circuits").inc(short_circuits)
+                metrics.counter("runner/proof_bits").inc(proof_bits)
+                for key, value in batch.phase_seconds.items():
+                    metrics.timer(f"runner/seconds/{key}").inc(value)
+        collected = export_collected(buf)
+    return (accepted, decide_calls, short_circuits,
+            dict(batch.phase_seconds), collected)
+
+
+def _resolve_kernel(protocol: Protocol, instance: Instance, prover: Prover,
+                    context: InstanceContext
+                    ) -> Optional["TrialKernel"]:
+    """The vectorized kernel for this triple, or None → reference
+    engine.  A missing numpy is a one-warning automatic fallback, never
+    an error: ``engine="numpy"`` is a request, not a requirement."""
+    from .kernels import find_kernel, numpy_available
+    if not numpy_available():
+        warnings.warn(
+            'run_trials(engine="numpy") requested but numpy is not '
+            "installed; falling back to the python reference engine "
+            "(pip install repro[fast] enables the batch kernels)",
+            RuntimeWarning, stacklevel=3)
+        return None
+    prover.reset()
+    prover.bind_context(context)
+    return find_kernel(protocol, instance, prover, context)
+
+
+def _verify_kernel(kernel: "TrialKernel", protocol: Protocol,
+                   instance: Instance, prover: Prover,
+                   context: InstanceContext, seed: int,
+                   stop_on_first_reject: bool) -> None:
+    """Cross-check trial 0 of the batch on both engines.
+
+    Runs the reference engine with observability force-disabled (the
+    kernel emits the batch's spans itself) and compares the complete
+    ``ExecutionResult`` — verdict, per-node decisions, transcript and
+    bit accounting.  Every ``run_trials(engine="numpy")`` call pays one
+    reference trial for this; a disagreement raises
+    :class:`~repro.core.kernels.base.KernelMismatch` instead of ever
+    returning silently wrong estimates.
+    """
+    from .kernels.base import KernelMismatch
+    with use_session(None):
+        reference = run_protocol(
+            protocol, instance, prover, random.Random(seed),
+            context=context, stop_on_first_reject=stop_on_first_reject)
+    candidate = kernel.execution_result(seed, 0, stop_on_first_reject)
+    if candidate != reference or (candidate.decide_calls
+                                  != reference.decide_calls):
+        raise KernelMismatch(
+            f"{type(kernel).__name__} disagrees with the reference "
+            f"engine on trial 0 (seed {seed}): kernel accepted="
+            f"{candidate.accepted} decide_calls={candidate.decide_calls}, "
+            f"reference accepted={reference.accepted} "
+            f"decide_calls={reference.decide_calls}")
+
+
 #: Fork-inherited state for pool workers — set by :func:`run_trials`
 #: immediately before forking so children receive the warm context and
 #: the prover without any pickling (closures inside protocols, e.g.
-#: DSym's structure check, are not picklable).
+#: DSym's structure check, are not picklable).  The final element is
+#: the resolved kernel (None = reference engine).
 _WORKER_STATE: Optional[Tuple[Protocol, Instance, Prover, InstanceContext,
-                              int, bool]] = None
+                              int, bool, Optional["TrialKernel"]]] = None
 
 
 def _worker_batch(span: Tuple[int, int]
                   ) -> Tuple[int, int, int, Dict[str, float], Collected]:
     assert _WORKER_STATE is not None
-    protocol, instance, prover, context, seed, stop = _WORKER_STATE
+    protocol, instance, prover, context, seed, stop, kernel = _WORKER_STATE
     start, count = span
+    if kernel is not None:
+        return _kernel_batch(kernel, seed, start, count, stop)
     return _trial_batch(protocol, instance, prover, context, seed,
                         start, count, stop)
 
@@ -464,23 +576,39 @@ def _spans(total: int, parts: int, offset: int) -> List[Tuple[int, int]]:
 def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
                trials: int, seed: int, *, workers: int = 1,
                context: Optional[InstanceContext] = None,
-               stop_on_first_reject: bool = True) -> AcceptanceEstimate:
+               stop_on_first_reject: bool = True,
+               engine: str = "python") -> AcceptanceEstimate:
     """Estimate Pr[all nodes accept] over ``trials`` independent runs.
 
     Trial ``t`` always executes on ``random.Random(seed + t)``, so the
     estimate is a pure function of ``(protocol, instance, prover,
-    trials, seed)`` — independent of ``workers`` and of how the batch
-    is chunked.  The accepted count is a sum over trials, which is
-    order-independent, so parallel and serial runs are bit-identical.
+    trials, seed)`` — independent of ``workers``, of how the batch is
+    chunked, *and of the engine*.  The accepted count is a sum over
+    trials, which is order-independent, so parallel and serial runs
+    are bit-identical.
 
     ``workers > 1`` distributes trials over a fork-based process pool.
     Trial 0 runs in the parent first so that the (shared) context is
     warm at fork time and every child inherits the cached structure.
+
+    ``engine="numpy"`` routes the batch through a vectorized trial
+    kernel (:mod:`repro.core.kernels`) when one models this (protocol,
+    prover) pair, with two safety nets: triples without a kernel — and
+    environments without numpy, after a ``RuntimeWarning`` — fall back
+    to the reference engine, and every kernel run cross-checks trial 0
+    against the reference engine before its results are trusted
+    (raising ``KernelMismatch`` on any disagreement).  The observable
+    outputs (estimates, spans, metrics) are byte-identical across
+    engines; ``AcceptanceEstimate.engine`` reports which one actually
+    ran.
     """
     if trials < 0:
         raise ValueError("trials must be non-negative")
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from "
+                         f"{ENGINES}")
     if context is None:
         context = InstanceContext(instance, protocol)
     elif context.instance is not instance:
@@ -488,6 +616,21 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
     context.ensure_validated(protocol)
 
     start_time = time.perf_counter()
+    kernel = None
+    if engine == "numpy" and trials > 0:
+        kernel = _resolve_kernel(protocol, instance, prover, context)
+        if kernel is not None:
+            _verify_kernel(kernel, protocol, instance, prover, context,
+                           seed, stop_on_first_reject)
+    used_engine = "python" if kernel is None else "numpy"
+
+    def batch(start: int, count: int):
+        if kernel is not None:
+            return _kernel_batch(kernel, seed, start, count,
+                                 stop_on_first_reject)
+        return _trial_batch(protocol, instance, prover, context, seed,
+                            start, count, stop_on_first_reject)
+
     workers = min(workers, max(trials, 1))
     pool_ctx = _fork_pool_context() if workers > 1 and trials > 1 else None
 
@@ -498,9 +641,7 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
     with outer as span:
         if pool_ctx is None:
             (accepted, decide_calls, short_circuits, phase,
-             collected) = _trial_batch(
-                protocol, instance, prover, context, seed, 0, trials,
-                stop_on_first_reject)
+             collected) = batch(0, trials)
             merge_collected(sess, collected)
             used_workers = 1
         else:
@@ -509,13 +650,11 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
             # spans/metrics; merging the parts in trial order below is
             # what keeps parallel traces identical to serial ones.
             (accepted, decide_calls, short_circuits, phase,
-             collected) = _trial_batch(
-                protocol, instance, prover, context, seed, 0, 1,
-                stop_on_first_reject)
+             collected) = batch(0, 1)
             merge_collected(sess, collected)
             global _WORKER_STATE
             _WORKER_STATE = (protocol, instance, prover, context, seed,
-                             stop_on_first_reject)
+                             stop_on_first_reject, kernel)
             try:
                 with pool_ctx.Pool(processes=workers) as pool:
                     parts = pool.map(_worker_batch,
@@ -535,7 +674,7 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
         elapsed = time.perf_counter() - start_time
         if span is not None:
             span.set(accepted=accepted)
-            span.note(workers=used_workers)
+            span.note(workers=used_workers, engine=used_engine)
         if sess is not None and sess.metrics_enabled:
             sess.metrics.timer("runner/seconds/batch").inc(elapsed)
 
@@ -547,6 +686,7 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
         decide_calls=decide_calls,
         short_circuits=short_circuits,
         workers=used_workers,
+        engine=used_engine,
         timed=True,
     )
 
@@ -554,18 +694,18 @@ def run_trials(protocol: Protocol, instance: Instance, prover: Prover,
 def estimate_acceptance(protocol: Protocol, instance: Instance,
                         prover: Prover, trials: int,
                         rng: random.Random, *, workers: int = 1,
-                        context: Optional[InstanceContext] = None
-                        ) -> AcceptanceEstimate:
+                        context: Optional[InstanceContext] = None,
+                        engine: str = "python") -> AcceptanceEstimate:
     """Estimate Pr[all nodes accept] over ``trials`` independent runs.
 
     A convenience wrapper over :func:`run_trials`: the per-trial seed
     stream is derived from ``rng`` (one 64-bit draw), preserving the
     historical rng-based interface while gaining context reuse,
-    short-circuiting and optional parallelism.
+    short-circuiting, optional parallelism and engine selection.
     """
     return run_trials(protocol, instance, prover, trials,
                       rng.getrandbits(64), workers=workers,
-                      context=context)
+                      context=context, engine=engine)
 
 
 def measure_cost(protocol: Protocol, instance: Instance,

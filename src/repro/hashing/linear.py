@@ -138,6 +138,101 @@ class LinearHashFamily:
         return (pow(seed, i * n, self.p)
                 * self.hash_bits(seed, row_bits)) % self.p
 
+    # -- batched hashing (numpy trial kernels) ---------------------------
+    #
+    # The batch engine (:mod:`repro.core.kernels`) evaluates the family
+    # over whole (trials, nodes) arrays at once.  numpy is imported
+    # lazily through the kernels' import gate so this module keeps
+    # working — and the scalar methods above stay the reference
+    # implementation — on interpreters without it.  All array math is
+    # exact int64 modular arithmetic (see ``kernels._np.mulmod``), so
+    # batched and scalar results are equal as python ints, not merely
+    # close.
+
+    def power_table_batch(self, seeds, count: int):
+        """``P[t, j] = seeds[t]^(j+1) mod p`` for ``j < count``.
+
+        The batched :meth:`power_table` prefix: one column per power,
+        one row per trial seed.  ``count`` may be far below ``m`` —
+        protocol kernels only need the first ``n`` powers plus the
+        stride powers from :meth:`stride_power_batch`.
+        """
+        from ..core.kernels._np import mulmod, require_numpy
+        np = require_numpy()
+        if not 0 <= count <= self.m:
+            raise ValueError(f"count {count} outside [0, m={self.m}]")
+        seeds = np.asarray(seeds, dtype=np.int64)
+        table = np.empty((seeds.shape[0], count), dtype=np.int64)
+        if count == 0:
+            return table
+        acc = seeds % self.p
+        table[:, 0] = acc
+        for j in range(1, count):
+            acc = mulmod(acc, seeds, self.p)
+            table[:, j] = acc
+        return table
+
+    def stride_power_batch(self, seeds, stride: int, count: int):
+        """``Q[t, v] = seeds[t]^(v * stride) mod p`` for ``v < count``.
+
+        The row-offset factors of :meth:`hash_row_matrix` (``s^{i·n}``)
+        for a whole trial batch: column 0 is all ones, each next column
+        multiplies by ``s^stride``.
+        """
+        from ..core.kernels._np import mulmod, powmod_column, require_numpy
+        np = require_numpy()
+        seeds = np.asarray(seeds, dtype=np.int64)
+        table = np.empty((seeds.shape[0], count), dtype=np.int64)
+        if count == 0:
+            return table
+        table[:, 0] = 1 % self.p
+        if count == 1:
+            return table
+        step = powmod_column(seeds, stride, self.p)
+        acc = step
+        table[:, 1] = acc
+        for v in range(2, count):
+            acc = mulmod(acc, step, self.p)
+            table[:, v] = acc
+        return table
+
+    def row_hash_batch(self, seeds, n: int, row_indices, rows01):
+        """Batched :meth:`hash_row_matrix` over a (trials, nodes) grid.
+
+        ``rows01`` is a 0/1 array of shape ``(nodes, n)`` whose row
+        ``v`` is the characteristic vector the node hashes;
+        ``row_indices[v]`` is its row position ``i`` in the n×n matrix.
+        Returns ``H[t, v] = seeds[t]^{i·n} · Σ_u rows01[v, u] ·
+        seeds[t]^{u+1} mod p`` — one fancy-indexed matmul for the whole
+        batch.  Row sums stay below 2⁶² (n < 2²¹ terms under a < 2⁴¹
+        modulus), so the accumulation is exact.
+        """
+        from ..core.kernels._np import mulmod, require_numpy
+        np = require_numpy()
+        if n * n > self.m:
+            raise ValueError(
+                f"matrix {n}x{n} does not fit dimension m={self.m}")
+        powers = self.power_table_batch(seeds, n)
+        strides = self.stride_power_batch(seeds, n, n)
+        rows01 = np.asarray(rows01, dtype=np.int64)
+        sums = powers @ rows01.T % self.p
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        return mulmod(strides[:, row_indices], sums, self.p)
+
+    def hash_vector_batch(self, seeds, coeffs: Sequence[int]):
+        """Batched :meth:`hash_vector`: Horner's rule down the
+        coefficient list, one ``mulmod``/``np.mod`` step per
+        coefficient, over a whole seed batch at once."""
+        from ..core.kernels._np import mulmod, require_numpy
+        np = require_numpy()
+        if len(coeffs) > self.m:
+            raise ValueError("vector longer than dimension m")
+        seeds = np.asarray(seeds, dtype=np.int64)
+        acc = np.zeros_like(seeds)
+        for c in reversed(coeffs):
+            acc = np.mod(mulmod(acc, seeds, self.p) + c % self.p, self.p)
+        return mulmod(acc, seeds, self.p)
+
     def hash_matrix_sum(self, seed: int, matrix: MatrixSum) -> int:
         """Hash a full ``MatrixSum`` (reference implementation for tests).
 

@@ -107,7 +107,8 @@ def add_lab_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--quick", action="store_true",
                    help="quick grids only (CI smoke scale)")
     p.add_argument("--workers", type=int, default=1,
-                   help="worker processes for trial batches")
+                   help="worker processes for grid cells (records and "
+                        "traces are identical to a serial run)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary")
     p.set_defaults(func=cmd_lab_run)
@@ -118,7 +119,7 @@ def add_lab_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--full", action="store_true",
                    help="re-run the full grids instead of quick")
     p.add_argument("--workers", type=int, default=1,
-                   help="worker processes for trial batches")
+                   help="worker processes for grid cells")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     p.set_defaults(func=cmd_lab_check)

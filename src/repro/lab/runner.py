@@ -8,6 +8,14 @@ through a JSON round-trip (so fresh and replayed records compare
 bit-for-bit), and appends them to the result store.  Cells already in
 the store are skipped — re-running a partially recorded sweep only
 pays for the missing cells.
+
+``workers > 1`` fans the *cells* of a grid over a fork-based process
+pool (every spec kind parallelizes, not just the trial sweeps).  Each
+worker wraps its cell in an observability buffer
+(:func:`repro.obs.session.collecting`) and ships the buffer back with
+the record; the parent merges buffers in grid order — the same
+protocol the core runner uses for trial batches — so ``lab run
+--workers N`` traces and records are byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -20,8 +28,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.model import Instance, Protocol, Prover, ROUND_ARTHUR
-from ..core.runner import run_protocol, run_trials
-from ..obs.session import active
+# _fork_pool_context is the core runner's "fork, or None where
+# unsupported" probe — the lab pool must degrade on the same platforms.
+from ..core.runner import _fork_pool_context, run_protocol, run_trials
+from ..obs.session import (Collected, active, collecting,
+                           export_collected, merge_collected)
 from .spec import (ExperimentSpec, GRAPHS, KIND_COLLISION, KIND_EDGECHECK,
                    KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS, KIND_PACKING,
                    KIND_SWEEP, PROTOCOLS, PROVERS)
@@ -269,6 +280,58 @@ def spec_cells(spec: ExperimentSpec,
             for prover in spec.provers]
 
 
+def _collected_cell(spec: ExperimentSpec, n: int, prover_key: str,
+                    trials: int) -> Tuple[Dict[str, Any], Collected]:
+    """One cell under an observability buffer: the ``lab.cell`` span
+    (and everything the engines record beneath it) lands in the buffer,
+    which travels back with the record so the parent can merge it in
+    grid order.  Serial and pooled execution share this path, so their
+    deterministic traces are byte-identical by construction."""
+    with collecting() as buf:
+        with (nullcontext() if buf is None else
+              buf.span("lab.cell", spec=spec.name, n=n,
+                       prover=prover_key, trials=trials)):
+            record = compute_cell(spec, n, prover_key, trials)
+        collected = export_collected(buf)
+    return record, collected
+
+
+#: Fork-inherited spec for pool workers — set by :func:`_run_cells`
+#: immediately before forking (specs can carry non-picklable graph
+#: factories; the fork pool sidesteps pickling entirely, exactly as
+#: the core runner's trial pool does).
+_CELL_STATE: Optional[ExperimentSpec] = None
+
+
+def _cell_worker(task: Tuple[int, str, int]
+                 ) -> Tuple[Dict[str, Any], Collected]:
+    assert _CELL_STATE is not None
+    n, prover_key, trials = task
+    return _collected_cell(_CELL_STATE, n, prover_key, trials)
+
+
+def _run_cells(spec: ExperimentSpec, tasks: List[Tuple[int, str, int]],
+               workers: int) -> List[Tuple[Dict[str, Any], Collected]]:
+    """Execute ``tasks`` (in order), fanning them over a fork pool when
+    ``workers > 1``.  ``chunksize=1`` keeps the slowest cells from
+    serializing behind each other; ``pool.map`` returns results in task
+    order regardless of completion order."""
+    if not tasks:
+        return []
+    workers = min(workers, len(tasks))
+    pool_ctx = _fork_pool_context() if workers > 1 else None
+    if pool_ctx is None:
+        return [_collected_cell(spec, n, prover_key, trials)
+                for n, prover_key, trials in tasks]
+    global _CELL_STATE
+    _CELL_STATE = spec
+    try:
+        with pool_ctx.Pool(processes=workers) as pool:
+            return pool.map(_cell_worker, tasks, chunksize=1)
+    finally:
+        _CELL_STATE = None
+
+
 def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
              quick: bool = False, workers: int = 1,
              resume: bool = True) -> List[CellResult]:
@@ -278,6 +341,11 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
     already recorded are returned as ``skipped`` replays instead of
     re-executing.  With ``store=None`` every cell is computed fresh
     and nothing is written — the regression gate's comparison mode.
+
+    ``workers > 1`` computes the grid's missing cells on a fork-based
+    process pool, one cell per task.  Records, store contents, result
+    order and observability output are all independent of the worker
+    count (see the module docstring).
     """
     stored = store.load_cells(spec) if (store and resume) else {}
     sess = active()
@@ -286,21 +354,29 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
         quick=quick)
     results: List[CellResult] = []
     with outer as span:
-        for n, prover_key, trials in spec_cells(spec, quick):
-            key = cell_key(n, prover_key, trials, spec.seed)
+        cells = spec_cells(spec, quick)
+        keys = [cell_key(n, prover_key, trials, spec.seed)
+                for n, prover_key, trials in cells]
+        queued = set()
+        pending = [(key, cell) for key, cell in zip(keys, cells)
+                   if key not in stored
+                   and not (key in queued or queued.add(key))]
+        computed = _run_cells(spec, [cell for _, cell in pending],
+                              workers)
+        fresh: Dict[str, Dict[str, Any]] = {}
+        for (key, _), (record, collected) in zip(pending, computed):
+            merge_collected(sess, collected)
+            if key not in fresh:
+                fresh[key] = record
+                if store is not None:
+                    store.append_cell(spec, record)
+        for key in keys:
             if key in stored:
                 results.append(CellResult(spec.name, key, stored[key],
                                           True))
-                continue
-            with (nullcontext() if sess is None else
-                  sess.span("lab.cell", spec=spec.name, n=n,
-                            prover=prover_key, trials=trials)):
-                record = compute_cell(spec, n, prover_key, trials,
-                                      workers)
-            if store is not None:
-                store.append_cell(spec, record)
-                stored[key] = record
-            results.append(CellResult(spec.name, key, record, False))
+            else:
+                results.append(CellResult(spec.name, key, fresh[key],
+                                          False))
         ran = sum(not r.skipped for r in results)
         if span is not None:
             span.set(cells=len(results), ran=ran,

@@ -47,9 +47,18 @@ def _case_trace_bits(sess: ObsSession, case: str) -> int:
 def record_battery(*, trials: int = 5, seed: int = 20180723,
                    smoke: bool = True,
                    profile: Optional[str] = None,
+                   engine: str = "python",
                    sess: Optional[ObsSession] = None) -> Dict[str, Any]:
     """Execute the golden battery under the given (or ambient) session
-    and return the consistency summary (see the CLI docstring)."""
+    and return the consistency summary (see the CLI docstring).
+
+    ``engine`` selects the :func:`~repro.core.runner.run_trials`
+    execution engine for the battery's trial batches.  The independent
+    declared-bits recompute below always uses the reference engine, so
+    recording with ``engine="numpy"`` cross-validates the kernels
+    against ground truth — and diffing that run directory against a
+    python-engine baseline is the byte-equality gate CI enforces.
+    """
     from ..core.runner import run_protocol, run_trials
     from ..netsim.audit import audit_execution
     from ..netsim.harness import SMOKE_CASES, golden_cases
@@ -68,7 +77,8 @@ def record_battery(*, trials: int = 5, seed: int = 20180723,
         with sess.profiled_span("obs.case", case=case.name,
                                 protocol=protocol.name, n=instance.n):
             estimate = run_trials(protocol, instance,
-                                  protocol.honest_prover(), trials, seed)
+                                  protocol.honest_prover(), trials, seed,
+                                  engine=engine)
             net = run_netsim(protocol, instance,
                              protocol.honest_prover(),
                              random.Random(seed), net_seed=seed,
@@ -118,6 +128,7 @@ def record_battery(*, trials: int = 5, seed: int = 20180723,
         "trials": trials,
         "smoke": smoke,
         "profile": profile,
+        "engine": engine,
         "cases": cases,
         "consistent": all(row["consistent"] for row in cases),
     }
@@ -128,7 +139,8 @@ def cmd_obs_record(args: argparse.Namespace) -> int:
     with session(profile=args.profile) as sess:
         summary = record_battery(trials=args.trials, seed=args.seed,
                                  smoke=not args.full,
-                                 profile=args.profile, sess=sess)
+                                 profile=args.profile,
+                                 engine=args.engine, sess=sess)
         paths = sess.write(out, summary=summary)
     if args.json:
         print(json.dumps({**summary, "out": out}, indent=2,
@@ -201,6 +213,11 @@ def add_obs_parser(sub) -> None:
                              f"{default_obs_root() / DEFAULT_RUN_NAME})")
     record.add_argument("--profile", choices=["cprofile", "tracemalloc"],
                         help="profile each case span")
+    record.add_argument("--engine", choices=["python", "numpy"],
+                        default="python",
+                        help="run_trials engine for the battery "
+                             "(diffing a numpy run against a python "
+                             "baseline is the cross-engine gate)")
     record.add_argument("--json", action="store_true",
                         help="machine-readable summary")
     record.set_defaults(func=cmd_obs_record)

@@ -14,9 +14,11 @@ These back the ``python -m repro obs`` CLI:
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from .io import ObsRun
+from .trace import deterministic_span
 
 #: Timer-metric naming convention: <engine>/seconds/<phase>.
 _SECONDS_SEGMENT = "/seconds/"
@@ -190,13 +192,25 @@ def render_top(run: ObsRun, k: int = 15) -> List[str]:
 
 # -- diff -----------------------------------------------------------------
 
+def _deterministic_trace_bytes(run: ObsRun) -> str:
+    """The canonical byte form of a run's deterministic span forest —
+    names, attrs, span metrics and structure; no seconds or meta."""
+    return json.dumps([deterministic_span(span) for span in run.forest],
+                      sort_keys=True, separators=(",", ":"))
+
+
 def diff_runs(a: ObsRun, b: ObsRun) -> Dict[str, Any]:
-    """Metric-by-metric comparison of two runs.
+    """Metric-by-metric (and trace-by-trace) comparison of two runs.
 
     Deterministic metrics that changed are *drifts* (a behavior
     change: different bits, different counts); non-deterministic ones
     are *movement* (wall-clock trajectory).  Metrics present in only
-    one run are reported as added/removed.
+    one run are reported as added/removed.  The deterministic span
+    forests are additionally compared byte-for-byte (``trace_ok``):
+    two runs of the same workload must produce identical traces
+    regardless of worker count or execution engine, and
+    ``deterministic_ok`` — the ``--strict`` gate — requires both no
+    metric drift and trace equality.
     """
     names = sorted(set(a.metrics) | set(b.metrics))
     entries = []
@@ -223,12 +237,15 @@ def diff_runs(a: ObsRun, b: ObsRun) -> Dict[str, Any]:
         if deterministic and entry["status"] != "same":
             drifts.append(name)
         entries.append(entry)
+    trace_ok = (_deterministic_trace_bytes(a)
+                == _deterministic_trace_bytes(b))
     return {
         "a": str(a.root),
         "b": str(b.root),
         "metrics": entries,
         "deterministic_drifts": drifts,
-        "deterministic_ok": not drifts,
+        "trace_ok": trace_ok,
+        "deterministic_ok": not drifts and trace_ok,
     }
 
 
@@ -257,4 +274,8 @@ def render_diff(diff: Dict[str, Any]) -> List[str]:
                      f"{', '.join(diff['deterministic_drifts'])}")
     else:
         lines.append("deterministic metrics: no drift")
+    if diff.get("trace_ok", True):
+        lines.append("deterministic trace: byte-identical")
+    else:
+        lines.append("DETERMINISTIC TRACE DRIFT: span forests differ")
     return lines

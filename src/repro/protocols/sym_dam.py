@@ -211,6 +211,17 @@ class HonestSymDAMProver(Prover):
     def __init__(self, protocol: SymDAMProtocol) -> None:
         self.protocol = protocol
 
+    def batch_plan(self, context):
+        """The numpy batch engine's description of this strategy (same
+        contract as ``HonestSymDMAMProver.batch_plan``)."""
+        rho = context.nontrivial_automorphism()
+        if rho is None:
+            raise ProtocolViolation(
+                "honest prover run on an asymmetric graph — "
+                "completeness only applies to YES instances")
+        root = min(v for v in context.graph.vertices if rho[v] != v)
+        return {"rho": rho, "root": root}
+
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, int]],
                 own_messages: Mapping[int, Mapping[int, NodeMessage]],
@@ -256,6 +267,12 @@ class CommittedDAMProver(Prover):
         self.protocol = protocol
         self.mapping = rho
         self.root = chosen_root
+
+    def batch_plan(self, context):
+        """The committed (ρ, root) pair — validated at construction,
+        and challenge-independent by design, so the numpy batch engine
+        can replay this prover wholesale."""
+        return {"rho": self.mapping, "root": self.root}
 
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, int]],

@@ -191,6 +191,19 @@ class HonestSymDMAMProver(Prover):
         self._advice = None
         self._root = None
 
+    def batch_plan(self, context):
+        """The numpy batch engine's description of this strategy: the
+        memoized automorphism and its canonical root — exactly the
+        commitments ``respond`` would make, including the
+        ``ProtocolViolation`` on an asymmetric graph."""
+        rho = context.nontrivial_automorphism()
+        if rho is None:
+            raise ProtocolViolation(
+                "honest prover run on an asymmetric graph — "
+                "completeness only applies to YES instances")
+        root = min(v for v in context.graph.vertices if rho[v] != v)
+        return {"rho": rho, "root": root}
+
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, int]],
                 own_messages: Mapping[int, Mapping[int, NodeMessage]],
@@ -286,6 +299,21 @@ class CommittedMappingProver(Prover):
         mapping = list(range(graph.n))
         mapping[best[0]], mapping[best[1]] = best[1], best[0]
         return tuple(mapping)
+
+    def batch_plan(self, context):
+        """The committed ρ and root for the numpy batch engine — the
+        same memoized choice (``sym_dmam.committed_swap``) ``respond``
+        commits to, so both engines play the identical strategy."""
+        graph = context.graph
+        if self._fixed_mapping is not None:
+            rho = self._fixed_mapping
+        else:
+            rho = context.memo("sym_dmam.committed_swap",
+                               lambda: self.choose_mapping(graph))
+        if all(rho[v] == v for v in graph.vertices):
+            raise ProtocolViolation("cheating prover must move a vertex")
+        root = min(v for v in graph.vertices if rho[v] != v)
+        return {"rho": rho, "root": root}
 
     def respond(self, instance: Instance, round_idx: int,
                 randomness: Mapping[int, Mapping[int, int]],

@@ -1,0 +1,304 @@
+"""The numpy batch engine: cross-engine parity, fallback, exact math.
+
+The two-engine contract under test:
+
+* **parity** — ``run_trials(engine="numpy")`` and the python reference
+  engine are byte-identical on every observable field, across random
+  protocols, instances, provers, seeds and stop modes (hypothesis
+  drives the sampling); the kernels' ``execution_result`` reproduces
+  ``run_protocol`` exactly, transcript included;
+* **fallback** — a missing numpy, an unsupported (protocol, prover)
+  triple, or a paper-sized modulus all degrade to the reference engine
+  inside the same call (warning only for missing numpy), so
+  ``engine="numpy"`` is always safe to request;
+* **safety net** — a kernel that disagrees with the reference engine on
+  trial 0 raises ``KernelMismatch`` instead of returning estimates;
+* **exact arithmetic** — ``mulmod``/``powmod_column`` match python
+  big-int arithmetic up to the advertised ``MAX_MODULUS_BITS`` ceiling.
+
+Every test is either numpy-gated (skipped on the no-numpy CI leg) or
+engine-agnostic, so the module passes on both matrix legs.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, InstanceContext, run_protocol, run_trials
+from repro.core.kernels import (KernelMismatch, MAX_MODULUS_BITS,
+                                find_kernel, mulmod, numpy_available,
+                                powmod_column, require_numpy,
+                                supported_modulus)
+from repro.core.runner import _verify_kernel
+from repro.graphs import (cycle_graph, random_connected_graph,
+                          rigid_family_exhaustive)
+from repro.hashing import LinearHashFamily, next_prime
+from repro.protocols import (CommittedDAMProver, CommittedMappingProver,
+                             GNIGoldwasserSipserProtocol, SymDAMProtocol,
+                             SymDMAMProtocol, gni_instance)
+
+requires_numpy = pytest.mark.skipif(not numpy_available(),
+                                    reason="numpy not installed")
+
+
+def _small_dam_protocol(n: int) -> SymDAMProtocol:
+    """Protocol 2 with an E6-style small prime (the paper-sized
+    ~n^(n+2) prime overflows int64, so only these families batch)."""
+    return SymDAMProtocol(
+        n, family=LinearHashFamily(m=n * n, p=next_prime(10 * n ** 3)))
+
+
+def _case(kind: str, n: int, graph_seed: int):
+    """One (protocol, instance, prover-factory) triple per kernel-able
+    shape: both protocols, honest and committed-cheating provers,
+    symmetric and random instances."""
+    if kind == "dmam-honest":
+        protocol = SymDMAMProtocol(n)
+        instance = Instance(cycle_graph(n))
+        make_prover = lambda: protocol.honest_prover()
+    elif kind == "dmam-committed":
+        protocol = SymDMAMProtocol(n)
+        instance = Instance(
+            random_connected_graph(n, 0.35, random.Random(graph_seed)))
+        make_prover = lambda: CommittedMappingProver(protocol)
+    elif kind == "dam-honest":
+        protocol = _small_dam_protocol(n)
+        instance = Instance(cycle_graph(n))
+        make_prover = lambda: protocol.honest_prover()
+    else:  # dam-committed: an arbitrary (non-permutation) mapping
+        protocol = _small_dam_protocol(n)
+        instance = Instance(
+            random_connected_graph(n, 0.35, random.Random(graph_seed)))
+        rng = random.Random(graph_seed + 1)
+        mapping = [rng.randrange(n) for _ in range(n)]
+        mapping[0] = (mapping[0] % (n - 1)) + 1  # ensure a moved vertex
+        make_prover = lambda: CommittedDAMProver(protocol, mapping)
+    return protocol, instance, make_prover
+
+
+_KINDS = ("dmam-honest", "dmam-committed", "dam-honest", "dam-committed")
+
+
+@requires_numpy
+class TestEngineParity:
+    @settings(max_examples=25, deadline=None)
+    @given(kind=st.sampled_from(_KINDS),
+           n=st.integers(min_value=6, max_value=10),
+           graph_seed=st.integers(min_value=0, max_value=10 ** 6),
+           seed=st.integers(min_value=0, max_value=2 ** 32),
+           trials=st.integers(min_value=1, max_value=8),
+           stop=st.booleans())
+    def test_run_trials_identical_across_engines(self, kind, n, graph_seed,
+                                                 seed, trials, stop):
+        protocol, instance, make_prover = _case(kind, n, graph_seed)
+        python = run_trials(protocol, instance, make_prover(), trials,
+                            seed, stop_on_first_reject=stop,
+                            engine="python")
+        numpy = run_trials(protocol, instance, make_prover(), trials,
+                           seed, stop_on_first_reject=stop,
+                           engine="numpy")
+        assert numpy.engine == "numpy"  # a kernel actually ran
+        assert python.engine == "python"
+        assert python == numpy  # dataclass equality: (accepted, trials)
+        # The provenance fields are excluded from equality; the batch
+        # math must still reproduce them exactly.
+        assert python.accepted == numpy.accepted
+        assert python.decide_calls == numpy.decide_calls
+        assert python.short_circuits == numpy.short_circuits
+
+    @settings(max_examples=15, deadline=None)
+    @given(kind=st.sampled_from(_KINDS),
+           n=st.integers(min_value=6, max_value=9),
+           graph_seed=st.integers(min_value=0, max_value=10 ** 6),
+           seed=st.integers(min_value=0, max_value=2 ** 32),
+           trial=st.integers(min_value=0, max_value=5),
+           stop=st.booleans())
+    def test_execution_result_matches_run_protocol(self, kind, n,
+                                                   graph_seed, seed,
+                                                   trial, stop):
+        protocol, instance, make_prover = _case(kind, n, graph_seed)
+        prover = make_prover()
+        context = InstanceContext(instance, protocol)
+        prover.bind_context(context)
+        kernel = find_kernel(protocol, instance, prover, context)
+        assert kernel is not None
+        reference = run_protocol(protocol, instance, make_prover(),
+                                 random.Random(seed + trial),
+                                 context=context,
+                                 stop_on_first_reject=stop)
+        candidate = kernel.execution_result(seed, trial, stop)
+        # Dataclass equality covers verdict, decisions, the full
+        # transcript, and per-node bit accounting.
+        assert candidate == reference
+        assert candidate.decide_calls == reference.decide_calls
+        assert candidate.decisions == reference.decisions
+
+    def test_fork_pool_matches_serial_numpy_path(self):
+        protocol = SymDMAMProtocol(10)
+        instance = Instance(cycle_graph(10))
+        python = run_trials(protocol, instance, protocol.honest_prover(),
+                            24, 99, engine="python")
+        serial = run_trials(protocol, instance, protocol.honest_prover(),
+                            24, 99, engine="numpy", workers=1)
+        forked = run_trials(protocol, instance, protocol.honest_prover(),
+                            24, 99, engine="numpy", workers=2)
+        assert serial == forked == python
+        assert forked.workers == 2
+        assert serial.engine == forked.engine == "numpy"
+        assert (serial.decide_calls == forked.decide_calls
+                == python.decide_calls)
+
+
+@requires_numpy
+class TestKernelSafetyNet:
+    def test_tampered_kernel_raises_mismatch(self):
+        protocol = SymDMAMProtocol(8)
+        instance = Instance(cycle_graph(8))
+        prover = protocol.honest_prover()
+        context = InstanceContext(instance, protocol)
+        prover.bind_context(context)
+        kernel = find_kernel(protocol, instance, prover, context)
+        assert kernel is not None
+        # Flip the static root check: the kernel now rejects every
+        # trial of a YES instance, which the trial-0 cross-check must
+        # catch before any estimate is produced.
+        kernel._root_static_ok = False
+        with pytest.raises(KernelMismatch):
+            _verify_kernel(kernel, protocol, instance,
+                           protocol.honest_prover(), context, seed=7,
+                           stop_on_first_reject=True)
+
+    def test_every_numpy_run_pays_the_crosscheck(self):
+        # End to end: run_trials itself must surface the mismatch.
+        protocol = SymDMAMProtocol(8)
+        instance = Instance(cycle_graph(8))
+        context = InstanceContext(instance, protocol)
+        import repro.core.runner as runner_module
+        original = runner_module._resolve_kernel
+
+        def tampered(protocol, instance, prover, context):
+            kernel = original(protocol, instance, prover, context)
+            if kernel is not None:
+                kernel._root_static_ok = False
+            return kernel
+
+        runner_module._resolve_kernel = tampered
+        try:
+            with pytest.raises(KernelMismatch):
+                run_trials(protocol, instance, protocol.honest_prover(),
+                           5, 7, context=context, engine="numpy")
+        finally:
+            runner_module._resolve_kernel = original
+
+
+class TestFallback:
+    def test_unknown_engine_rejected(self):
+        protocol = SymDMAMProtocol(6)
+        instance = Instance(cycle_graph(6))
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_trials(protocol, instance, protocol.honest_prover(),
+                       2, 0, engine="fortran")
+
+    def test_missing_numpy_warns_and_falls_back(self, monkeypatch):
+        import repro.core.kernels._np as np_gate
+        monkeypatch.setattr(np_gate, "np", None)
+        assert not numpy_available()
+        protocol = SymDMAMProtocol(6)
+        instance = Instance(cycle_graph(6))
+        python = run_trials(protocol, instance, protocol.honest_prover(),
+                            4, 11, engine="python")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            fallback = run_trials(protocol, instance,
+                                  protocol.honest_prover(), 4, 11,
+                                  engine="numpy")
+        assert fallback == python
+        assert fallback.engine == "python"
+
+    def test_require_numpy_error_names_the_extra(self, monkeypatch):
+        import repro.core.kernels._np as np_gate
+        monkeypatch.setattr(np_gate, "np", None)
+        with pytest.raises(ImportError, match=r"repro\[fast\]"):
+            require_numpy()
+
+    @requires_numpy
+    def test_unsupported_triple_falls_back_silently(self):
+        # GNI has no kernel; the numpy request must not warn, and the
+        # estimate must report the engine that actually ran.
+        rigid = rigid_family_exhaustive(6)
+        protocol = GNIGoldwasserSipserProtocol(6, repetitions=4)
+        instance = gni_instance(rigid[0], rigid[1])
+        python = run_trials(protocol, instance, protocol.honest_prover(),
+                            3, 5, engine="python")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fallback = run_trials(protocol, instance,
+                                  protocol.honest_prover(), 3, 5,
+                                  engine="numpy")
+        assert fallback == python
+        assert fallback.engine == "python"
+
+    @requires_numpy
+    def test_paper_sized_modulus_falls_back(self):
+        # Protocol 2's default ~n^(n+2) prime overflows int64 from
+        # n = 10 on; the registry must decline it rather than compute
+        # inexactly.
+        protocol = SymDAMProtocol(10)
+        assert not supported_modulus(protocol.family.p)
+        instance = Instance(cycle_graph(10))
+        python = run_trials(protocol, instance, protocol.honest_prover(),
+                            3, 5, engine="python")
+        numpy = run_trials(protocol, instance, protocol.honest_prover(),
+                           3, 5, engine="numpy")
+        assert numpy == python
+        assert numpy.engine == "python"
+
+
+@requires_numpy
+class TestExactArithmetic:
+    @pytest.mark.parametrize("p", [
+        3,
+        next_prime(10 * 64 ** 3),          # a real Protocol-1 prime
+        next_prime(2 ** 30),               # just below the direct path
+        next_prime(2 ** 31),               # first split-limb modulus
+        next_prime((1 << MAX_MODULUS_BITS) - 10 ** 9),  # near ceiling
+    ])
+    def test_mulmod_matches_bigint(self, p):
+        np = require_numpy()
+        assert supported_modulus(p)
+        rng = random.Random(p)
+        a = np.array([rng.randrange(p) for _ in range(64)],
+                     dtype=np.int64)
+        b = np.array([rng.randrange(p) for _ in range(64)],
+                     dtype=np.int64)
+        got = mulmod(a, b, p)
+        expected = [(int(x) * int(y)) % p for x, y in zip(a, b)]
+        assert [int(v) for v in got] == expected
+
+    def test_mulmod_rejects_oversized_modulus(self):
+        np = require_numpy()
+        p = next_prime(1 << (MAX_MODULUS_BITS + 1))
+        assert not supported_modulus(p)
+        with pytest.raises(ValueError, match="at most"):
+            mulmod(np.array([1], dtype=np.int64),
+                   np.array([1], dtype=np.int64), p)
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=st.integers(min_value=0, max_value=(1 << 41) - 1),
+           exponent=st.integers(min_value=0, max_value=5000))
+    def test_powmod_column_matches_builtin_pow(self, base, exponent):
+        np = require_numpy()
+        p = next_prime(10 * 200 ** 3)
+        got = powmod_column(np.array([base % p], dtype=np.int64),
+                            exponent, p)
+        assert int(got[0]) == pow(base % p, exponent, p)
+
+    def test_supported_modulus_boundaries(self):
+        assert not supported_modulus(1)
+        assert supported_modulus(2)
+        assert supported_modulus((1 << MAX_MODULUS_BITS) - 1)
+        assert not supported_modulus(1 << MAX_MODULUS_BITS)
