@@ -23,6 +23,10 @@ Commands
                battery under tracing (and gates trace bit counters
                against declared costs), ``obs report``/``obs top``
                render a recorded run, ``obs diff`` compares two runs.
+``serve``      Long-running verification service: jobs over HTTP or
+               ndjson stdin, batched onto the trial engines with
+               admission control and a shared instance cache
+               (``--smoke N`` runs the in-process self-test).
 """
 
 from __future__ import annotations
@@ -253,6 +257,9 @@ def main(argv=None) -> int:
 
     from repro.obs.cli import add_obs_parser
     add_obs_parser(sub)
+
+    from repro.serve.cli import add_serve_parser
+    add_serve_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

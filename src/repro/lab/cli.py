@@ -37,7 +37,7 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
     specs = get_specs(args.spec or None)
     store = _store(args)
     summary = run_specs(specs, store, quick=args.quick,
-                        workers=args.workers)
+                        workers=args.workers, engine=args.engine)
     summary["store"] = str(store.root)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -109,6 +109,10 @@ def add_lab_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for grid cells (records and "
                         "traces are identical to a serial run)")
+    p.add_argument("--engine", default="python",
+                   choices=["python", "numpy"],
+                   help="trial engine for sweep cells (byte-equivalent; "
+                        "recorded as provenance)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary")
     p.set_defaults(func=cmd_lab_run)

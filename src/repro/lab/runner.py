@@ -88,7 +88,8 @@ def _round_bits(protocol: Protocol, instance: Instance,
 
 
 def _sweep_cell(spec: ExperimentSpec, n: int, prover_key: str,
-                trials: int, workers: int) -> Dict[str, Any]:
+                trials: int, workers: int,
+                engine: str = "python") -> Dict[str, Any]:
     start = time.perf_counter()
     protocol = PROTOCOLS[spec.protocol](n)
     instance = GRAPHS[spec.graph](n)
@@ -98,7 +99,7 @@ def _sweep_cell(spec: ExperimentSpec, n: int, prover_key: str,
     cost_run = run_protocol(protocol, instance, prover,
                             random.Random(spec.seed), context=context)
     estimate = run_trials(protocol, instance, prover, trials, spec.seed,
-                          workers=workers, context=context)
+                          workers=workers, context=context, engine=engine)
     record = _base_record(spec, n, instance.n, prover_key, trials)
     record.update(
         accepted=estimate.accepted,
@@ -106,6 +107,9 @@ def _sweep_cell(spec: ExperimentSpec, n: int, prover_key: str,
         round_bits=_round_bits(protocol, instance, cost_run),
         wall=round(time.perf_counter() - start, 6),
         workers=estimate.workers,
+        # provenance, like wall/workers: the engine that actually ran
+        # (estimate.engine reports the fallback when numpy is absent).
+        engine=estimate.engine,
     )
     return record
 
@@ -252,10 +256,18 @@ def _netsim_faults_cell(spec: ExperimentSpec, n: int, prover_key: str,
 
 
 def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
-                 trials: int, workers: int = 1) -> Dict[str, Any]:
-    """Execute one cell and return its normalized record."""
+                 trials: int, workers: int = 1,
+                 engine: str = "python") -> Dict[str, Any]:
+    """Execute one cell and return its normalized record.
+
+    ``engine`` selects the trial engine for sweep cells (the other
+    kinds run analytic or netsim code where it does not apply).  The
+    engines are byte-equivalent, so records differ only in the
+    ``engine`` provenance field.
+    """
     if spec.kind == KIND_SWEEP:
-        record = _sweep_cell(spec, n, prover_key, trials, workers)
+        record = _sweep_cell(spec, n, prover_key, trials, workers,
+                             engine)
     elif spec.kind == KIND_PACKING:
         record = _packing_cell(spec, n)
     elif spec.kind == KIND_COLLISION:
@@ -281,7 +293,9 @@ def spec_cells(spec: ExperimentSpec,
 
 
 def _collected_cell(spec: ExperimentSpec, n: int, prover_key: str,
-                    trials: int) -> Tuple[Dict[str, Any], Collected]:
+                    trials: int,
+                    engine: str = "python"
+                    ) -> Tuple[Dict[str, Any], Collected]:
     """One cell under an observability buffer: the ``lab.cell`` span
     (and everything the engines record beneath it) lands in the buffer,
     which travels back with the record so the parent can merge it in
@@ -291,27 +305,31 @@ def _collected_cell(spec: ExperimentSpec, n: int, prover_key: str,
         with (nullcontext() if buf is None else
               buf.span("lab.cell", spec=spec.name, n=n,
                        prover=prover_key, trials=trials)):
-            record = compute_cell(spec, n, prover_key, trials)
+            record = compute_cell(spec, n, prover_key, trials,
+                                  engine=engine)
         collected = export_collected(buf)
     return record, collected
 
 
-#: Fork-inherited spec for pool workers — set by :func:`_run_cells`
-#: immediately before forking (specs can carry non-picklable graph
-#: factories; the fork pool sidesteps pickling entirely, exactly as
-#: the core runner's trial pool does).
-_CELL_STATE: Optional[ExperimentSpec] = None
+#: Fork-inherited (spec, engine) for pool workers — set by
+#: :func:`_run_cells` immediately before forking (specs can carry
+#: non-picklable graph factories; the fork pool sidesteps pickling
+#: entirely, exactly as the core runner's trial pool does).
+_CELL_STATE: Optional[Tuple[ExperimentSpec, str]] = None
 
 
 def _cell_worker(task: Tuple[int, str, int]
                  ) -> Tuple[Dict[str, Any], Collected]:
     assert _CELL_STATE is not None
+    spec, engine = _CELL_STATE
     n, prover_key, trials = task
-    return _collected_cell(_CELL_STATE, n, prover_key, trials)
+    return _collected_cell(spec, n, prover_key, trials, engine)
 
 
 def _run_cells(spec: ExperimentSpec, tasks: List[Tuple[int, str, int]],
-               workers: int) -> List[Tuple[Dict[str, Any], Collected]]:
+               workers: int,
+               engine: str = "python"
+               ) -> List[Tuple[Dict[str, Any], Collected]]:
     """Execute ``tasks`` (in order), fanning them over a fork pool when
     ``workers > 1``.  ``chunksize=1`` keeps the slowest cells from
     serializing behind each other; ``pool.map`` returns results in task
@@ -321,10 +339,10 @@ def _run_cells(spec: ExperimentSpec, tasks: List[Tuple[int, str, int]],
     workers = min(workers, len(tasks))
     pool_ctx = _fork_pool_context() if workers > 1 else None
     if pool_ctx is None:
-        return [_collected_cell(spec, n, prover_key, trials)
+        return [_collected_cell(spec, n, prover_key, trials, engine)
                 for n, prover_key, trials in tasks]
     global _CELL_STATE
-    _CELL_STATE = spec
+    _CELL_STATE = (spec, engine)
     try:
         with pool_ctx.Pool(processes=workers) as pool:
             return pool.map(_cell_worker, tasks, chunksize=1)
@@ -334,7 +352,8 @@ def _run_cells(spec: ExperimentSpec, tasks: List[Tuple[int, str, int]],
 
 def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
              quick: bool = False, workers: int = 1,
-             resume: bool = True) -> List[CellResult]:
+             resume: bool = True,
+             engine: str = "python") -> List[CellResult]:
     """Execute one spec's grid, recording cells into ``store``.
 
     With a store and ``resume`` (the default), cells whose key is
@@ -362,7 +381,7 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
                    if key not in stored
                    and not (key in queued or queued.add(key))]
         computed = _run_cells(spec, [cell for _, cell in pending],
-                              workers)
+                              workers, engine)
         fresh: Dict[str, Dict[str, Any]] = {}
         for (key, _), (record, collected) in zip(pending, computed):
             merge_collected(sess, collected)
@@ -390,7 +409,8 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
 
 def run_specs(specs, store: Optional[ResultStore] = None, *,
               quick: bool = False, full: bool = True,
-              workers: int = 1) -> Dict[str, Any]:
+              workers: int = 1,
+              engine: str = "python") -> Dict[str, Any]:
     """Run many specs; by default both the quick grid (the CI
     comparison cells) and the full grid (the fitter's curve) so one
     ``lab run`` produces a complete baseline.  Returns a summary."""
@@ -399,10 +419,11 @@ def run_specs(specs, store: Optional[ResultStore] = None, *,
     for spec in specs:
         start = time.perf_counter()
         results: List[CellResult] = []
-        results.extend(run_spec(spec, store, quick=True, workers=workers))
+        results.extend(run_spec(spec, store, quick=True, workers=workers,
+                                engine=engine))
         if full and not quick:
             results.extend(run_spec(spec, store, quick=False,
-                                    workers=workers))
+                                    workers=workers, engine=engine))
         seen = set()
         deduped = [r for r in results
                    if not (r.key in seen or seen.add(r.key))]

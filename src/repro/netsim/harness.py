@@ -195,6 +195,14 @@ def _fault_rows(protocol: Protocol) -> List[Dict[str, Any]]:
     ]
 
 
+def _fault_counter_values(sess) -> Dict[str, float]:
+    """Current ``netsim/faults/<kind>`` counter values (kind-keyed)."""
+    prefix = "netsim/faults/"
+    return {name[len(prefix):]: snap["value"]
+            for name, snap in sess.metrics.snapshot().items()
+            if name.startswith(prefix) and snap["kind"] == "counter"}
+
+
 def fault_matrix(seed: int = GOLDEN_SEED, trials: int = 20,
                  n: int = 8) -> Dict[str, Any]:
     """Measure acceptance/detection rates across fault configurations.
@@ -205,16 +213,26 @@ def fault_matrix(seed: int = GOLDEN_SEED, trials: int = 20,
     ``seed`` field on the prover→node-3 channel and measures how often
     hashed-equality cross-checking reports a violation; the analytic
     detection bound is ``1 − m/p`` for the field-width scheme.
+
+    Every row also tallies the injected fault events
+    (``result.fault_events`` summed over its trials), and — when an
+    ambient obs session is recording metrics — gates the row on the
+    ``netsim/faults/<kind>`` counter deltas matching those tallies
+    **exactly**: injected and observed counts may never drift apart.
     """
     protocol = SymDMAMProtocol(n)
     instance = Instance(cycle_graph(n))
     analytic = 1.0 - equality_scheme(protocol.family.seed_bits).error_bound
     sess = active()
+    metrics_on = sess is not None and sess.metrics_enabled
     rows = []
     for spec in _fault_rows(protocol):
         accepted = 0
         detected = 0
         lost = 0
+        fault_events: Dict[str, int] = {}
+        counters_before = _fault_counter_values(sess) if metrics_on \
+            else {}
         with (nullcontext() if sess is None else
               sess.span("netsim.fault_case", fault=spec["fault"],
                         protocol=protocol.name, n=n, trials=trials)):
@@ -228,12 +246,16 @@ def fault_matrix(seed: int = GOLDEN_SEED, trials: int = 20,
                 accepted += result.accepted
                 detected += result.broadcast_violations > 0
                 lost += result.lost_frames
+                for kind, count in result.fault_events.items():
+                    fault_events[kind] = fault_events.get(kind, 0) \
+                        + count
         row: Dict[str, Any] = {
             "fault": spec["fault"],
             "crosscheck": spec["crosscheck"],
             "trials": trials,
             "accept_rate": accepted / trials,
             "lost_frames": lost,
+            "fault_events": dict(sorted(fault_events.items())),
             "ok": True,
         }
         if "expect_accept" in spec:
@@ -243,6 +265,17 @@ def fault_matrix(seed: int = GOLDEN_SEED, trials: int = 20,
             row["detection_rate"] = detected / trials
             row["analytic_bound"] = analytic
             row["ok"] = row["ok"] and row["detection_rate"] >= analytic
+        if metrics_on:
+            counters_after = _fault_counter_values(sess)
+            observed = {
+                kind: int(counters_after.get(kind, 0.0)
+                          - counters_before.get(kind, 0.0))
+                for kind in set(counters_before) | set(counters_after)}
+            observed = {kind: count for kind, count in observed.items()
+                        if count}
+            row["observed_events"] = dict(sorted(observed.items()))
+            row["counters_match"] = observed == fault_events
+            row["ok"] = row["ok"] and row["counters_match"]
         rows.append(row)
     return {
         "seed": seed,

@@ -117,6 +117,12 @@ class NetExecutionResult:
     broadcast_violations: int = 0
     #: frames lost after exhausting the retransmit budget.
     lost_frames: int = 0
+    #: fault-injection event counts by kind (drop, corrupt, duplicate,
+    #: timeout, retransmit, crash, violation) — the same tallies the
+    #: simulation publishes as ``netsim/faults/<kind>`` counters, so
+    #: injected-vs-observed gates can compare all three views (result,
+    #: trace, obs) exactly.
+    fault_events: Dict[str, int] = field(default_factory=dict)
     trace: Optional[EventTrace] = field(default=None, compare=False)
 
     @property
@@ -566,6 +572,7 @@ class _Simulation:
             overhead_bits=self.overhead_bits,
             broadcast_violations=self.broadcast_violations,
             lost_frames=self.lost_frames,
+            fault_events=dict(self.fault_events),
             trace=self.trace if self.trace.enabled else None,
         )
 

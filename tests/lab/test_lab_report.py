@@ -60,3 +60,40 @@ class TestContent:
         store = ResultStore(tmp_path)
         run_spec(SPEC, store, quick=True)
         assert "wall" not in render_lab_report([SPEC], store)
+
+
+class TestEngineColumn:
+    def test_sweep_rows_surface_engine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_spec(SPEC, store, quick=True)
+        text = render_lab_report([SPEC], store)
+        assert "| engine |" in text
+        assert "| python |" in text
+
+    def test_engine_recorded_in_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = run_spec(SPEC, store, quick=True)
+        assert all(r.record["engine"] == "python" for r in results)
+
+    def test_engine_threads_through_run_spec(self, tmp_path):
+        from repro.core.kernels import numpy_available
+        from repro.core.runner import ENGINES
+        assert "numpy" in ENGINES
+        store = ResultStore(tmp_path)
+        results = run_spec(SPEC, store, quick=True, engine="numpy")
+        expected = "numpy" if numpy_available() else "python"
+        assert all(r.record["engine"] == expected for r in results)
+
+    def test_legacy_records_render_as_python(self, tmp_path):
+        """Records written before the engine field existed must still
+        render (as the reference engine they in fact ran)."""
+        store = ResultStore(tmp_path)
+        run_spec(SPEC, store, quick=True)
+        cells = store.load_cells(SPEC)
+        legacy = {key: {k: v for k, v in record.items()
+                        if k != "engine"}
+                  for key, record in cells.items()}
+        from repro.lab.report import _sweep_rows
+        header, rows = _sweep_rows(legacy)
+        assert header[-1] == "engine"
+        assert all(row[-1] == "python" for row in rows)

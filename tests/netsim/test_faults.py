@@ -12,9 +12,15 @@ from repro.netsim import (PROVER, ChannelPolicy, FaultPlan,
                           equality_scheme, run_netsim)
 from repro.netsim.faults import RELIABLE
 from repro.netsim.harness import fault_matrix
+from repro.obs import session as obs_session
 from repro.protocols import SymDMAMProtocol
 
 SEED = 1234
+
+#: Fault kinds the simulation tallies (= the trace event kinds the
+#: injectors record, = the ``netsim/faults/*`` counter suffixes).
+FAULT_KINDS = ("drop", "retransmit", "timeout", "duplicate", "corrupt",
+               "crash", "violation")
 
 
 def _run(faults, *, crosscheck="exact", seed=SEED, n=8, trace=True):
@@ -124,10 +130,82 @@ class TestCrashAndByzantine:
         assert all(event["src"] == 2 for event in garbled)
 
 
+class TestFaultEventCounters:
+    """``result.fault_events`` must agree with the trace and with the
+    ``netsim/faults/*`` obs counters — three views of one tally."""
+
+    @pytest.mark.parametrize("faults,expect_kinds", [
+        (FaultPlan(default=ChannelPolicy(drop=0.3, max_retries=8)),
+         {"drop", "retransmit"}),
+        (FaultPlan(default=ChannelPolicy(duplicate=0.7)),
+         {"duplicate"}),
+        (FaultPlan(default=ChannelPolicy(corrupt=0.8, flips=2)),
+         {"corrupt"}),
+        (FaultPlan(crashes={3: 0}), {"crash"}),
+    ], ids=["drop-retry", "duplicate", "corrupt", "crash"])
+    def test_events_match_trace(self, faults, expect_kinds):
+        result = _run(faults)
+        assert expect_kinds <= set(result.fault_events)
+        for kind in FAULT_KINDS:
+            assert result.fault_events.get(kind, 0) \
+                == result.trace.count(kind), kind
+
+    def test_fault_free_run_has_no_events(self):
+        assert _run(FaultPlan()).fault_events == {}
+
+    def test_events_match_obs_counters(self):
+        faults = FaultPlan(default=ChannelPolicy(drop=0.3, timeout=2,
+                                                 max_retries=5))
+        with obs_session(trace=False) as sess:
+            result = _run(faults, trace=False)
+            counters = {
+                name[len("netsim/faults/"):]: snap["value"]
+                for name, snap in sess.metrics.snapshot().items()
+                if name.startswith("netsim/faults/")}
+        assert counters == result.fault_events
+        assert sum(result.fault_events.values()) > 0
+
+    def test_violation_events_tally_detections(self):
+        corrupt_seed = ChannelPolicy(corrupt=1.0, flips=1,
+                                     corrupt_field="seed")
+        result = _run(FaultPlan(channels={(PROVER, 3): corrupt_seed}),
+                      crosscheck="hashed")
+        assert result.fault_events.get("violation", 0) \
+            == result.broadcast_violations > 0
+
+
 class TestFaultMatrix:
     def test_matrix_is_green(self):
         matrix = fault_matrix(SEED, trials=20)
         assert matrix["all_ok"]
+
+    def test_rows_tally_fault_events(self):
+        matrix = fault_matrix(SEED, trials=10)
+        rows = {row["fault"]: row for row in matrix["rows"]}
+        assert rows["baseline"]["fault_events"] == {}
+        assert rows["duplicate-0.5"]["fault_events"].get("duplicate",
+                                                         0) > 0
+        assert rows["drop-0.3-retry-5"]["fault_events"].get("drop",
+                                                            0) > 0
+        assert rows["crash-node-3"]["fault_events"] == {"crash": 10}
+        assert rows["corrupt-broadcast-seed"]["fault_events"].get(
+            "corrupt", 0) > 0
+
+    def test_injected_vs_observed_gate_under_obs(self):
+        """With metrics recording, every row must carry an exact
+        injected-vs-observed counter match — and the gate folds into
+        the row's ``ok``."""
+        with obs_session(trace=False):
+            matrix = fault_matrix(SEED, trials=10)
+        assert matrix["all_ok"]
+        for row in matrix["rows"]:
+            assert row["counters_match"], row["fault"]
+            assert row["observed_events"] == row["fault_events"]
+
+    def test_gate_absent_without_metrics(self):
+        matrix = fault_matrix(SEED, trials=5)
+        assert all("counters_match" not in row
+                   for row in matrix["rows"])
 
     def test_detection_beats_analytic_bound(self):
         matrix = fault_matrix(SEED, trials=25)

@@ -1,0 +1,180 @@
+"""HTTP transport tests: a raw asyncio client against an ephemeral
+port.  No HTTP client library — requests are hand-framed bytes, which
+doubles as a check that the server speaks plain HTTP/1.1 rather than
+some dialect only our own code understands."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeConfig, VerifyService
+from repro.serve.http import (MAX_BODY_BYTES, response_status,
+                              serve_http)
+
+
+async def _with_server(scenario, config=None):
+    service = VerifyService(config or ServeConfig())
+    await service.start()
+    server = await serve_http(service, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        return await scenario(port, service)
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.close()
+
+
+async def _roundtrip(port, raw):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    data = await reader.read(1 << 20)
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ")[1])
+    return status, json.loads(body) if body else None
+
+
+def _post(path, body, keep_alive=False):
+    conn = b"keep-alive" if keep_alive else b"close"
+    return (b"POST " + path.encode() + b" HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: " + str(len(body)).encode() +
+            b"\r\nConnection: " + conn + b"\r\n\r\n" + body)
+
+
+def _get(path):
+    return (b"GET " + path.encode() +
+            b" HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+
+
+def _verify_body(index=0, **job_extra):
+    job = {"protocol": "sym-dmam", "graph": "cycle", "n": 8,
+           "trials": 6, "seed": 5, **job_extra}
+    return json.dumps({"v": 1, "id": f"http-{index}",
+                       "job": job}).encode()
+
+
+class TestVerifyEndpoint:
+    def test_ok_round_trip(self):
+        async def scenario(port, service):
+            return await _roundtrip(port,
+                                    _post("/v1/verify", _verify_body()))
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 200
+        assert payload["ok"] and payload["result"]["trials"] == 6
+
+    @pytest.mark.parametrize("body,status,code", [
+        (b"not json at all", 400, "malformed"),
+        (json.dumps({"v": 7, "id": "f", "job": {}}).encode(),
+         422, "unsupported"),
+        (json.dumps({"v": 1, "id": "f", "job": {
+            "protocol": "no-such", "n": 8, "graph": "cycle"}}).encode(),
+         422, "unsupported"),
+    ])
+    def test_error_taxonomy_maps_to_status(self, body, status, code):
+        async def scenario(port, service):
+            return await _roundtrip(port, _post("/v1/verify", body))
+
+        got_status, payload = asyncio.run(_with_server(scenario))
+        assert got_status == status
+        assert payload["error"]["code"] == code
+        assert response_status(payload) == status
+
+    def test_get_on_verify_is_405(self):
+        async def scenario(port, service):
+            return await _roundtrip(port, _get("/v1/verify"))
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 405
+        assert payload["error"]["code"] == "unsupported"
+
+
+class TestTransportEdges:
+    def test_unknown_path_404(self):
+        async def scenario(port, service):
+            return await _roundtrip(port, _get("/v2/everything"))
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 404
+
+    def test_garbage_request_line_400(self):
+        async def scenario(port, service):
+            return await _roundtrip(port, b"complete nonsense\r\n\r\n")
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 400
+        assert payload["error"]["code"] == "malformed"
+
+    def test_oversized_body_413(self):
+        async def scenario(port, service):
+            raw = (b"POST /v1/verify HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: " +
+                   str(MAX_BODY_BYTES + 1).encode() +
+                   b"\r\nConnection: close\r\n\r\n")
+            return await _roundtrip(port, raw)
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 413
+        assert payload["error"]["code"] == "malformed"
+
+    def test_chunked_encoding_rejected(self):
+        async def scenario(port, service):
+            raw = (b"POST /v1/verify HTTP/1.1\r\nHost: t\r\n"
+                   b"Transfer-Encoding: chunked\r\n"
+                   b"Connection: close\r\n\r\n0\r\n\r\n")
+            return await _roundtrip(port, raw)
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 400
+
+    def test_keep_alive_serves_multiple_requests(self):
+        async def scenario(port, service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            statuses = []
+            for index in range(3):
+                writer.write(_post("/v1/verify",
+                                   _verify_body(index),
+                                   keep_alive=True))
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                length = next(
+                    int(line.split(b":")[1])
+                    for line in head.split(b"\r\n")
+                    if line.lower().startswith(b"content-length"))
+                body = await reader.readexactly(length)
+                statuses.append((int(head.split(b" ")[1]),
+                                 json.loads(body)["ok"]))
+            writer.close()
+            await writer.wait_closed()
+            return statuses
+
+        statuses = asyncio.run(_with_server(scenario))
+        assert statuses == [(200, True)] * 3
+
+
+class TestIntrospectionEndpoints:
+    def test_health_reports_stats(self):
+        async def scenario(port, service):
+            await _roundtrip(port, _post("/v1/verify", _verify_body()))
+            return await _roundtrip(port, _get("/v1/health"))
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 200
+        assert payload["ok"]
+        assert payload["stats"]["counts"]["ok"] == 1
+
+    def test_schema_lists_registries(self):
+        async def scenario(port, service):
+            return await _roundtrip(port, _get("/v1/schema"))
+
+        status, payload = asyncio.run(_with_server(scenario))
+        assert status == 200
+        assert "sym-dmam" in payload["protocols"]
+        assert "cycle" in payload["graphs"]
+        assert payload["v"] == 1
+        assert payload["limits"]["max_trials"] >= 1

@@ -1,0 +1,219 @@
+"""Property tests for the serve wire schema.
+
+The contract under test: ``parse_request`` accepts exactly the
+documented shapes (and round-trips what ``request_to_jsonable``
+emits), and rejects *everything* else with a classified
+:class:`WireError` — never any other exception, no matter how
+adversarial the payload.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import ENGINES
+from repro.graphs import cycle_graph
+from repro.graphs.graph6 import graph_to_graph6
+from repro.lab.spec import GRAPHS, PROTOCOLS, PROVERS
+from repro.serve import (CERT_LEVELS, ERROR_STATUS, WIRE_VERSION,
+                         JobSpec, VerifyRequest, WireError,
+                         parse_request, request_to_jsonable)
+from repro.serve.schema import (ERR_MALFORMED, ERR_UNSUPPORTED,
+                                MAX_N, MAX_SEED, MAX_TRIALS, parse_job)
+
+# -- strategies ----------------------------------------------------------
+
+_names = st.sampled_from
+
+
+def _jobs() -> st.SearchStrategy:
+    """Valid JobSpecs: every registry key, both instance carriers."""
+    def _build(protocol, prover, trials, seed, engine, cert, alpha,
+               n, use_graph6, graph):
+        if use_graph6:
+            return JobSpec(protocol=protocol, n=n, prover=prover,
+                           trials=trials, seed=seed,
+                           graph6=graph_to_graph6(cycle_graph(n)),
+                           engine=engine, cert=cert, alpha=alpha)
+        return JobSpec(protocol=protocol, n=n, prover=prover,
+                       trials=trials, seed=seed, graph=graph,
+                       engine=engine, cert=cert, alpha=alpha)
+
+    return st.builds(
+        _build,
+        _names(sorted(PROTOCOLS)),
+        _names(sorted(PROVERS)),
+        st.integers(min_value=0, max_value=MAX_TRIALS),
+        st.integers(min_value=0, max_value=MAX_SEED),
+        _names(list(ENGINES)),
+        _names(list(CERT_LEVELS)),
+        st.floats(min_value=0.001, max_value=0.999,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=3, max_value=32),
+        st.booleans(),
+        _names(sorted(GRAPHS)))
+
+
+def _requests() -> st.SearchStrategy:
+    return st.builds(
+        VerifyRequest,
+        id=st.text(min_size=1, max_size=64,
+                   alphabet=st.characters(min_codepoint=33,
+                                          max_codepoint=126)),
+        job=_jobs(),
+        timeout=st.one_of(st.none(),
+                          st.floats(min_value=0.0, max_value=3600.0,
+                                    allow_nan=False)))
+
+
+_json_scalars = st.one_of(st.none(), st.booleans(), st.integers(),
+                          st.floats(allow_nan=False), st.text(max_size=20))
+
+_json_values = st.recursive(
+    _json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4)),
+    max_leaves=12)
+
+
+# -- round-trip ----------------------------------------------------------
+
+class TestRoundTrip:
+    @given(_requests())
+    @settings(max_examples=120, deadline=None)
+    def test_jsonable_round_trips(self, request):
+        parsed = parse_request(request_to_jsonable(request))
+        assert parsed == request
+
+    @given(_requests())
+    @settings(max_examples=60, deadline=None)
+    def test_wire_text_round_trips(self, request):
+        text = json.dumps(request_to_jsonable(request))
+        assert parse_request(text) == request
+        assert parse_request(text.encode("utf-8")) == request
+
+    @given(_requests())
+    @settings(max_examples=60, deadline=None)
+    def test_identity_key_is_identity_only(self, request):
+        """Prover, trials, seed, engine and cert never shift the
+        content address — the cache would fracture otherwise."""
+        job = request.job
+        variant = JobSpec(protocol=job.protocol, n=job.n,
+                          prover="committed", trials=job.trials + 1,
+                          seed=job.seed + 1, graph=job.graph,
+                          graph6=job.graph6, engine=job.engine,
+                          cert="none", alpha=0.5)
+        assert variant.identity_key == job.identity_key
+
+
+# -- rejection without crashing -----------------------------------------
+
+class TestRejection:
+    @given(_json_values)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_json_never_crashes(self, value):
+        """Any JSON value either parses or raises a classified
+        WireError — nothing else escapes."""
+        try:
+            parsed = parse_request(value)
+        except WireError as exc:
+            assert exc.code in ERROR_STATUS
+            assert exc.status == ERROR_STATUS[exc.code]
+        else:
+            assert isinstance(parsed, VerifyRequest)
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_request(text)
+        except WireError as exc:
+            assert exc.code in (ERR_MALFORMED, ERR_UNSUPPORTED)
+
+    @given(st.binary(max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            parse_request(blob)
+        except WireError as exc:
+            assert exc.code in (ERR_MALFORMED, ERR_UNSUPPORTED)
+
+    @pytest.mark.parametrize("payload", [
+        "", "{", "[1,2]", "null", "42", '"job"',
+        '{"v": 1}',
+        '{"v": 1, "id": ""}',
+        '{"v": 1, "id": "x"}',
+        '{"id": "x", "job": {}}',
+        '{"v": true, "id": "x", "job": {}}',
+        '{"v": 1, "id": "x", "job": {}, "extra": 1}',
+        '{"v": 1, "id": "x", "job": [], "timeout": 1}',
+        '{"v": 1, "id": "x", "timeout": -1, "job": {}}',
+        '{"v": 1, "id": "x", "timeout": 1e9, "job": {}}',
+    ])
+    def test_malformed_payloads(self, payload):
+        with pytest.raises(WireError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == ERR_MALFORMED
+
+    @given(st.integers().filter(lambda v: v != WIRE_VERSION))
+    @settings(max_examples=60, deadline=None)
+    def test_unknown_version_is_unsupported(self, version):
+        payload = {"v": version, "id": "x",
+                   "job": {"protocol": "sym-dmam", "n": 8,
+                           "graph": "cycle"}}
+        with pytest.raises(WireError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == ERR_UNSUPPORTED
+        assert excinfo.value.status == 422
+
+    @pytest.mark.parametrize("field,value", [
+        ("protocol", "no-such-protocol"),
+        ("graph", "no-such-family"),
+        ("prover", "no-such-prover"),
+        ("engine", "no-such-engine"),
+        ("cert", "no-such-cert"),
+    ])
+    def test_unknown_registry_keys_are_unsupported(self, field, value):
+        job = {"protocol": "sym-dmam", "n": 8, "graph": "cycle"}
+        job[field] = value
+        with pytest.raises(WireError) as excinfo:
+            parse_job(job)
+        assert excinfo.value.code == ERR_UNSUPPORTED
+        # The message names every key the service *does* serve.
+        assert value in str(excinfo.value)
+
+    @pytest.mark.parametrize("job", [
+        {"protocol": "sym-dmam", "n": 8},                      # no carrier
+        {"protocol": "sym-dmam", "n": 8, "graph": "cycle",
+         "graph6": "G?"},                                      # both carriers
+        {"protocol": "sym-dmam", "n": 0, "graph": "cycle"},    # n too small
+        {"protocol": "sym-dmam", "n": MAX_N + 1,
+         "graph": "cycle"},                                    # n too large
+        {"protocol": "sym-dmam", "n": 8, "graph": "cycle",
+         "trials": MAX_TRIALS + 1},
+        {"protocol": "sym-dmam", "n": 8, "graph": "cycle",
+         "seed": -1},
+        {"protocol": "sym-dmam", "n": True, "graph": "cycle"},  # bool int
+        {"protocol": "sym-dmam", "n": 8, "graph": "cycle",
+         "alpha": 1},                                          # int alpha
+        {"protocol": "sym-dmam", "n": 8, "graph": "cycle",
+         "alpha": 0.0},
+    ])
+    def test_malformed_jobs(self, job):
+        with pytest.raises(WireError) as excinfo:
+            parse_job(job)
+        assert excinfo.value.code == ERR_MALFORMED
+
+
+class TestErrorTaxonomy:
+    def test_status_projection_is_total(self):
+        assert set(ERROR_STATUS) == {"malformed", "unsupported",
+                                     "overloaded", "timeout", "internal"}
+        assert all(isinstance(s, int) for s in ERROR_STATUS.values())
+
+    def test_wire_error_rejects_unknown_codes(self):
+        with pytest.raises(ValueError):
+            WireError("novel-code", "nope")
