@@ -12,7 +12,7 @@ Commands
                Clopper-Pearson bounds; ``--json`` for machine output).
 ``lowerbound`` Print the packing table of Theorem 1.4.
 ``costs``      Per-node cost of every protocol at a chosen size.
-``lab``        Experiment orchestration: ``lab run`` records E1–E13
+``lab``        Experiment orchestration: ``lab run`` records E1–E14
                cells into the result store, ``lab check`` is the
                regression gate, ``lab report`` regenerates tables.
 ``netsim``     Message-passing substrate: ``netsim run`` is the
@@ -22,7 +22,13 @@ Commands
 ``obs``        Observability: ``obs record`` executes the golden
                battery under tracing (and gates trace bit counters
                against declared costs), ``obs report``/``obs top``
-               render a recorded run, ``obs diff`` compares two runs.
+               render a recorded run (``obs report --flame`` the full
+               span hierarchy), ``obs diff`` compares two runs.
+``ledger``     Symbolic cost ledger: ``ledger check`` asserts every
+               declared per-phase/per-channel bound against the
+               measured bits in the committed store (the theorem
+               gate), ``ledger table`` regenerates docs/COSTS.md,
+               ``ledger fit`` prints the fitted leading constants.
 ``serve``      Long-running verification service: jobs over HTTP or
                ndjson stdin, batched onto the trial engines with
                admission control and a shared instance cache
@@ -257,6 +263,9 @@ def main(argv=None) -> int:
 
     from repro.obs.cli import add_obs_parser
     add_obs_parser(sub)
+
+    from repro.ledger.cli import add_ledger_parser
+    add_ledger_parser(sub)
 
     from repro.serve.cli import add_serve_parser
     add_serve_parser(sub)

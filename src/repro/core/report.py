@@ -9,10 +9,86 @@ examples and tests; nothing in the verification path depends on them.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from .model import Instance, Protocol, ROUND_ARTHUR
-from .runner import ExecutionResult
+from .model import Instance, Protocol, Prover, ROUND_ARTHUR
+from .runner import ExecutionResult, run_protocol
+
+
+@dataclass(frozen=True)
+class ExecutionCost:
+    """The independent per-round / per-node bit accounting of one
+    execution, recomputed from its transcript.
+
+    This is the *single* recompute behind every cost gate: the lab's
+    per-cell ``round_bits`` provenance, the obs record gate's
+    declared-bits cross-check, and the ledger's measured per-phase
+    series all call :func:`execution_cost`, so the three gates agree
+    by construction — none of them trusts the runner's own
+    ``node_cost_bits`` accounting.
+    """
+
+    #: Per-round bits at node 0 (nodes are cost-uniform in every
+    #: protocol here); one entry per round the execution reached.
+    round_bits: Tuple[int, ...]
+    #: Recomputed per-node totals over all reached rounds.
+    node_bits: Dict[int, int]
+
+    @property
+    def total_bits(self) -> int:
+        """Node 0's total — the 'bits per node' of a cost cell."""
+        return sum(self.round_bits)
+
+    @property
+    def network_bits(self) -> int:
+        """Whole-network total (the netsim/obs charging unit)."""
+        return sum(self.node_bits.values())
+
+
+def execution_cost(protocol: Protocol, instance: Instance,
+                   result: ExecutionResult) -> ExecutionCost:
+    """Recompute the bit bill of ``result`` from its transcript.
+
+    Rounds the execution never reached (``stop_on_first_reject``
+    truncation) contribute nothing, matching the runner's charging.
+    """
+    node_bits = {v: 0 for v in range(instance.n)}
+    round_bits: List[int] = []
+    for round_idx, kind in enumerate(protocol.pattern):
+        if kind == ROUND_ARTHUR:
+            if round_idx not in result.transcript.randomness:
+                break
+            bits = protocol.arthur_bits(instance, round_idx)
+            round_bits.append(bits)
+            for v in node_bits:
+                node_bits[v] += bits
+        else:
+            messages = result.transcript.messages.get(round_idx)
+            if messages is None:
+                break
+            round_bits.append(
+                protocol.merlin_bits(instance, round_idx, messages[0]))
+            for v in node_bits:
+                node_bits[v] += protocol.merlin_bits(
+                    instance, round_idx, messages[v])
+    return ExecutionCost(tuple(round_bits), node_bits)
+
+
+def trial_cost_bits(protocol: Protocol, instance: Instance,
+                    prover_factory: Callable[[], Prover],
+                    trials: int, seed: int, *,
+                    stop_on_first_reject: bool = True) -> List[int]:
+    """Whole-network declared bits per trial over the deterministic
+    ``seed + t`` streams — the obs record gate's ground truth,
+    re-executed outside any span bookkeeping."""
+    return [
+        sum(run_protocol(protocol, instance, prover_factory(),
+                         random.Random(seed + t),
+                         stop_on_first_reject=stop_on_first_reject)
+            .node_cost_bits.values())
+        for t in range(trials)]
 
 
 def _preview(value: Any, limit: int = 32) -> str:

@@ -27,15 +27,16 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.model import Instance, Protocol, Prover, ROUND_ARTHUR
+from ..core.model import Instance, Protocol, Prover
+from ..core.report import execution_cost
 # _fork_pool_context is the core runner's "fork, or None where
 # unsupported" probe — the lab pool must degrade on the same platforms.
 from ..core.runner import _fork_pool_context, run_protocol, run_trials
 from ..obs.session import (Collected, active, collecting,
                            export_collected, merge_collected)
 from .spec import (ExperimentSpec, GRAPHS, KIND_COLLISION, KIND_EDGECHECK,
-                   KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS, KIND_PACKING,
-                   KIND_SWEEP, PROTOCOLS, PROVERS)
+                   KIND_LEDGER, KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS,
+                   KIND_PACKING, KIND_SWEEP, PROTOCOLS, PROVERS)
 from .store import ResultStore, cell_key
 
 #: Planted-deviation node for the E10 edge-equality harness.
@@ -75,16 +76,9 @@ def _base_record(spec: ExperimentSpec, n: int, size: int, prover: str,
 
 def _round_bits(protocol: Protocol, instance: Instance,
                 result) -> List[int]:
-    """Per-round bits at node 0 (nodes are cost-uniform in every
-    protocol here) — the 'bits per phase' provenance of a cell."""
-    bits = []
-    for round_idx, kind in enumerate(protocol.pattern):
-        if kind == ROUND_ARTHUR:
-            bits.append(protocol.arthur_bits(instance, round_idx))
-        else:
-            message = result.transcript.messages[round_idx][0]
-            bits.append(protocol.merlin_bits(instance, round_idx, message))
-    return bits
+    """Per-round bits at node 0 — the 'bits per phase' provenance of a
+    cell, via the shared recompute all cost gates use."""
+    return list(execution_cost(protocol, instance, result).round_bits)
 
 
 def _sweep_cell(spec: ExperimentSpec, n: int, prover_key: str,
@@ -255,6 +249,46 @@ def _netsim_faults_cell(spec: ExperimentSpec, n: int, prover_key: str,
     return record
 
 
+def _ledger_cell(spec: ExperimentSpec, n: int) -> Dict[str, Any]:
+    """E14's cell: re-run the symbolic ledger check over the committed
+    store and record its verdict — passing series, checked cells, the
+    fitted headline constants.  The ledger reads only the *other*
+    specs' cells (its own kind is not a checked kind), so the record
+    is a pure function of code + committed store."""
+    from ..ledger.evaluate import default_check
+    start = time.perf_counter()
+    report = default_check()
+    constants: Dict[str, Any] = {}
+    required = set(report["expected_bounds"]["required"])
+    series_ok = 0
+    cells = 0
+    for entry in report["specs"]:
+        for series in entry["series"]:
+            series_ok += bool(series["ok"])
+            cells += series["cells"]
+            if entry["spec"] in required and series["series"] == "total":
+                constants[entry["spec"]] = (
+                    series["c_fit"] if series["c_fit"] is not None
+                    else "absolute")
+    record = _base_record(spec, n, n, "ledger", 0)
+    record.update(
+        accepted=series_ok,
+        bits=cells,
+        extra={
+            "ok": report["ok"],
+            "violations": len(report["violations"]),
+            "missing_declarations": report["missing_declarations"],
+            "declarations": report["declarations"],
+            "headline_required": len(required),
+            "headline_checked": len(
+                report["expected_bounds"]["checked"]),
+            "constants": constants,
+        },
+        wall=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
 def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
                  trials: int, workers: int = 1,
                  engine: str = "python") -> Dict[str, Any]:
@@ -278,6 +312,8 @@ def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
         record = _netsim_equiv_cell(spec, n, prover_key, trials)
     elif spec.kind == KIND_NETSIM_FAULTS:
         record = _netsim_faults_cell(spec, n, prover_key, trials)
+    elif spec.kind == KIND_LEDGER:
+        record = _ledger_cell(spec, n)
     else:  # pragma: no cover - ExperimentSpec validates kinds
         raise ValueError(f"unknown spec kind {spec.kind!r}")
     return _normalize(record)

@@ -1,4 +1,4 @@
-"""Declarative experiment specs and the E1–E13 registry.
+"""Declarative experiment specs and the E1–E14 registry.
 
 An :class:`ExperimentSpec` names everything an experiment cell needs —
 protocol constructor, instance family, size grid, prover panel, trial
@@ -39,8 +39,9 @@ KIND_COLLISION = "collision"  # Theorem 3.2 exact collision-seed counts
 KIND_EDGECHECK = "edgecheck"  # E10 randomized edge-equality baseline
 KIND_NETSIM_EQUIV = "netsim-equiv"    # E13 substrate ≡ abstract runner
 KIND_NETSIM_FAULTS = "netsim-faults"  # E13 fault matrix + detection
+KIND_LEDGER = "ledger"                # E14 symbolic bound inequalities
 KINDS = (KIND_SWEEP, KIND_PACKING, KIND_COLLISION, KIND_EDGECHECK,
-         KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS)
+         KIND_NETSIM_EQUIV, KIND_NETSIM_FAULTS, KIND_LEDGER)
 
 
 @lru_cache(maxsize=1)
@@ -452,6 +453,11 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
           protocol="sym-dmam", graph="cycle", kind=KIND_NETSIM_FAULTS,
           grid=(8, 16), quick_grid=(8,),
           provers=("honest",), trials=20, quick_trials=6),
+    _spec(name="E14-ledger", experiment="E14",
+          title="Symbolic cost ledger — declared bounds vs measured bits",
+          protocol="-", graph="-", kind=KIND_LEDGER,
+          grid=(14,), quick_grid=(14,),
+          provers=("ledger",), trials=0, quick_trials=0),
 )
 
 _BY_NAME: Dict[str, ExperimentSpec] = {spec.name: spec for spec in REGISTRY}

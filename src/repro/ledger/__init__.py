@@ -1,0 +1,37 @@
+"""repro.ledger — symbolic cost bounds, machine-checked against runs.
+
+The paper's headline results are communication bounds: Sym/dMAM in
+``O(log n)`` bits per node (Theorem 1.1), Sym/dAM in ``O(n log n)``
+(Theorem 1.3), the ``Θ(n²)`` distributed-NP floor, the ``Ω(log log n)``
+packing bound (Theorem 1.4).  ``repro.lab`` confirms them as
+least-squares curve fits; this package turns them into *inequalities*:
+
+* :mod:`repro.ledger.expr` — a zero-dependency symbolic-expression
+  mini-language (``"c * n * log2(n)"``) with exact integer evaluation
+  and byte-stable rendering.
+* :mod:`repro.ledger.declare` — every protocol module exports a
+  :class:`CostDeclaration`: per-phase/per-channel bounds as
+  expressions in ``n``, each with its paper reference.
+* :mod:`repro.ledger.evaluate` — reads measured per-phase bits from
+  the committed lab store (and live executions), fits the single
+  leading constant per bound on the baseline decade, and asserts
+  ``measured ≤ bound(n, c_fit) · (1 + tol)`` for every cell.
+* ``python -m repro ledger check|table|fit`` — the CI gate and the
+  generated ``docs/COSTS.md`` cost tables.
+
+Only :mod:`~repro.ledger.expr` and :mod:`~repro.ledger.declare` are
+imported here: protocol modules import ``declare`` to export their
+declarations, so this package's root must not (transitively) import
+``repro.protocols`` or ``repro.lab``.
+"""
+
+from .declare import (CHANNELS, CostDeclaration, PhaseCost, declarations,
+                      phase)
+from .expr import (Expr, ParseError, ceil_log2, parse, render, simplify_str,
+                   to_sympy)
+
+__all__ = [
+    "CHANNELS", "CostDeclaration", "Expr", "ParseError", "PhaseCost",
+    "ceil_log2", "declarations", "parse", "phase", "render",
+    "simplify_str", "to_sympy",
+]

@@ -1,0 +1,163 @@
+"""Cost declarations: each protocol's bounds as data.
+
+A :class:`CostDeclaration` is a protocol module's public claim about
+its own communication: one :class:`PhaseCost` per round of the
+pattern (channel ``arthur`` for node→prover challenge rounds,
+``merlin`` for prover→node proof rounds), optional extra series for
+non-interactive primitives (channel ``verify`` for the
+verification-exchange schemes, ``analytic`` for lower-bound tables),
+and a headline ``total`` with the paper reference it reproduces.
+
+Bounds are expressions in ``n`` (the network size the lab records as
+a cell's ``size``).  A bound that mentions the variable ``c`` is a
+*fitted* bound — the evaluator determines the single leading constant
+from the baseline decade of measured cells; a bound without ``c`` is
+an *absolute* cap the measurement must never exceed, with no
+tolerance.
+
+Declarations live next to the code they describe: every protocol
+module in :mod:`repro.protocols` (and the packing / edge-verification
+/ netsim modules) exports a ``COST_DECLARATIONS`` tuple, and
+:func:`declarations` collects them all.  ``ledger check`` fails when
+a protocol the lab exercises has no declaration, so adding a protocol
+without declaring its cost breaks CI by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Dict, Optional, Tuple
+
+from .expr import Expr, parse, render
+
+CHANNEL_ARTHUR = "arthur"      # nodes -> prover (challenge bits)
+CHANNEL_MERLIN = "merlin"      # prover -> nodes (proof bits)
+CHANNEL_VERIFY = "verify"      # node <-> node verification exchange
+CHANNEL_ANALYTIC = "analytic"  # analytic tables (no wire traffic)
+CHANNELS = (CHANNEL_ARTHUR, CHANNEL_MERLIN, CHANNEL_VERIFY,
+            CHANNEL_ANALYTIC)
+
+#: Pattern letter -> the channel its round bills to.
+_PATTERN_CHANNEL = {"A": CHANNEL_ARTHUR, "M": CHANNEL_MERLIN}
+
+#: Variables a bound may mention: the network size and the fitted
+#: leading constant.
+ALLOWED_VARS = frozenset({"c", "n"})
+
+#: The modules whose ``COST_DECLARATIONS`` form the registry.
+DECLARING_MODULES = (
+    "repro.protocols.sym_dmam",
+    "repro.protocols.sym_dam",
+    "repro.protocols.lcp",
+    "repro.protocols.dsym",
+    "repro.protocols.fixed_map",
+    "repro.protocols.gni",
+    "repro.protocols.gni_general",
+    "repro.protocols.gni_marked",
+    "repro.lowerbound.packing",
+    "repro.network.randomized_verification",
+    "repro.netsim.sim",
+)
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """One bounded series: a round, a channel, a bound, a reference."""
+
+    phase: str        # "M0", "A1", ... or a primitive's series name
+    channel: str
+    bound: Expr
+    reference: str
+
+    def __post_init__(self) -> None:
+        if self.channel not in CHANNELS:
+            raise ValueError(f"unknown channel {self.channel!r}")
+        stray = set(self.bound.free_vars()) - ALLOWED_VARS
+        if stray:
+            raise ValueError(f"bound for {self.phase} uses unknown "
+                             f"variables {sorted(stray)}")
+
+    @property
+    def fitted(self) -> bool:
+        """Fitted bounds carry the leading constant ``c``."""
+        return "c" in self.bound.free_vars()
+
+    @property
+    def bound_str(self) -> str:
+        return render(self.bound)
+
+
+def phase(name: str, channel: str, bound: str,
+          reference: str) -> PhaseCost:
+    """Shorthand constructor: the bound as a compact string."""
+    return PhaseCost(name, channel, parse(bound), reference)
+
+
+@dataclass(frozen=True)
+class CostDeclaration:
+    """A protocol's full per-phase cost claim plus its headline total.
+
+    ``pattern`` is the round pattern for interactive protocols (each
+    letter gets exactly one phase, in round order, named
+    ``<letter><index>``) or ``""`` for non-interactive primitives
+    (whose phases are free-form named series).
+    """
+
+    key: str          # lab PROTOCOLS key, or a primitive's series key
+    title: str
+    pattern: str
+    asymptotic: str   # the paper's O(·) claim, for the table
+    reference: str
+    phases: Tuple[PhaseCost, ...]
+    total: PhaseCost = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.total is None:
+            raise ValueError(f"{self.key}: a declaration needs a total")
+        if self.pattern:
+            if len(self.phases) != len(self.pattern):
+                raise ValueError(
+                    f"{self.key}: {len(self.phases)} phases declared "
+                    f"for pattern {self.pattern!r}")
+            for idx, (letter, cost) in enumerate(
+                    zip(self.pattern, self.phases)):
+                if letter not in _PATTERN_CHANNEL:
+                    raise ValueError(f"{self.key}: unknown round kind "
+                                     f"{letter!r}")
+                expected = f"{letter}{idx}"
+                if cost.phase != expected:
+                    raise ValueError(f"{self.key}: phase {idx} must be "
+                                     f"named {expected!r}, got "
+                                     f"{cost.phase!r}")
+                if cost.channel != _PATTERN_CHANNEL[letter]:
+                    raise ValueError(
+                        f"{self.key}: round {idx} is "
+                        f"{_PATTERN_CHANNEL[letter]}, phase declares "
+                        f"{cost.channel!r}")
+
+    def channel_bound(self, channel: str) -> Optional[Expr]:
+        """Sum of the declared phase bounds billed to ``channel``."""
+        from .expr import add
+        bounds = [cost.bound for cost in self.phases
+                  if cost.channel == channel]
+        return add(*bounds) if bounds else None
+
+
+def declarations() -> Dict[str, CostDeclaration]:
+    """The registry: every ``COST_DECLARATIONS`` export, by key.
+
+    Collected fresh on each call (cheap: the modules are already
+    imported in any process that ran a protocol); duplicate keys are
+    a programming error.
+    """
+    registry: Dict[str, CostDeclaration] = {}
+    for module_name in DECLARING_MODULES:
+        module = import_module(module_name)
+        for declaration in getattr(module, "COST_DECLARATIONS", ()):
+            if declaration.key in registry:
+                raise ValueError(f"duplicate cost declaration for "
+                                 f"{declaration.key!r} "
+                                 f"(in {module_name})")
+            registry[declaration.key] = declaration
+    return registry

@@ -1,0 +1,373 @@
+"""Store-backed evaluation: declared bounds vs measured bits.
+
+For every lab spec with a cost declaration this module builds the
+measured *series* — one per declared phase, one per channel
+(arthur/merlin sums), one for the headline total — from the committed
+result store's cells, then checks each series against its bound:
+
+* **Absolute bounds** (no ``c`` variable) are hard caps: every
+  measured value must satisfy ``measured ≤ bound(n)`` exactly, no
+  tolerance.  These are the per-phase bills derived from the
+  protocols' field layouts.
+* **Fitted bounds** carry the single leading constant ``c``.  The
+  evaluator fits it on the *baseline decade* — the cells whose size is
+  within 10× the smallest recorded size — as the smallest exact
+  rational covering those cells (``c_fit = max measured/shape``), then
+  asserts ``measured ≤ bound(n, c_fit) · (1 + tol)`` for **every**
+  cell, including the sizes beyond the decade.  A declared shape that
+  undershoots the true growth (``log n`` claimed for an ``n²`` curve)
+  fits a small constant on the cheap cells and is violated by the
+  expensive ones — which is exactly how the check has teeth.
+
+Everything is exact :class:`fractions.Fraction` arithmetic; the JSON
+report renders rationals as ``"p/q"`` strings so it is byte-stable.
+
+:func:`check_live` is the ``ExecutionResult`` side of the same coin:
+it executes one honest run at a given size and checks the *recomputed*
+per-phase bits (:func:`repro.core.report.execution_cost` — the helper
+the lab and obs gates share) against the declaration's absolute
+phase bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.context import InstanceContext
+from ..core.report import execution_cost
+from ..core.runner import run_protocol
+from .declare import (CHANNEL_ARTHUR, CHANNEL_MERLIN, CostDeclaration,
+                      declarations)
+from .expr import Expr, render
+from ..lab.spec import (ExperimentSpec, GRAPHS, KIND_EDGECHECK,
+                        KIND_NETSIM_EQUIV, KIND_PACKING, KIND_SWEEP,
+                        PROTOCOLS, PROVERS, REGISTRY)
+from ..lab.store import ResultStore
+
+#: Relative headroom for fitted bounds beyond the baseline decade.
+DEFAULT_TOL = Fraction(1, 4)
+
+#: The baseline decade: cells within this factor of the smallest
+#: recorded size anchor the fitted constant.
+DECADE = 10
+
+#: Spec kinds the ledger can read measurements from.
+CHECKED_KINDS = (KIND_SWEEP, KIND_PACKING, KIND_EDGECHECK,
+                 KIND_NETSIM_EQUIV)
+
+
+def spec_declaration_key(spec: ExperimentSpec) -> Optional[str]:
+    """Which declaration covers a spec's cells (None: not a cost
+    experiment — collision counts and fault matrices have no bound)."""
+    if spec.kind == KIND_SWEEP:
+        return spec.protocol
+    if spec.kind == KIND_PACKING:
+        return "packing"
+    if spec.kind == KIND_EDGECHECK:
+        return "edgecheck"
+    if spec.kind == KIND_NETSIM_EQUIV:
+        return "netsim-crosscheck"
+    return None
+
+
+def _fraction_str(value: Optional[Fraction]) -> Optional[str]:
+    if value is None:
+        return None
+    return str(value.numerator) if value.denominator == 1 \
+        else f"{value.numerator}/{value.denominator}"
+
+
+@dataclass
+class Series:
+    """One measured curve with its declared bound."""
+
+    name: str          # "M0", "A1", ..., "arthur", "merlin", "total"
+    channel: str
+    bound: Expr
+    reference: str
+    points: List[Tuple[int, int]]  # (size, measured bits), size order
+
+
+def _sweep_points(spec: ExperimentSpec,
+                  cells: Dict[str, Dict[str, Any]]
+                  ) -> Tuple[List[Tuple[int, List[int]]], List[str]]:
+    """Per-size round-bit vectors of the spec's fit prover, plus any
+    same-size disagreements (drift: trial count must not change a
+    deterministic cost measurement)."""
+    by_size: Dict[int, List[int]] = {}
+    drift: List[str] = []
+    for record in cells.values():
+        if record["prover"] != spec.fit_prover:
+            continue
+        size, rounds = record["size"], list(record["round_bits"])
+        if size in by_size and by_size[size] != rounds:
+            drift.append(f"size {size}: round bits {by_size[size]} "
+                         f"vs {rounds}")
+        by_size[size] = rounds
+    return sorted(by_size.items()), drift
+
+
+def _series_for_spec(spec: ExperimentSpec,
+                     declaration: CostDeclaration,
+                     cells: Dict[str, Dict[str, Any]]
+                     ) -> Tuple[List[Series], List[str]]:
+    """The measured series of one spec, and any drift errors."""
+    series: List[Series] = []
+    errors: List[str] = []
+
+    def extra_points(field: str) -> List[Tuple[int, int]]:
+        by_size = {record["size"]: record["extra"][field]
+                   for record in cells.values()}
+        return sorted(by_size.items())
+
+    if spec.kind == KIND_SWEEP:
+        sized, drift = _sweep_points(spec, cells)
+        errors.extend(drift)
+        if sized and any(len(rounds) != len(declaration.pattern)
+                         for _, rounds in sized):
+            errors.append(
+                f"round_bits length != pattern {declaration.pattern!r}")
+            return series, errors
+        for idx, cost in enumerate(declaration.phases):
+            series.append(Series(cost.phase, cost.channel, cost.bound,
+                                 cost.reference,
+                                 [(size, rounds[idx])
+                                  for size, rounds in sized]))
+        for channel in (CHANNEL_ARTHUR, CHANNEL_MERLIN):
+            bound = declaration.channel_bound(channel)
+            if bound is None:
+                continue
+            indices = [idx for idx, cost
+                       in enumerate(declaration.phases)
+                       if cost.channel == channel]
+            series.append(Series(
+                channel, channel, bound,
+                f"sum of declared {channel} phases",
+                [(size, sum(rounds[idx] for idx in indices))
+                 for size, rounds in sized]))
+        total_points = [(size, sum(rounds)) for size, rounds in sized]
+    elif spec.kind == KIND_PACKING:
+        by_size = {record["size"]: record["bits"]
+                   for record in cells.values()}
+        total_points = sorted(by_size.items())
+        for cost in declaration.phases:
+            series.append(Series(cost.phase, cost.channel, cost.bound,
+                                 cost.reference, list(total_points)))
+    elif spec.kind == KIND_EDGECHECK:
+        by_size = {record["size"]: record["bits"]
+                   for record in cells.values()}
+        total_points = sorted(by_size.items())
+        source = {"hash": total_points, "det": extra_points("det_bits")}
+        for cost in declaration.phases:
+            series.append(Series(cost.phase, cost.channel, cost.bound,
+                                 cost.reference,
+                                 list(source[cost.phase])))
+    else:  # KIND_NETSIM_EQUIV
+        total_points = extra_points("crosscheck_bits")
+        for cost in declaration.phases:
+            series.append(Series(cost.phase, cost.channel, cost.bound,
+                                 cost.reference, list(total_points)))
+    total = declaration.total
+    series.append(Series("total", total.channel, total.bound,
+                         total.reference, total_points))
+    return series, errors
+
+
+def _check_series(series: Series,
+                  tol: Fraction) -> Dict[str, Any]:
+    """Fit (if the bound carries ``c``) and check one series."""
+    fitted = "c" in series.bound.free_vars()
+    result: Dict[str, Any] = {
+        "series": series.name,
+        "channel": series.channel,
+        "bound": render(series.bound),
+        "reference": series.reference,
+        "fitted": fitted,
+        "cells": len(series.points),
+        "c_fit": None,
+        "violations": [],
+        "worst_slack": None,
+    }
+    if not series.points:
+        result["ok"] = True
+        return result
+    c_fit: Optional[Fraction] = None
+    if fitted:
+        smallest = series.points[0][0]
+        baseline = [(size, measured) for size, measured in series.points
+                    if size <= DECADE * smallest]
+        c_fit = max(Fraction(measured)
+                    / series.bound.evaluate({"n": size, "c": 1})
+                    for size, measured in baseline)
+        result["c_fit"] = _fraction_str(c_fit)
+    worst: Optional[Fraction] = None
+    for size, measured in series.points:
+        if fitted:
+            allowed = series.bound.evaluate({"n": size, "c": c_fit}) \
+                * (1 + tol)
+        else:
+            allowed = series.bound.evaluate({"n": size})
+        slack = Fraction(measured) / allowed if allowed else None
+        if slack is not None and (worst is None or slack > worst):
+            worst = slack
+        if allowed < measured:
+            result["violations"].append({
+                "n": size,
+                "measured": measured,
+                "allowed": _fraction_str(allowed),
+            })
+    result["worst_slack"] = _fraction_str(worst)
+    result["ok"] = not result["violations"]
+    return result
+
+
+def check_spec(spec: ExperimentSpec,
+               cells: Dict[str, Dict[str, Any]],
+               registry: Optional[Dict[str, CostDeclaration]] = None,
+               tol: Fraction = DEFAULT_TOL) -> Dict[str, Any]:
+    """One spec's full ledger verdict (phases, channels, total)."""
+    registry = declarations() if registry is None else registry
+    key = spec_declaration_key(spec)
+    entry: Dict[str, Any] = {
+        "spec": spec.name,
+        "kind": spec.kind,
+        "declaration": key,
+        "series": [],
+        "errors": [],
+    }
+    if key is None:
+        entry["status"] = "not-applicable"
+        entry["ok"] = True
+        return entry
+    declaration = registry.get(key)
+    if declaration is None:
+        entry["status"] = "missing-declaration"
+        entry["ok"] = False
+        return entry
+    series, errors = _series_for_spec(spec, declaration, cells)
+    entry["errors"] = errors
+    entry["series"] = [_check_series(s, tol) for s in series]
+    checked = any(s["cells"] for s in entry["series"])
+    entry["status"] = "checked" if checked else "no-cells"
+    entry["ok"] = (not errors
+                   and all(s["ok"] for s in entry["series"]))
+    return entry
+
+
+def expected_bound_specs(
+        specs: Sequence[ExperimentSpec]) -> List[str]:
+    """The headline bounds: every cost spec that also pins a fitter
+    model — the paper's machine-checkable theorems."""
+    return [spec.name for spec in specs
+            if spec.kind in CHECKED_KINDS
+            and spec.expect_model is not None]
+
+
+def check_store(specs: Sequence[ExperimentSpec],
+                store: ResultStore,
+                registry: Optional[Dict[str, CostDeclaration]] = None,
+                tol: Fraction = DEFAULT_TOL) -> Dict[str, Any]:
+    """The full gate report over a result store.
+
+    ``ok`` requires: every cost spec has a declaration, every
+    protocol key the lab can run is declared, no series is violated,
+    and every *expected* (headline) bound was actually checked
+    against at least one committed cell.
+    """
+    registry = declarations() if registry is None else registry
+    entries = []
+    for spec in specs:
+        if spec.kind not in CHECKED_KINDS:
+            continue
+        entries.append(check_spec(spec, store.load_cells(spec),
+                                  registry, tol))
+    missing = sorted(
+        {entry["declaration"] for entry in entries
+         if entry["status"] == "missing-declaration"}
+        | {key for key in PROTOCOLS if key not in registry})
+    expected = expected_bound_specs(specs)
+    checked = [entry["spec"] for entry in entries
+               if entry["spec"] in expected
+               and entry["status"] == "checked"]
+    violations = [
+        {"spec": entry["spec"], "series": s["series"],
+         "bound": s["bound"], **violation}
+        for entry in entries for s in entry["series"]
+        for violation in s["violations"]]
+    report = {
+        "store": str(store.root),
+        "tol": _fraction_str(tol),
+        "specs": entries,
+        "missing_declarations": missing,
+        "violations": violations,
+        "expected_bounds": {
+            "required": expected,
+            "checked": sorted(checked),
+        },
+        "declarations": len(registry),
+    }
+    report["ok"] = (not missing and not violations
+                    and all(entry["ok"] for entry in entries)
+                    and len(checked) == len(expected))
+    return report
+
+
+def default_check(store: Optional[ResultStore] = None,
+                  tol: Fraction = DEFAULT_TOL) -> Dict[str, Any]:
+    """The CI gate: every registry spec against the committed store."""
+    store = store if store is not None else ResultStore(None)
+    specs = [spec for spec in REGISTRY if spec.kind in CHECKED_KINDS]
+    return check_store(specs, store, tol=tol)
+
+
+def check_live(spec: ExperimentSpec, n: int,
+               registry: Optional[Dict[str, CostDeclaration]] = None,
+               seed: Optional[int] = None) -> Dict[str, Any]:
+    """Execute one honest run and check the *recomputed* per-phase
+    bits against the declaration's absolute phase bounds.
+
+    This closes the loop between the ledger and live
+    ``ExecutionResult`` measurements: the per-phase bits come from
+    :func:`repro.core.report.execution_cost`, the same recompute the
+    lab records and the obs gate audit, so a passing live check means
+    declaration, runner accounting and trace agree at this size.
+    Fitted phases (GNI's ``c``-scaled bills) are reported but not
+    bounded — there is no committed constant to check against.
+    """
+    if spec.kind != KIND_SWEEP:
+        raise ValueError(f"live checks need a sweep spec, got "
+                         f"{spec.kind!r}")
+    registry = declarations() if registry is None else registry
+    declaration = registry[spec_declaration_key(spec)]
+    protocol = PROTOCOLS[spec.protocol](n)
+    instance = GRAPHS[spec.graph](n)
+    prover = PROVERS[spec.fit_prover](protocol)
+    context = InstanceContext(instance, protocol)
+    result = run_protocol(protocol, instance, prover,
+                          random.Random(spec.seed if seed is None
+                                        else seed),
+                          context=context)
+    cost = execution_cost(protocol, instance, result)
+    size = instance.n
+    phases = []
+    ok = True
+    for idx, declared in enumerate(declaration.phases):
+        measured = cost.round_bits[idx]
+        if declared.fitted:
+            phases.append({"phase": declared.phase,
+                           "measured": measured,
+                           "allowed": None, "ok": True})
+            continue
+        allowed = declared.bound.evaluate({"n": size})
+        phase_ok = Fraction(measured) <= allowed
+        ok = ok and phase_ok
+        phases.append({"phase": declared.phase,
+                       "measured": measured,
+                       "allowed": _fraction_str(allowed),
+                       "ok": phase_ok})
+    return {"spec": spec.name, "n": size, "phases": phases, "ok": ok,
+            "round_bits": list(cost.round_bits),
+            "node0_bits": cost.total_bits}

@@ -1,0 +1,441 @@
+"""The cost-bound expression mini-language.
+
+Bounds in the ledger are tiny symbolic expressions over non-negative
+rationals — ``"4 * log2(n)"``, ``"c * n * log2(n)"``,
+``"n * n + n * log2(n)"`` — built from exactly the nodes a
+communication bound needs: constants, variables, sums, products,
+``log2``, ``loglog2`` and ``ceil``.  Three properties matter more than
+expressive power:
+
+* **Exact evaluation.**  ``evaluate`` computes in
+  :class:`fractions.Fraction`; there is no float anywhere, so a
+  checked inequality is a theorem about integers, not about rounding.
+  ``log2`` is the *ceiling* log — ``ceil_log2(x)`` is the smallest
+  ``k ≥ 0`` with ``2**k ≥ x`` — which is the bit-accounting log:
+  for integer ``n ≥ 2`` it equals ``bits_for_identifier(n)`` from
+  :mod:`repro.core.model`.
+* **Byte-stable rendering.**  ``render`` is a pure function of the
+  tree and ``parse(render(e)) == e`` (the smart constructors
+  normalize both sides identically), so generated cost tables are
+  reproducible bytes.
+* **Zero dependencies.**  sympy is available behind
+  :func:`to_sympy` / :func:`simplify_str` for the optional
+  ``repro[symbolic]`` extra, but nothing in the check path needs it.
+
+Grammar (whitespace-insensitive)::
+
+    expr    := term ('+' term)*
+    term    := factor (('*' | '/' INT) factor?)*
+    factor  := primary ('^' INT)?
+    primary := INT | NAME | FUNC '(' expr ')' | '(' expr ')'
+    FUNC    := 'log2' | 'loglog2' | 'ceil'
+
+``/`` takes an integer literal divisor (exact rational scaling) and
+``^`` a non-negative integer exponent (desugared to a product, so the
+node set stays minimal).  There is no subtraction: bounds are
+monotone, and keeping the algebra additive makes every expression
+non-decreasing in every variable by construction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Mapping, Tuple, Union
+
+Number = Union[int, Fraction]
+
+#: Names with call syntax; they cannot be used as variables.
+FUNCTIONS = ("ceil", "log2", "loglog2")
+
+_TOKEN = re.compile(r"\s*(?:(\d+)|([a-z][a-z0-9_]*)|([()+*/^]))")
+
+
+class ParseError(ValueError):
+    """A malformed bound expression (with position context)."""
+
+
+def ceil_log2(x: Number) -> int:
+    """The smallest ``k ≥ 0`` with ``2**k ≥ x`` (exact, any rational).
+
+    This is the bit-accounting logarithm: ``ceil_log2(n)`` equals
+    ``(n - 1).bit_length()`` for integer ``n ≥ 2``, i.e. the width of
+    an identifier in ``0..n-1``.
+    """
+    x = Fraction(x)
+    if x <= 0:
+        raise ValueError(f"ceil_log2 of non-positive value {x}")
+    if x <= 1:
+        return 0
+    # Start from the integer ceiling's bound, then tighten for
+    # fractional x just below a power of two.
+    k = (-(-x.numerator // x.denominator) - 1).bit_length()
+    while k > 0 and Fraction(2) ** (k - 1) >= x:
+        k -= 1
+    return k
+
+
+class Expr:
+    """Base class; concrete nodes are the frozen dataclasses below."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Exact value of the expression under ``env`` bindings."""
+        raise NotImplementedError
+
+    def free_vars(self) -> Tuple[str, ...]:
+        """Sorted free variable names."""
+        names = set()
+        _collect_vars(self, names)
+        return tuple(sorted(names))
+
+    def __call__(self, **env: Number) -> Fraction:
+        return self.evaluate(env)
+
+    def __str__(self) -> str:
+        return render(self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Fraction
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        try:
+            return Fraction(env[self.name])
+        except KeyError:
+            raise ValueError(f"unbound variable {self.name!r} "
+                             f"(have {sorted(env)})") from None
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    terms: Tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        return sum((term.evaluate(env) for term in self.terms),
+                   Fraction(0))
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    factors: Tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        product = Fraction(1)
+        for factor in self.factors:
+            product *= factor.evaluate(env)
+        return product
+
+
+@dataclass(frozen=True)
+class Log2(Expr):
+    """``ceil_log2(max(1, x))`` — the identifier width, clamped to 0
+    for x ≤ 1 so nested logs stay total (``log2(log2(n))`` at n=2)."""
+
+    arg: Expr
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        return Fraction(ceil_log2(max(Fraction(1),
+                                      self.arg.evaluate(env))))
+
+
+@dataclass(frozen=True)
+class LogLog2(Expr):
+    """``ceil_log2(max(1, ceil_log2(max(1, x))))`` — the
+    doubly-logarithmic bound of Theorem 1.4, clamped at both levels so
+    it is total like :class:`Log2`."""
+
+    arg: Expr
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        operand = max(Fraction(1), self.arg.evaluate(env))
+        inner = max(1, ceil_log2(operand))
+        return Fraction(ceil_log2(inner))
+
+
+@dataclass(frozen=True)
+class Ceil(Expr):
+    arg: Expr
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        value = self.arg.evaluate(env)
+        return Fraction(-(-value.numerator // value.denominator))
+
+
+# -- smart constructors ---------------------------------------------------
+#
+# All expression trees — parsed, hand-built, or substituted — go
+# through these, so structural equality is normal-form equality and
+# parse(render(e)) == e holds for every e.
+
+def const(value: Number) -> Const:
+    value = Fraction(value)
+    if value < 0:
+        raise ValueError("bounds are non-negative; no negative constants")
+    return Const(value)
+
+
+def add(*terms: Expr) -> Expr:
+    flat: List[Expr] = []
+    constant = Fraction(0)
+    for term in terms:
+        if isinstance(term, Add):
+            flat.extend(term.terms)
+        else:
+            flat.append(term)
+    symbolic = []
+    for term in flat:
+        if isinstance(term, Const):
+            constant += term.value
+        else:
+            symbolic.append(term)
+    if constant or not symbolic:
+        symbolic.append(const(constant))
+    return symbolic[0] if len(symbolic) == 1 else Add(tuple(symbolic))
+
+
+def mul(*factors: Expr) -> Expr:
+    flat: List[Expr] = []
+    constant = Fraction(1)
+    for factor in factors:
+        if isinstance(factor, Mul):
+            flat.extend(factor.factors)
+        else:
+            flat.append(factor)
+    symbolic = []
+    for factor in flat:
+        if isinstance(factor, Const):
+            constant *= factor.value
+        else:
+            symbolic.append(factor)
+    if constant == 0 or not symbolic:
+        return const(constant)
+    if constant != 1:
+        symbolic.insert(0, const(constant))
+    return symbolic[0] if len(symbolic) == 1 else Mul(tuple(symbolic))
+
+
+def _collect_vars(expr: Expr, names: set) -> None:
+    if isinstance(expr, Var):
+        names.add(expr.name)
+    elif isinstance(expr, Add):
+        for term in expr.terms:
+            _collect_vars(term, names)
+    elif isinstance(expr, Mul):
+        for factor in expr.factors:
+            _collect_vars(factor, names)
+    elif isinstance(expr, (Log2, LogLog2, Ceil)):
+        _collect_vars(expr.arg, names)
+
+
+def substitute(expr: Expr, **bindings: Number) -> Expr:
+    """Replace variables with constants, renormalizing as we go."""
+    if isinstance(expr, Var):
+        return const(bindings[expr.name]) if expr.name in bindings \
+            else expr
+    if isinstance(expr, Add):
+        return add(*(substitute(t, **bindings) for t in expr.terms))
+    if isinstance(expr, Mul):
+        return mul(*(substitute(f, **bindings) for f in expr.factors))
+    if isinstance(expr, Log2):
+        return Log2(substitute(expr.arg, **bindings))
+    if isinstance(expr, LogLog2):
+        return LogLog2(substitute(expr.arg, **bindings))
+    if isinstance(expr, Ceil):
+        return Ceil(substitute(expr.arg, **bindings))
+    return expr
+
+
+# -- parsing --------------------------------------------------------------
+
+def _tokens(text: str) -> Iterator[Tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character "
+                                 f"{text[pos:].strip()[0]!r} in {text!r}")
+            break
+        pos = match.end()
+        if match.group(1):
+            yield "int", match.group(1)
+        elif match.group(2):
+            yield "name", match.group(2)
+        else:
+            yield "op", match.group(3)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = list(_tokens(text))
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) \
+            else ("end", "")
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: str) -> None:
+        token = self.take()
+        if token != (kind, value):
+            raise ParseError(f"expected {value!r}, got "
+                             f"{token[1] or 'end of input'!r} in "
+                             f"{self.text!r}")
+
+    def expr(self) -> Expr:
+        terms = [self.term()]
+        while self.peek() == ("op", "+"):
+            self.take()
+            terms.append(self.term())
+        return add(*terms)
+
+    def term(self) -> Expr:
+        factors = [self.factor()]
+        while True:
+            token = self.peek()
+            if token == ("op", "*"):
+                self.take()
+                factors.append(self.factor())
+            elif token == ("op", "/"):
+                self.take()
+                kind, value = self.take()
+                if kind != "int":
+                    raise ParseError(f"divisor must be an integer "
+                                     f"literal in {self.text!r}")
+                if int(value) == 0:
+                    raise ParseError(f"division by zero in {self.text!r}")
+                factors.append(const(Fraction(1, int(value))))
+            else:
+                break
+        return mul(*factors)
+
+    def factor(self) -> Expr:
+        base = self.primary()
+        if self.peek() == ("op", "^"):
+            self.take()
+            kind, value = self.take()
+            if kind != "int":
+                raise ParseError(f"exponent must be an integer literal "
+                                 f"in {self.text!r}")
+            exponent = int(value)
+            if exponent == 0:
+                return const(1)
+            return mul(*([base] * exponent))
+        return base
+
+    def primary(self) -> Expr:
+        kind, value = self.take()
+        if kind == "int":
+            return const(int(value))
+        if kind == "name":
+            if value in FUNCTIONS:
+                self.expect("op", "(")
+                arg = self.expr()
+                self.expect("op", ")")
+                return {"log2": Log2, "loglog2": LogLog2,
+                        "ceil": Ceil}[value](arg)
+            return Var(value)
+        if (kind, value) == ("op", "("):
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(f"expected a value, got "
+                         f"{value or 'end of input'!r} in {self.text!r}")
+
+
+def parse(text: str) -> Expr:
+    """Parse the compact string form (see the module grammar)."""
+    parser = _Parser(text)
+    expr = parser.expr()
+    if parser.peek()[0] != "end":
+        raise ParseError(f"trailing input after expression in {text!r}")
+    return expr
+
+
+# -- rendering ------------------------------------------------------------
+
+def _render_const(value: Fraction) -> str:
+    return str(value.numerator) if value.denominator == 1 \
+        else f"{value.numerator}/{value.denominator}"
+
+
+def render(expr: Expr) -> str:
+    """The canonical compact string; ``parse(render(e)) == e``."""
+    if isinstance(expr, Const):
+        return _render_const(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Add):
+        return " + ".join(render(term) for term in expr.terms)
+    if isinstance(expr, Mul):
+        parts = []
+        for factor in expr.factors:
+            text = render(factor)
+            parts.append(f"({text})" if isinstance(factor, Add) else text)
+        return " * ".join(parts)
+    if isinstance(expr, Log2):
+        return f"log2({render(expr.arg)})"
+    if isinstance(expr, LogLog2):
+        return f"loglog2({render(expr.arg)})"
+    if isinstance(expr, Ceil):
+        return f"ceil({render(expr.arg)})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+# -- optional sympy bridge (the repro[symbolic] extra) --------------------
+
+def to_sympy(expr: Expr):
+    """The sympy form of a bound (``repro[symbolic]`` extra only).
+
+    ``log2``/``loglog2`` map to ceiling-of-log to preserve the exact
+    semantics; raises :class:`RuntimeError` when sympy is missing —
+    nothing in the check path calls this.
+    """
+    try:
+        import sympy
+    except ImportError:
+        raise RuntimeError(
+            "sympy is not installed; the sympy bridge is the optional "
+            "repro[symbolic] extra (pip install repro[symbolic])"
+        ) from None
+    if isinstance(expr, Const):
+        return sympy.Rational(expr.value.numerator,
+                              expr.value.denominator)
+    if isinstance(expr, Var):
+        return sympy.Symbol(expr.name, positive=True)
+    if isinstance(expr, Add):
+        return sympy.Add(*(to_sympy(term) for term in expr.terms))
+    if isinstance(expr, Mul):
+        return sympy.Mul(*(to_sympy(factor) for factor in expr.factors))
+    if isinstance(expr, Log2):
+        return sympy.ceiling(sympy.log(to_sympy(expr.arg), 2))
+    if isinstance(expr, LogLog2):
+        inner = sympy.Max(1, sympy.ceiling(
+            sympy.log(to_sympy(expr.arg), 2)))
+        return sympy.ceiling(sympy.log(inner, 2))
+    if isinstance(expr, Ceil):
+        return sympy.ceiling(to_sympy(expr.arg))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def simplify_str(text: str) -> str:
+    """Pretty (LaTeX) form of a bound via sympy — optional extra."""
+    import sympy
+    return sympy.latex(sympy.simplify(to_sympy(parse(text))))

@@ -112,3 +112,29 @@ def empirical_distribution(samples: Iterable[object]) -> Dict[object, float]:
     if total == 0:
         raise ValueError("no samples")
     return {w: c / total for w, c in counts.items()}
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: Theorem 1.4's packing bound, as the ledger sees it: the implied
+#: minimum protocol length of the E4 table is capped by
+#: loglog2(n) + 1 — an absolute bound, tight (equality) at the large
+#: end of the committed grid.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="packing",
+        title="Theorem 1.4 packing bound — implied protocol length",
+        pattern="", asymptotic="Ω(log log n)",
+        reference="Theorem 1.4 / Section 6 (packing argument)",
+        phases=(
+            phase("length", "analytic", "loglog2(n) + 1",
+                  "minimum simple-protocol length implied by the "
+                  "family packing count"),
+        ),
+        total=phase("total", "analytic", "loglog2(n) + 1",
+                    "Theorem 1.4: Ω(log log n) is the matching lower "
+                    "bound"),
+    ),
+)

@@ -714,3 +714,29 @@ def netsim_trials(protocol: Protocol, instance: Instance, prover: Prover,
         workers=used_workers,
         timed=True,
     )
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: The substrate's broadcast-echo cross-checks (E13): every node
+#: forwards its broadcast-checked fields to its neighbors, so the
+#: network-total crosscheck traffic on a bounded-degree graph is
+#: O(n · log n) for Protocol 1's O(log n)-bit broadcast fields.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="netsim-crosscheck",
+        title="Wire-substrate broadcast cross-checks (E13)",
+        pattern="", asymptotic="O(n log n) network-total",
+        reference="Lemma 3.3 broadcast checks on the wire substrate "
+                  "(NETSIM.md)",
+        phases=(
+            phase("crosscheck", "verify", "c * n * log2(n)",
+                  "neighbor echo of broadcast-checked fields, summed "
+                  "over the whole network"),
+        ),
+        total=phase("total", "verify", "c * n * log2(n)",
+                    "bounded-degree echo of O(log n)-bit fields"),
+    ),
+)

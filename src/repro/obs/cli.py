@@ -5,9 +5,12 @@
                  ``summary.json``).  The command is also a gate: the
                  trace's aggregated bit counters must exactly match
                  the declared ``node_cost_bits`` (recomputed
-                 independently), the netsim substrate's charged bits,
-                 and the wire-cost audit — exit 1 on any mismatch.
-``obs report``   render a run's per-phase / per-protocol breakdown.
+                 independently), the ledger's transcript recompute
+                 (:func:`repro.core.report.execution_cost`), the
+                 netsim substrate's charged bits, and the wire-cost
+                 audit — exit 1 on any mismatch.
+``obs report``   render a run's per-phase / per-protocol breakdown
+                 (``--flame`` for the full span hierarchy).
 ``obs top``      the hottest spans by self time.
 ``obs diff``     compare two runs metric by metric; ``--strict`` makes
                  any deterministic drift exit 1 (the perf-trajectory
@@ -22,8 +25,9 @@ import random
 from typing import Any, Dict, Optional
 
 from .io import DEFAULT_RUN_NAME, default_obs_root, load_run, resolve_run
-from .report import (diff_runs, render_diff, render_report, render_top,
-                     report_jsonable, top_spans)
+from .report import (diff_runs, flame_rows, render_diff, render_flame,
+                     render_report, render_top, report_jsonable,
+                     top_spans)
 from .session import ObsSession, session
 
 
@@ -59,6 +63,7 @@ def record_battery(*, trials: int = 5, seed: int = 20180723,
     against ground truth — and diffing that run directory against a
     python-engine baseline is the byte-equality gate CI enforces.
     """
+    from ..core.report import execution_cost, trial_cost_bits
     from ..core.runner import run_protocol, run_trials
     from ..netsim.audit import audit_execution
     from ..netsim.harness import SMOKE_CASES, golden_cases
@@ -85,14 +90,18 @@ def record_battery(*, trials: int = 5, seed: int = 20180723,
                              trace=False)
         # Independent ground truth: re-run the same trial seed stream
         # through the abstract runner, outside any span bookkeeping.
-        per_trial_declared = [
-            sum(run_protocol(protocol, instance,
-                             protocol.honest_prover(),
-                             random.Random(seed + t),
-                             stop_on_first_reject=True)
-                .node_cost_bits.values())
-            for t in range(trials)]
+        per_trial_declared = trial_cost_bits(
+            protocol, instance, protocol.honest_prover, trials, seed)
         declared_bits = sum(per_trial_declared)
+        # Third, transcript-derived witness: the ledger's shared
+        # recompute walks trial 0's transcript and re-bills every
+        # message from the wire payloads alone.
+        trial0 = run_protocol(protocol, instance,
+                              protocol.honest_prover(),
+                              random.Random(seed),
+                              stop_on_first_reject=True)
+        ledger_bits = execution_cost(protocol, instance,
+                                     trial0).network_bits
         netsim_bits = sum(net.node_cost_bits.values())
         audit = audit_execution(protocol, instance,
                                 protocol.honest_prover(),
@@ -109,6 +118,7 @@ def record_battery(*, trials: int = 5, seed: int = 20180723,
             "trials": trials,
             "accepted": estimate.accepted,
             "declared_bits": declared_bits,
+            "ledger_bits": ledger_bits,
             "trace_bits": trace_bits,
             "metric_bits": metric_bits,
             "netsim_bits": netsim_bits,
@@ -120,6 +130,7 @@ def record_battery(*, trials: int = 5, seed: int = 20180723,
             "consistent": (trace_bits == metric_bits == declared_bits
                            and netsim_bits == netsim_metric
                            and netsim_bits == per_trial_declared[0]
+                           and ledger_bits == per_trial_declared[0]
                            and audit.ok),
         }
         cases.append(row)
@@ -153,6 +164,7 @@ def cmd_obs_record(args: argparse.Namespace) -> int:
                   f"trials={row['trials']} "
                   f"bits: trace={row['trace_bits']} "
                   f"declared={row['declared_bits']} "
+                  f"ledger={row['ledger_bits']} "
                   f"netsim={row['netsim_bits']} "
                   f"audit={row['audit_frames']}f/"
                   f"{row['audit_mismatches']}x  {status}")
@@ -164,6 +176,12 @@ def cmd_obs_record(args: argparse.Namespace) -> int:
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
     run = resolve_run(args.run)
+    if args.flame:
+        if args.json:
+            print(json.dumps(flame_rows(run), indent=2, sort_keys=True))
+        else:
+            print("\n".join(render_flame(run)))
+        return 0
     if args.json:
         print(json.dumps(report_jsonable(run), indent=2, sort_keys=True))
     else:
@@ -227,6 +245,9 @@ def add_obs_parser(sub) -> None:
     report.add_argument("run", nargs="?",
                         help="run directory (default: the last "
                              "`obs record` output)")
+    report.add_argument("--flame", action="store_true",
+                        help="full span hierarchy as an indented tree "
+                             "(self/total seconds + proof bits)")
     report.add_argument("--json", action="store_true",
                         help="machine-readable report")
     report.set_defaults(func=cmd_obs_report)

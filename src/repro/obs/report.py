@@ -5,7 +5,9 @@ These back the ``python -m repro obs`` CLI:
 * **report** — the per-phase / per-protocol breakdown: where the
   seconds and the proof bits went, per engine namespace and per
   protocol, from one run's metrics + spans.
-* **top** — the hottest spans by self time (a poor man's flame view).
+* **flame** — the full span hierarchy as an indented tree with
+  self/total seconds and proof bits per span (``obs report --flame``).
+* **top** — the hottest spans by self time (the flame view's summary).
 * **diff** — two runs side by side: every metric's old/new/delta, with
   deterministic drifts called out separately from wall-clock movement
   — the tool that turns committed run directories into a perf
@@ -147,6 +149,58 @@ def render_report(run: ObsRun) -> List[str]:
         lines.extend("  " + line for line in _format_table(
             ("counter", "value"),
             [(name, snap["value"]) for name, snap in counters]))
+    return lines
+
+
+# -- flame ----------------------------------------------------------------
+
+def flame_rows(run: ObsRun) -> List[Dict[str, Any]]:
+    """The full span hierarchy, depth-first in recorded order: one row
+    per span with its depth, self/total seconds and proof bits.
+
+    This is ``top``'s view without the truncation — the whole tree,
+    indented, so a reader can see *where inside which case* the
+    seconds and the bits were spent."""
+    rows: List[Dict[str, Any]] = []
+
+    def visit(span: Dict[str, Any], depth: int) -> None:
+        total = span.get("seconds", 0.0)
+        self_seconds = max(0.0, total - sum(
+            child.get("seconds", 0.0)
+            for child in span.get("children", ())))
+        rows.append({
+            "depth": depth,
+            "name": span["name"],
+            "attrs": span.get("attrs", {}),
+            "seconds": round(total, 6),
+            "self_seconds": round(self_seconds, 6),
+            "proof_bits": span.get("metrics", {}).get("proof_bits", 0),
+            "children": len(span.get("children", ())),
+        })
+        for child in span.get("children", ()):
+            visit(child, depth + 1)
+
+    for span in run.forest:
+        visit(span, 0)
+    return rows
+
+
+def render_flame(run: ObsRun) -> List[str]:
+    rows = flame_rows(run)
+    lines = [f"obs flame: {run.root} ({len(rows)} spans)"]
+    table = []
+    for row in rows:
+        attrs = ",".join(f"{key}={value}"
+                         for key, value in sorted(row["attrs"].items()))
+        table.append((
+            "  " * row["depth"] + row["name"],
+            attrs or "-",
+            f"{row['self_seconds']:.4f}",
+            f"{row['seconds']:.4f}",
+            row["proof_bits"] or "-",
+        ))
+    lines.extend("  " + line for line in _format_table(
+        ("span", "attrs", "self s", "total s", "proof bits"), table))
     return lines
 
 

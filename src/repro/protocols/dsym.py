@@ -86,3 +86,28 @@ class DSymDAMProtocol(FixedMappingProtocol):
 #: The DSym prover is exactly the generic forced prover: honest on YES
 #: instances, optimal (collision-only) cheater on NO instances.
 DSymForcedProver = ForcedMappingProver
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: DSym rides the fixed-mapping verifier over the full layout (the
+#: lab's ``size`` column, evaluated here as ``n``): one Theorem 3.2
+#: seed down, then seed echo + spanning fields + two aggregates back.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="dsym-dam", title="DSym ∈ dAM(log n)",
+        pattern="AM", asymptotic="O(log n)",
+        reference="Theorem 1.2 / Section 5",
+        phases=(
+            phase("A0", "arthur", "log2(100 * n^3)",
+                  "one seed of the Theorem 3.2 family over the layout"),
+            phase("M1", "merlin",
+                  "3 * log2(100 * n^3) + 2 * log2(n)",
+                  "seed echo + two aggregates + parent/dist fields"),
+        ),
+        total=phase("total", "merlin", "c * log2(n)",
+                    "Theorem 1.2: O(log n) bits per node"),
+    ),
+)

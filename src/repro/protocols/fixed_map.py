@@ -207,3 +207,29 @@ class ForcedMappingProver(Prover):
                 FIELD_B: b_values[v]}
             for v in graph.vertices
         }
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: The generic fixed-mapping verifier every dAM reduction rides
+#: (DSym instantiates it over the layout graph): same phase bill as
+#: ``dsym-dam``, declared once for the primitive itself.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="fixed-map-dam",
+        title="Fixed-mapping verification (Protocol 3 core)",
+        pattern="AM", asymptotic="O(log n)",
+        reference="Section 5 (fixed-mapping verification)",
+        phases=(
+            phase("A0", "arthur", "log2(100 * n^3)",
+                  "one seed of the Theorem 3.2 family"),
+            phase("M1", "merlin",
+                  "3 * log2(100 * n^3) + 2 * log2(n)",
+                  "seed echo + two aggregates + parent/dist fields"),
+        ),
+        total=phase("total", "merlin", "c * log2(n)",
+                    "O(log n) bits per node"),
+    ),
+)

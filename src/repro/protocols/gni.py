@@ -525,3 +525,37 @@ class GNIDAMProtocol(GNIGoldwasserSipserProtocol):
 
     def round_pairs(self) -> Tuple[Tuple[int, int], ...]:
         return ((ROUND_A0, ROUND_M1),)
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: The GS repetitions hash n²-bit graph encodings into [q] with
+#: q ~ 4·n!, so every seed, echo and aggregate is Θ(n log n) bits and
+#: σ witness tables are n identifiers — Θ(n log n) per repetition,
+#: with the constant repetition count absorbed into each phase's
+#: fitted leading constant.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="gni-damam-8",
+        title="GNI ∈ dAMAM (Goldwasser–Sipser, 8 repetitions)",
+        pattern="AMAM", asymptotic="O(n log n)",
+        reference="Theorem 1.5 / Section 4",
+        phases=(
+            phase("A0", "arthur", "c * n * log2(n)",
+                  "batch-1 eps-API seeds: node offset + root part "
+                  "per repetition"),
+            phase("M1", "merlin", "c * n * log2(n)",
+                  "batch-1 echo, spanning fields, claims (sigma "
+                  "tables) + subtree aggregates"),
+            phase("A2", "arthur", "c * n * log2(n)",
+                  "batch-2 eps-API seeds"),
+            phase("M3", "merlin", "c * n * log2(n)",
+                  "batch-2 echo, claims + aggregates"),
+        ),
+        total=phase("total", "merlin", "c * n * log2(n)",
+                    "Theorem 1.5: O(n log n) bits per node for "
+                    "constant repetitions"),
+    ),
+)

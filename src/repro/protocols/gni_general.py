@@ -548,3 +548,35 @@ def pair_rate(g0: Graph, g1: Graph, protocol: GeneralGNIProtocol,
         if protocol.hash.preimage_exists(challenge, encodings) is not None:
             hits += 1
     return hits / samples
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: Same GS skeleton as ``gni-damam-8`` plus the automorphism-count
+#: compensation fields (two more Θ(n log n) aggregates per batch) —
+#: the asymptotic phase bill is unchanged.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="gni-general-8",
+        title="GNI without asymmetry promise (8 repetitions)",
+        pattern="AMAM", asymptotic="O(n log n)",
+        reference="Section 4 (automorphism-compensated variant)",
+        phases=(
+            phase("A0", "arthur", "c * n * log2(n)",
+                  "batch-1 eps-API seeds"),
+            phase("M1", "merlin", "c * n * log2(n)",
+                  "batch-1 echo, claims, aggregates + automorphism "
+                  "counts"),
+            phase("A2", "arthur", "c * n * log2(n)",
+                  "batch-2 eps-API seeds"),
+            phase("M3", "merlin", "c * n * log2(n)",
+                  "batch-2 echo, claims, aggregates + automorphism "
+                  "counts"),
+        ),
+        total=phase("total", "merlin", "c * n * log2(n)",
+                    "O(n log n) bits per node for constant "
+                    "repetitions"),
+    ),
+)

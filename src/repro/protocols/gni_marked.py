@@ -618,3 +618,33 @@ class MarkedGSProver(Prover):
                     for per in zsums_per_rep),
             }
         return response
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: The marked-graph variant adds per-node mark/count fields
+#: (identifier-width) to the GS skeleton; every phase stays
+#: Θ(n log n) for constant repetitions.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="gni-marked-8",
+        title="GNI on marked graphs (8 repetitions)",
+        pattern="AMAM", asymptotic="O(n log n)",
+        reference="Section 4 (marked-graph reduction)",
+        phases=(
+            phase("A0", "arthur", "c * n * log2(n)",
+                  "batch-1 eps-API seeds"),
+            phase("M1", "merlin", "c * n * log2(n)",
+                  "batch-1 echo, marks/counts, claims + aggregates"),
+            phase("A2", "arthur", "c * n * log2(n)",
+                  "batch-2 eps-API seeds"),
+            phase("M3", "merlin", "c * n * log2(n)",
+                  "batch-2 echo, claims + aggregates"),
+        ),
+        total=phase("total", "merlin", "c * n * log2(n)",
+                    "O(n log n) bits per node for constant "
+                    "repetitions"),
+    ),
+)

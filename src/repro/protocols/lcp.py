@@ -313,3 +313,49 @@ class _ConnectivityLCPProver(Prover):
                 FIELD_SIZE: sizes[v]}
             for v in graph.vertices
         }
+
+
+# -- cost declarations ----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: The distributed-NP baselines: one Merlin round, no interaction.
+#: Sym and DSym certificates ship an adjacency matrix — the Θ(n²)
+#: floor interaction beats — while connectivity's KKP-style labels
+#: stay logarithmic.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="sym-lcp", title="Sym LCP — the Θ(n²) distributed-NP floor",
+        pattern="M", asymptotic="Θ(n²)",
+        reference="Section 1.1 (Göös–Suomela LCP lower bound)",
+        phases=(
+            phase("M0", "merlin", "n * n + n * log2(n)",
+                  "full adjacency matrix + rho table as advice"),
+        ),
+        total=phase("total", "merlin", "c * n^2",
+                    "Θ(n²) advice per node"),
+    ),
+    CostDeclaration(
+        key="dsym-lcp", title="DSym LCP — Θ(n²) advice",
+        pattern="M", asymptotic="Θ(n²)",
+        reference="Theorem 1.2 discussion (DSym LCP lower bound)",
+        phases=(
+            phase("M0", "merlin", "n * n",
+                  "adjacency matrix of the whole layout as advice"),
+        ),
+        total=phase("total", "merlin", "c * n^2",
+                    "Θ(n²) advice per node"),
+    ),
+    CostDeclaration(
+        key="connectivity-lcp",
+        title="Connectivity PLS — the O(log n) contrast",
+        pattern="M", asymptotic="O(log n)",
+        reference="Korman–Kutten–Peleg proof labeling (related work)",
+        phases=(
+            phase("M0", "merlin", "3 * log2(n) + log2(n + 1)",
+                  "root, parent, own id + distance label in 0..n"),
+        ),
+        total=phase("total", "merlin", "c * log2(n)",
+                    "O(log n) labels suffice for connectivity"),
+    ),
+)

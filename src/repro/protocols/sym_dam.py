@@ -387,3 +387,51 @@ class AdaptiveCollisionProver(Prover):
         assert chosen_seed is not None
         return _mapping_response(self.protocol, graph, chosen, chosen_seed,
                                  context=self.acquire_context(instance))
+
+
+# -- cost declarations ----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: Protocol 2 hashes the whole mapping at once, so the prime window is
+#: [10n^(n+2), 100n^(n+2)] and one seed costs
+#: log2(p) ≤ 7 + (n+2)·log2(n) bits (+1 for the width convention);
+#: Merlin's reply carries the full ρ table (n identifiers), the seed
+#: echo and two field elements, plus parent/dist spanning fields.  The
+#: ``sym-dam-smallprime`` variant is the E6 ablation: Protocol 2's
+#: machinery with Protocol 1's ~3·log n-bit prime.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="sym-dam", title="Protocol 2 — Sym ∈ dAM(n log n)",
+        pattern="AM", asymptotic="O(n log n)",
+        reference="Theorem 1.3 / Protocol 2 (Section 3.4)",
+        phases=(
+            phase("A0", "arthur", "(n + 2) * log2(n) + 8",
+                  "Protocol 2: one seed over p in "
+                  "[10n^(n+2), 100n^(n+2)]"),
+            phase("M1", "merlin",
+                  "n * log2(n) + 3 * log2(n) "
+                  "+ 3 * ((n + 2) * log2(n) + 8)",
+                  "Protocol 2: full rho table, spanning fields, "
+                  "seed echo + two field elements"),
+        ),
+        total=phase("total", "merlin", "c * n * log2(n)",
+                    "Theorem 1.3: O(n log n) bits per node"),
+    ),
+    CostDeclaration(
+        key="sym-dam-smallprime",
+        title="Protocol 2 with Protocol 1's prime (E6 ablation)",
+        pattern="AM", asymptotic="O(n log n)",
+        reference="E6 round-order ablation (Theorem 3.1 vs 3.2 window)",
+        phases=(
+            phase("A0", "arthur", "log2(100 * n^3)",
+                  "one seed of the Theorem 3.2 family"),
+            phase("M1", "merlin",
+                  "n * log2(n) + 3 * log2(n) + 3 * log2(100 * n^3)",
+                  "full rho table, spanning fields, seed echo + two "
+                  "field elements"),
+        ),
+        total=phase("total", "merlin", "c * n * log2(n)",
+                    "dominated by the rho table: O(n log n)"),
+    ),
+)

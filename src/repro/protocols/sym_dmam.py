@@ -365,3 +365,34 @@ class CommittedMappingProver(Prover):
                 for v in graph.vertices
             }
         raise ProtocolViolation(f"unexpected Merlin round {round_idx}")
+
+
+# -- cost declaration -----------------------------------------------------
+
+from ..ledger.declare import CostDeclaration, phase  # noqa: E402
+
+#: Protocol 1's bill, phase by phase: the mapping advice is four
+#: identifier-width fields, the challenge is one seed of the
+#: Theorem 3.2 family (p ∈ [10n³, 100n³]), and the response echoes the
+#: seed plus two field elements.  Theorem 1.1's O(log n) headline is
+#: the fitted total.
+COST_DECLARATIONS = (
+    CostDeclaration(
+        key="sym-dmam", title="Protocol 1 — Sym ∈ dMAM(log n)",
+        pattern="MAM", asymptotic="O(log n)",
+        reference="Theorem 1.1 / Protocol 1 (Section 3)",
+        phases=(
+            phase("M0", "merlin", "4 * log2(n)",
+                  "Protocol 1 step 1: rho(v), rho-image, successor, "
+                  "root flag — four identifier fields"),
+            phase("A1", "arthur", "log2(100 * n^3)",
+                  "Protocol 1 step 2: one seed of the Theorem 3.2 "
+                  "family, p in [10n^3, 100n^3]"),
+            phase("M2", "merlin", "3 * log2(100 * n^3)",
+                  "Protocol 1 step 3: echoed seed + aggregates "
+                  "a_v, b_v in F_p"),
+        ),
+        total=phase("total", "merlin", "c * log2(n)",
+                    "Theorem 1.1: O(log n) bits per node"),
+    ),
+)

@@ -1,0 +1,62 @@
+"""The shared cost recompute: execution_cost / trial_cost_bits agree
+with the runner's own accounting (the helper the lab records, the obs
+gate audits, and the ledger checks all lean on)."""
+
+import random
+
+import pytest
+
+from repro.core.model import Instance
+from repro.core.report import execution_cost, trial_cost_bits
+from repro.core.runner import run_protocol
+from repro.graphs import cycle_graph
+from repro.protocols import SymDAMProtocol, SymDMAMProtocol, SymLCP
+
+
+@pytest.mark.parametrize("factory,n", [
+    (SymDMAMProtocol, 8), (SymDAMProtocol, 6), (SymLCP, 8)])
+class TestExecutionCost:
+    def test_matches_runner_accounting(self, factory, n):
+        protocol = factory(n)
+        instance = Instance(cycle_graph(n))
+        result = run_protocol(protocol, instance,
+                              protocol.honest_prover(),
+                              random.Random(7))
+        cost = execution_cost(protocol, instance, result)
+        assert cost.node_bits == result.node_cost_bits
+        assert cost.network_bits == sum(result.node_cost_bits.values())
+        assert len(cost.round_bits) == len(protocol.pattern)
+        assert cost.total_bits == sum(cost.round_bits)
+
+    def test_node0_rounds_sum_to_its_bill(self, factory, n):
+        protocol = factory(n)
+        instance = Instance(cycle_graph(n))
+        result = run_protocol(protocol, instance,
+                              protocol.honest_prover(),
+                              random.Random(7))
+        cost = execution_cost(protocol, instance, result)
+        assert cost.total_bits == result.node_cost_bits[0]
+
+
+class TestTrialCostBits:
+    def test_matches_manual_seed_stream(self):
+        protocol = SymDMAMProtocol(8)
+        instance = Instance(cycle_graph(8))
+        seed, trials = 20180723, 4
+        expected = []
+        for t in range(trials):
+            result = run_protocol(protocol, instance,
+                                  protocol.honest_prover(),
+                                  random.Random(seed + t))
+            expected.append(sum(result.node_cost_bits.values()))
+        assert trial_cost_bits(protocol, instance,
+                               protocol.honest_prover, trials,
+                               seed) == expected
+
+    def test_deterministic(self):
+        protocol = SymDAMProtocol(6)
+        instance = Instance(cycle_graph(6))
+        first = trial_cost_bits(protocol, instance,
+                                protocol.honest_prover, 3, 99)
+        assert trial_cost_bits(protocol, instance,
+                               protocol.honest_prover, 3, 99) == first

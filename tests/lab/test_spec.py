@@ -1,4 +1,4 @@
-"""ExperimentSpec identity hashing and the E1–E13 registry."""
+"""ExperimentSpec identity hashing and the E1–E14 registry."""
 
 import dataclasses
 
@@ -37,7 +37,7 @@ class TestSpecHash:
 class TestRegistry:
     def test_covers_every_experiment(self):
         assert {spec.experiment for spec in REGISTRY} \
-            == {f"E{i}" for i in range(1, 14)}
+            == {f"E{i}" for i in range(1, 15)}
 
     def test_names_are_unique(self):
         names = [spec.name for spec in REGISTRY]

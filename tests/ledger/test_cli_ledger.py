@@ -1,0 +1,103 @@
+"""CLI smoke: ledger check / table / fit end to end, including the
+exit-code contract CI relies on."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCheck:
+    def test_committed_store_passes(self, capsys):
+        assert main(["ledger", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "ledger gate: PASS" in out
+        assert "headline bounds: 8/8 checked" in out
+
+    def test_json_report(self, capsys):
+        assert main(["ledger", "check", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        assert report["violations"] == []
+        assert report["declarations"] >= 14
+
+    def test_empty_store_fails_the_gate(self, tmp_path, capsys):
+        # No cells -> headline bounds unchecked -> exit 1. The gate
+        # fails closed rather than vacuously passing.
+        code = main(["ledger", "check", "--store", str(tmp_path)])
+        assert code == 1
+        assert "ledger gate: FAIL" in capsys.readouterr().out
+
+    def test_spec_restriction(self, capsys):
+        assert main(["ledger", "check",
+                     "--spec", "E1-sym-dmam-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "E1-sym-dmam-cost" in out
+        assert "E2-sym-dam-cost" not in out
+
+    def test_live_probe(self, capsys):
+        assert main(["ledger", "check", "--live",
+                     "--spec", "E1-sym-dmam-cost"]) == 0
+        assert "live E1-sym-dmam-cost" in capsys.readouterr().out
+
+    def test_live_full_sweep(self, capsys):
+        # The CI invocation: --live with no --spec filter. Soundness
+        # specs (cheating provers on NO instances) must be skipped,
+        # not crash the honest replay.
+        assert main(["ledger", "check", "--live", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        live_specs = {row["spec"] for row in report["live"]}
+        assert "E1-sym-dmam-cost" in live_specs
+        assert "E1-sym-dmam-soundness" not in live_specs
+        assert all(row["ok"] for row in report["live"])
+
+
+class TestTable:
+    def test_stdout_is_byte_stable(self, capsys):
+        assert main(["ledger", "table", "--stdout"]) == 0
+        first = capsys.readouterr().out
+        assert main(["ledger", "table", "--stdout"]) == 0
+        assert capsys.readouterr().out == first
+        assert "## Declared bounds" in first
+        assert "## Committed-store check" in first
+
+    def test_committed_costs_md_is_fresh(self, capsys):
+        # The committed docs/COSTS.md must match a regeneration —
+        # the same freshness gate CI runs.
+        assert main(["ledger", "table", "--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_check_flags_stale_file(self, tmp_path, capsys):
+        stale = tmp_path / "COSTS.md"
+        stale.write_text("# old\n", encoding="utf-8")
+        code = main(["ledger", "table", "--check",
+                     "--output", str(stale)])
+        assert code == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "COSTS.md"
+        assert main(["ledger", "table", "--output", str(out)]) == 0
+        committed = (REPO_ROOT / "docs" / "COSTS.md").read_text(
+            encoding="utf-8")
+        assert out.read_text(encoding="utf-8") == committed
+
+
+class TestFit:
+    def test_constants_as_json(self, capsys):
+        assert main(["ledger", "fit", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+        by_key = {(row["spec"], row["series"]): row for row in rows}
+        e1 = by_key[("E1-sym-dmam-cost", "total")]
+        assert e1["ok"]
+        assert e1["bound"] == "c * log2(n)"
+
+    def test_human_output(self, capsys):
+        assert main(["ledger", "fit"]) == 0
+        assert "c_fit=" in capsys.readouterr().out

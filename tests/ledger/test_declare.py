@@ -1,0 +1,100 @@
+"""The declaration layer: registry coverage and validation teeth."""
+
+import pytest
+
+from repro.lab.spec import PROTOCOLS
+from repro.ledger.declare import (CHANNEL_ARTHUR, CHANNEL_MERLIN,
+                                  CostDeclaration, declarations, phase)
+from repro.ledger.expr import parse
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return declarations()
+
+
+class TestRegistry:
+    def test_every_lab_protocol_is_declared(self, registry):
+        # The gate's bite: a protocol the lab can run but nobody
+        # declared must be impossible to merge.
+        missing = [key for key in PROTOCOLS if key not in registry]
+        assert missing == []
+
+    def test_primitive_declarations_present(self, registry):
+        for key in ("packing", "edgecheck", "netsim-crosscheck"):
+            assert key in registry
+
+    def test_interactive_patterns_match_phase_names(self, registry):
+        for declaration in registry.values():
+            for idx, letter in enumerate(declaration.pattern):
+                cost = declaration.phases[idx]
+                assert cost.phase == f"{letter}{idx}"
+                assert cost.channel == (CHANNEL_MERLIN if letter == "M"
+                                        else CHANNEL_ARTHUR)
+
+    def test_every_total_has_a_reference(self, registry):
+        for declaration in registry.values():
+            assert declaration.total.reference
+            assert declaration.asymptotic
+
+    def test_headline_totals(self, registry):
+        # The paper's asymptotics, as committed expressions.
+        assert registry["sym-dmam"].total.bound_str == "c * log2(n)"
+        assert registry["sym-dam"].total.bound_str == "c * n * log2(n)"
+        assert registry["dsym-dam"].total.bound_str == "c * log2(n)"
+        assert registry["sym-lcp"].total.bound_str == "c * n * n"
+        assert registry["packing"].total.bound_str == "loglog2(n) + 1"
+
+
+class TestValidation:
+    def test_wrong_phase_count(self):
+        with pytest.raises(ValueError, match="1 phases"):
+            CostDeclaration(
+                key="bad", title="", pattern="AM", asymptotic="",
+                reference="", phases=(phase("A0", "arthur", "n", "-"),),
+                total=phase("total", "merlin", "n", "-"))
+
+    def test_wrong_phase_name(self):
+        with pytest.raises(ValueError, match="must be named 'A0'"):
+            CostDeclaration(
+                key="bad", title="", pattern="A", asymptotic="",
+                reference="", phases=(phase("M0", "arthur", "n", "-"),),
+                total=phase("total", "merlin", "n", "-"))
+
+    def test_channel_must_match_pattern_letter(self):
+        with pytest.raises(ValueError, match="round 0 is arthur"):
+            CostDeclaration(
+                key="bad", title="", pattern="A", asymptotic="",
+                reference="", phases=(phase("A0", "merlin", "n", "-"),),
+                total=phase("total", "merlin", "n", "-"))
+
+    def test_unknown_channel(self):
+        with pytest.raises(ValueError, match="unknown channel"):
+            phase("M0", "prover", "n", "-")
+
+    def test_stray_variable(self):
+        with pytest.raises(ValueError, match="unknown .*variables"):
+            phase("M0", "merlin", "k * n", "-")
+
+    def test_total_required(self):
+        with pytest.raises(ValueError, match="needs a total"):
+            CostDeclaration(key="bad", title="", pattern="",
+                            asymptotic="", reference="", phases=())
+
+
+class TestChannelBound:
+    def test_sums_matching_phases(self, registry):
+        gni = registry["gni-damam-8"]
+        merlin = gni.channel_bound(CHANNEL_MERLIN)
+        indices = [i for i, cost in enumerate(gni.phases)
+                   if cost.channel == CHANNEL_MERLIN]
+        assert len(indices) == 2  # AMAM: rounds 1 and 3
+        env = {"n": 6, "c": 1}
+        assert merlin(**env) == sum(
+            gni.phases[i].bound(**env) for i in indices)
+
+    def test_none_when_channel_absent(self, registry):
+        lcp = registry["sym-lcp"]
+        assert lcp.channel_bound(CHANNEL_ARTHUR) is None
+        assert lcp.channel_bound(CHANNEL_MERLIN) == parse(
+            "n * n + n * log2(n)")

@@ -1,0 +1,163 @@
+"""Store-backed bound checking: the committed baseline passes, wrong
+declarations fail, and the fit/tolerance mechanics are exact."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lab.spec import get_spec
+from repro.lab.store import ResultStore
+from repro.ledger.declare import CostDeclaration, declarations, phase
+from repro.ledger.evaluate import (DEFAULT_TOL, Series, _check_series,
+                                   check_live, check_spec, check_store,
+                                   default_check, expected_bound_specs,
+                                   spec_declaration_key)
+from repro.ledger.expr import parse
+
+
+class TestCommittedBaseline:
+    """The repo's own store is the fixture: every declared inequality
+    must hold on it — this is the CI gate's exact code path."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return default_check()
+
+    def test_gate_passes(self, report):
+        assert report["violations"] == []
+        assert report["missing_declarations"] == []
+        assert report["ok"]
+
+    def test_all_headline_bounds_checked(self, report):
+        expected = report["expected_bounds"]
+        assert len(expected["required"]) == 8
+        assert sorted(expected["checked"]) == sorted(expected["required"])
+
+    def test_cheating_only_specs_have_no_honest_cells(self, report):
+        entries = {entry["spec"]: entry for entry in report["specs"]}
+        assert entries["E6-order-dmam"]["status"] == "no-cells"
+        assert entries["E6-order-dmam"]["ok"]
+
+    def test_fitted_constants_are_exact_rationals(self, report):
+        for entry in report["specs"]:
+            for series in entry["series"]:
+                if series["c_fit"] is not None:
+                    Fraction(series["c_fit"])  # parses as p/q
+
+
+class TestWrongDeclaration:
+    """The ISSUE's adversarial fixture: claim O(log n) for the LCP
+    baseline (truly Θ(n²)) and the evaluator must reject it — the
+    small-n fit cannot cover the large-n cells."""
+
+    @pytest.fixture(scope="class")
+    def wrong_registry(self):
+        registry = dict(declarations())
+        wrong = phase("M0", "merlin", "c * log2(n)",
+                      "deliberately wrong: undershoots n^2")
+        registry["sym-lcp"] = CostDeclaration(
+            key="sym-lcp", title="wrong LCP claim", pattern="M",
+            asymptotic="O(log n)", reference="fixture",
+            phases=(wrong,),
+            total=phase("total", "merlin", "c * log2(n)", "fixture"))
+        return registry
+
+    def test_rejected_on_committed_store(self, wrong_registry):
+        spec = get_spec("E1-lcp-baseline")
+        report = check_store([spec], ResultStore(None), wrong_registry)
+        assert not report["ok"]
+        assert report["violations"]
+        # The violation appears beyond the baseline decade, where the
+        # small-constant fit can no longer hide the true n^2 growth.
+        smallest = min(v["n"] for v in report["violations"])
+        assert smallest > min(spec.grid)
+
+    def test_correct_declaration_accepted(self):
+        spec = get_spec("E1-lcp-baseline")
+        report = check_store([spec], ResultStore(None))
+        assert report["ok"]
+
+
+class TestCheckSeries:
+    def test_absolute_bound_has_no_tolerance(self):
+        series = Series("det", "verify", parse("n"), "-",
+                        [(4, 4), (8, 9)])
+        result = _check_series(series, DEFAULT_TOL)
+        assert not result["ok"]
+        assert result["violations"] == [
+            {"n": 8, "measured": 9, "allowed": "8"}]
+        assert result["c_fit"] is None
+
+    def test_fitted_bound_fits_on_the_decade(self):
+        # Baseline decade = sizes <= 40; the n=512 cell only has the
+        # fitted constant plus tolerance to live in.
+        series = Series("total", "merlin", parse("c * n"), "-",
+                        [(4, 8), (8, 24), (512, 1535)])
+        result = _check_series(series, DEFAULT_TOL)
+        assert result["c_fit"] == "3"  # max(8/4, 24/8)
+        assert result["ok"]  # 1535 <= 3 * 512 * 5/4 = 1920
+
+    def test_fitted_bound_violated_beyond_decade(self):
+        series = Series("total", "merlin", parse("c * n"), "-",
+                        [(4, 8), (8, 16), (512, 4096)])
+        result = _check_series(series, DEFAULT_TOL)
+        assert result["c_fit"] == "2"
+        assert not result["ok"]
+        assert result["violations"][0]["n"] == 512
+
+    def test_empty_series_is_ok(self):
+        result = _check_series(
+            Series("total", "merlin", parse("c * n"), "-", []),
+            DEFAULT_TOL)
+        assert result["ok"] and result["cells"] == 0
+
+
+class TestSpecMapping:
+    def test_declaration_keys(self):
+        assert spec_declaration_key(get_spec("E1-sym-dmam-cost")) \
+            == "sym-dmam"
+        assert spec_declaration_key(get_spec("E4-packing")) == "packing"
+        assert spec_declaration_key(get_spec("E10-edge-verification")) \
+            == "edgecheck"
+        assert spec_declaration_key(get_spec("E7-collision-law")) is None
+
+    def test_missing_declaration_fails_closed(self):
+        spec = get_spec("E1-sym-dmam-cost")
+        registry = {k: v for k, v in declarations().items()
+                    if k != "sym-dmam"}
+        entry = check_spec(spec, ResultStore(None).load_cells(spec),
+                           registry)
+        assert entry["status"] == "missing-declaration"
+        assert not entry["ok"]
+
+    def test_expected_bounds_are_the_eight_theorems(self):
+        from repro.lab.spec import REGISTRY
+        assert sorted(expected_bound_specs(REGISTRY)) == sorted([
+            "E1-sym-dmam-cost", "E1-lcp-baseline", "E2-sym-dam-cost",
+            "E3-dsym-dam-cost", "E3-dsym-lcp-cost", "E4-packing",
+            "E8-substrate-pls", "E10-edge-verification"])
+
+
+class TestCheckLive:
+    def test_honest_run_within_absolute_phase_bounds(self):
+        row = check_live(get_spec("E1-sym-dmam-cost"), 8)
+        assert row["ok"]
+        assert len(row["round_bits"]) == 3  # MAM
+        assert row["node0_bits"] == sum(row["round_bits"])
+
+    def test_rejects_non_sweep_specs(self):
+        with pytest.raises(ValueError, match="sweep"):
+            check_live(get_spec("E4-packing"), 8)
+
+
+class TestLedgerLabCell:
+    def test_e14_cell_records_the_gate_verdict(self):
+        from repro.lab.runner import compute_cell
+        spec = get_spec("E14-ledger")
+        record = compute_cell(spec, 14, "ledger", 0)
+        assert record["extra"]["ok"]
+        assert record["extra"]["violations"] == 0
+        assert record["extra"]["headline_checked"] == 8
+        from repro.lab.spec import REGISTRY
+        constants = record["extra"]["constants"]
+        assert set(constants) == set(expected_bound_specs(REGISTRY))

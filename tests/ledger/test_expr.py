@@ -1,0 +1,180 @@
+"""The symbolic expression mini-language: parsing, rendering, exact
+evaluation, and the properties the ledger's byte-stability rests on."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.expr import (Add, Const, Log2, LogLog2, Mul, ParseError,
+                               Var, add, ceil_log2, const, mul, parse,
+                               render, substitute)
+
+
+# -- reference implementations (independent of the module under test) ----
+
+def ref_ceil_log2(x: Fraction) -> int:
+    """Smallest k >= 0 with 2**k >= x, by direct search."""
+    k = 0
+    while Fraction(2) ** k < x:
+        k += 1
+    return k
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize("x,expected", [
+        (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4),
+        (1024, 10), (1025, 11), (Fraction(1, 2), 0), (Fraction(3, 2), 1),
+    ])
+    def test_small_values(self, x, expected):
+        assert ceil_log2(Fraction(x)) == expected
+
+    def test_matches_bit_length_identifier_width(self):
+        # The paper's "log n" is the identifier width: (n-1).bit_length().
+        for n in range(2, 300):
+            assert ceil_log2(Fraction(n)) == (n - 1).bit_length()
+            assert Fraction(2) ** ceil_log2(Fraction(n)) >= n
+
+    @given(st.fractions(min_value=Fraction(1, 10 ** 6),
+                        max_value=Fraction(10 ** 9)))
+    def test_against_reference(self, x):
+        assert ceil_log2(x) == ref_ceil_log2(x)
+
+
+# -- a strategy for normalized expressions -------------------------------
+
+_consts = st.fractions(min_value=Fraction(1, 8),
+                       max_value=Fraction(64)).map(const)
+_vars = st.sampled_from(["n", "c"]).map(Var)
+
+
+def _extend(children):
+    return st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda terms: add(*terms)),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda factors: mul(*factors)),
+        children.map(Log2),
+        children.map(LogLog2),
+    )
+
+
+_exprs = st.recursive(st.one_of(_consts, _vars), _extend, max_leaves=8)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(_exprs)
+    def test_parse_render_identity(self, expr):
+        assert parse(render(expr)) == expr
+
+    @settings(max_examples=100)
+    @given(_exprs,
+           st.integers(min_value=2, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=100))
+    def test_render_preserves_value(self, expr, n, c):
+        env = {"n": Fraction(n), "c": Fraction(c)}
+        assert parse(render(expr)).evaluate(env) == expr.evaluate(env)
+
+
+# -- exact evaluation vs a direct reference ------------------------------
+
+def ref_eval(expr, env):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Add):
+        return sum(ref_eval(t, env) for t in expr.terms)
+    if isinstance(expr, Mul):
+        out = Fraction(1)
+        for f in expr.factors:
+            out *= ref_eval(f, env)
+        return out
+    if isinstance(expr, Log2):
+        operand = max(Fraction(1), ref_eval(expr.arg, env))
+        return Fraction(ref_ceil_log2(operand))
+    if isinstance(expr, LogLog2):
+        operand = max(Fraction(1), ref_eval(expr.arg, env))
+        inner = max(1, ref_ceil_log2(operand))
+        return Fraction(ref_ceil_log2(Fraction(inner)))
+    raise TypeError(expr)
+
+
+class TestEvaluate:
+    @settings(max_examples=200)
+    @given(_exprs,
+           st.integers(min_value=2, max_value=10 ** 9),
+           st.integers(min_value=1, max_value=1000))
+    def test_against_reference(self, expr, n, c):
+        env = {"n": Fraction(n), "c": Fraction(c)}
+        value = expr.evaluate(env)
+        assert isinstance(value, Fraction)
+        assert value == ref_eval(expr, env)
+
+    def test_callable_sugar(self):
+        expr = parse("c * n * log2(n)")
+        assert expr(n=8, c=2) == 2 * 8 * 3
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ValueError, match="unbound variable 'c'"):
+            parse("c * n").evaluate({"n": Fraction(4)})
+
+
+# -- declared bounds are monotone in n -----------------------------------
+
+class TestDeclaredBounds:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=2, max_value=10 ** 5),
+           st.integers(min_value=1, max_value=10 ** 4))
+    def test_monotone_in_n(self, n, step):
+        from repro.ledger.declare import declarations
+        for declaration in declarations().values():
+            for cost in declaration.phases + (declaration.total,):
+                lo = cost.bound.evaluate({"n": Fraction(n),
+                                          "c": Fraction(1)})
+                hi = cost.bound.evaluate({"n": Fraction(n + step),
+                                          "c": Fraction(1)})
+                assert lo <= hi, (declaration.key, cost.phase)
+
+    def test_all_bounds_round_trip(self):
+        from repro.ledger.declare import declarations
+        for declaration in declarations().values():
+            for cost in declaration.phases + (declaration.total,):
+                assert parse(cost.bound_str) == cost.bound
+
+
+# -- parser surface ------------------------------------------------------
+
+class TestParser:
+    @pytest.mark.parametrize("text,n,expected", [
+        ("log2(n)", 8, 3),
+        ("4 * log2(n)", 8, 12),
+        ("n * n + n * log2(n)", 8, 88),
+        ("loglog2(n)", 10 ** 9, 5),
+        ("n ^ 2", 6, 36),
+        ("3/4 * n", 8, 6),
+        ("(n + 2) * log2(n) + 8", 8, 38),
+        ("ceil(n / 3)", 8, 3),
+    ])
+    def test_examples(self, text, n, expected):
+        assert parse(text)(n=n) == expected
+
+    @pytest.mark.parametrize("text", [
+        "", "n +", "+ n", "foo(n)", "n ^ c", "n / c", "2 *", "((n)",
+        "log2 n", "n 2", "1e3",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_substitute_fixes_constant(self):
+        bound = parse("c * n * log2(n)")
+        fixed = substitute(bound, c=Fraction(7, 2))
+        assert set(fixed.free_vars()) == {"n"}
+        assert fixed(n=8) == Fraction(7, 2) * 8 * 3
+
+    def test_render_is_stable(self):
+        text = "c * n * log2(n) + 3 * loglog2(n) + 1/2"
+        assert render(parse(render(parse(text)))) == render(parse(text))

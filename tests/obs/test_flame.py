@@ -1,0 +1,62 @@
+"""The flame view: full span hierarchy with self/total seconds."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import load_run
+from repro.obs.report import flame_rows, render_flame
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("obs") / "flame_run"
+    assert main(["obs", "record", "--trials", "2",
+                 "--out", str(out)]) == 0
+    return load_run(out)
+
+
+class TestFlameRows:
+    def test_covers_every_span_in_tree_order(self, run):
+        rows = flame_rows(run)
+        assert len(rows) == len(run.spans)
+        # Depth-first: a row's depth never jumps by more than one.
+        previous = 0
+        for row in rows:
+            assert row["depth"] <= previous + 1
+            previous = row["depth"]
+
+    def test_roots_have_depth_zero(self, run):
+        rows = flame_rows(run)
+        assert rows[0]["depth"] == 0
+        assert sum(row["depth"] == 0 for row in rows) == len(run.forest)
+
+    def test_self_never_exceeds_total(self, run):
+        for row in flame_rows(run):
+            assert 0.0 <= row["self_seconds"] <= row["seconds"] + 1e-9
+
+    def test_trial_spans_carry_proof_bits(self, run):
+        trials = [row for row in flame_rows(run)
+                  if row["name"] == "runner.trial"]
+        assert trials
+        assert all(row["proof_bits"] > 0 for row in trials)
+
+
+class TestFlameCli:
+    def test_text_tree_is_indented(self, run, capsys):
+        assert main(["obs", "report", "--flame",
+                     str(run.root)]) == 0
+        out = capsys.readouterr().out
+        assert "obs flame:" in out
+        assert "  runner.run_trials" in out  # nested under obs.case
+
+    def test_json_rows(self, run, capsys):
+        assert main(["obs", "report", "--flame", "--json",
+                     str(run.root)]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == flame_rows(run)
+
+    def test_render_matches_rows(self, run):
+        lines = render_flame(run)
+        assert len(lines) == len(flame_rows(run)) + 2  # title + header
