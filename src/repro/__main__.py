@@ -33,6 +33,11 @@ Commands
                ndjson stdin, batched onto the trial engines with
                admission control and a shared instance cache
                (``--smoke N`` runs the in-process self-test).
+``fleet``      Sharded scale-out sweeps: ``fleet run`` partitions the
+               lab grids over worker shards with lease-logged crash
+               recovery and merges the shard stores, ``fleet status``
+               shows per-shard progress, ``fleet diff`` asserts two
+               stores agree on every deterministic field.
 """
 
 from __future__ import annotations
@@ -269,6 +274,9 @@ def main(argv=None) -> int:
 
     from repro.serve.cli import add_serve_parser
     add_serve_parser(sub)
+
+    from repro.fleet.cli import add_fleet_parser
+    add_fleet_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -190,6 +190,29 @@ class InstanceContext:
             return arr
         return self.memo("kernels.closed_adjacency", build)
 
+    def closed_adjacency_csr(self):
+        """The closed adjacency as CSR ``(indptr, indices)`` arrays.
+
+        ``indices[indptr[v]:indptr[v+1]]`` are the sorted members of
+        ``N[v]`` — the sparse operand the kernels hand to
+        :meth:`LinearHashFamily.row_hash_batch_csr`, sized O(edges)
+        where :meth:`closed_adjacency` is O(n²).
+        """
+        def build():
+            from .kernels._np import require_numpy
+            np = require_numpy()
+            neighborhoods = self.closed_neighborhoods
+            indptr = np.zeros(len(neighborhoods) + 1, dtype=np.int64)
+            for v, members in enumerate(neighborhoods):
+                indptr[v + 1] = indptr[v] + len(members)
+            indices = np.fromiter(
+                (u for members in neighborhoods for u in members),
+                dtype=np.int64, count=int(indptr[-1]))
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            return indptr, indices
+        return self.memo("kernels.closed_adjacency_csr", build)
+
     def permuted_closed_adjacency(self, sigma: Tuple[int, ...]):
         """Closed adjacency of the graph relabeled by permutation σ.
 

@@ -21,8 +21,9 @@ from typing import Callable, List, Optional
 
 from ..context import InstanceContext
 from ..model import Instance, Protocol, Prover
-from ._np import (MAX_MODULUS_BITS, mulmod, numpy_available, powmod_column,
-                  require_numpy, supported_modulus)
+from ._np import (MAX_MODULUS_BITS, UnsupportedModulus, mulmod,
+                  numpy_available, powmod_column, require_numpy,
+                  supported_modulus)
 from .base import KernelMismatch, TrialBatch, TrialKernel
 
 #: Registry of kernel builders; each returns a kernel or None.  Order
@@ -56,6 +57,7 @@ __all__ = [
     "KernelMismatch",
     "MAX_MODULUS_BITS",
     "TrialBatch",
+    "UnsupportedModulus",
     "TrialKernel",
     "find_kernel",
     "mulmod",

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ...hashing.primes import UnsupportedModulus
+
 try:  # pragma: no cover - exercised via both CI matrix legs
     import numpy as _numpy
 except ImportError:  # pragma: no cover
@@ -68,9 +70,10 @@ def mulmod(a: Any, b: Any, p: int) -> Any:
     if bits <= 31:
         return a * b % p
     if bits > MAX_MODULUS_BITS:
-        raise ValueError(
+        raise UnsupportedModulus(
             f"modulus {p} needs {bits} bits; int64 kernels support "
-            f"at most {MAX_MODULUS_BITS}")
+            f"at most {MAX_MODULUS_BITS} — run_trials(engine=\"python\") "
+            f"is the exact big-int fallback")
     k = 62 - bits
     hi = a >> k
     lo = a & ((1 << k) - 1)

@@ -21,12 +21,13 @@ the reference engine (:class:`~repro.core.kernels.base.KernelMismatch`)
 so that this reduction can never silently drift from the real decision
 functions.
 
-Permutation ρ's are applied with one fancy-indexing op on the cached
-closed adjacency (``A[np.ix_(σ⁻¹, σ⁻¹)]``, via
-``InstanceContext.permuted_closed_adjacency``); Protocol 2's committed
-provers may carry arbitrary *mappings*, which go through a one-hot
-matmul instead — Lemma 3.1 never required a permutation, and neither
-does the kernel.
+Permutation ρ's ride the sparse path: both hash sides use the CSR
+closed adjacency (``InstanceContext.closed_adjacency_csr``), the image
+side with its column indices mapped through ρ — O(trials · edges) work
+and memory, which is what makes n in the tens of thousands batchable.
+Protocol 2's committed provers may carry arbitrary *mappings*, which
+go through a dense one-hot matmul instead — Lemma 3.1 never required a
+permutation, and neither does the kernel.
 """
 
 from __future__ import annotations
@@ -66,21 +67,33 @@ class _SymAggregateKernel(TrialKernel):
         self.root = root
 
         rho_arr = np.asarray(self.rho, dtype=np.int64)
-        adjacency = context.closed_adjacency()
         if sorted(self.rho) == list(range(n)):
-            # Permutation: the relabeled graph is one np.ix_ gather;
-            # row ρ(v) of it is the characteristic vector of ρ(N[v]).
-            permuted = context.permuted_closed_adjacency(self.rho)
-            image_rows = permuted[rho_arr]
+            # Permutation: hash both sides sparsely.  The b-side row of
+            # node v is the characteristic vector of ρ(N[v]) — the same
+            # CSR layout with every column index mapped through ρ (a
+            # permutation never collapses entries), so no dense (n, n)
+            # matrix is ever materialized.
+            indptr, indices = context.closed_adjacency_csr()
+            image_indices = rho_arr[indices]
+            image_indices.setflags(write=False)
+            self._csr = (indptr, indices)
+            self._csr_image = (indptr, image_indices)
+            self._adjacency = None
+            self._image_rows = None
         else:
             # Arbitrary mapping (Protocol 2 committed cheaters): the
             # image set ρ(N[v]) may collapse vertices, so build it as
             # closed-adjacency × one-hot(ρ), clamped back to 0/1.
+            # These provers only appear on small NO instances, where
+            # the dense path is fine.
+            adjacency = context.closed_adjacency()
             onehot = np.zeros((n, n), dtype=np.int64)
             onehot[np.arange(n), rho_arr] = 1
             image_rows = (adjacency @ onehot > 0).astype(np.int64)
-        self._adjacency = adjacency
-        self._image_rows = image_rows
+            self._csr = None
+            self._csr_image = None
+            self._adjacency = adjacency
+            self._image_rows = image_rows
         self._a_row_index = np.arange(n, dtype=np.int64)
         self._b_row_index = rho_arr
         self._levels = context.tree_levels(root)
@@ -138,10 +151,16 @@ class _SymAggregateKernel(TrialKernel):
 
         tick = time.perf_counter()
         seeds = challenges[:, self.root]
-        a_terms = self.family.row_hash_batch(
-            seeds, n, self._a_row_index, self._adjacency)
-        b_terms = self.family.row_hash_batch(
-            seeds, n, self._b_row_index, self._image_rows)
+        if self._csr is not None:
+            a_terms = self.family.row_hash_batch_csr(
+                seeds, n, self._a_row_index, *self._csr)
+            b_terms = self.family.row_hash_batch_csr(
+                seeds, n, self._b_row_index, *self._csr_image)
+        else:
+            a_terms = self.family.row_hash_batch(
+                seeds, n, self._a_row_index, self._adjacency)
+            b_terms = self.family.row_hash_batch(
+                seeds, n, self._b_row_index, self._image_rows)
         a_values = self._aggregate(a_terms)
         b_values = self._aggregate(b_terms)
         merlin_seconds = time.perf_counter() - tick

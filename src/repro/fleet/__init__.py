@@ -1,0 +1,46 @@
+"""Sharded scale-out lab runner: experiments at n in the tens of
+thousands.
+
+The fleet partitions a lab spec's cell grid round-robin across worker
+processes, each writing to a private shard store and journaling
+claim/done leases to a shared append-only log.  Dead shards are
+re-forked with exponential backoff and resume from their store;
+whatever survives every retry is stolen inline by the supervisor.
+The shard stores then merge last-wins into the main store, producing
+— faults on or off — exactly the deterministic fields a serial
+``lab run`` would have recorded (``fleet diff`` is the CI gate).
+
+See ``docs/FLEET.md`` for the protocol walk-through.
+"""
+
+from .leases import (append_lease, leases_path, lease_states,
+                     orphaned_keys, scan_leases)
+from .plan import Task, partition, plan_tasks, spec_tasks
+from .supervisor import (DEFAULT_BACKOFF, DEFAULT_RETRIES, fleet_status,
+                         merge_shards, run_fleet)
+from .verify import diff_stores, render_diff
+from .worker import (SimulatedCrash, execute_shard_tasks, shard_roots,
+                     shard_store_root)
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "SimulatedCrash",
+    "Task",
+    "append_lease",
+    "diff_stores",
+    "execute_shard_tasks",
+    "fleet_status",
+    "lease_states",
+    "leases_path",
+    "merge_shards",
+    "orphaned_keys",
+    "partition",
+    "plan_tasks",
+    "render_diff",
+    "run_fleet",
+    "scan_leases",
+    "shard_roots",
+    "shard_store_root",
+    "spec_tasks",
+]

@@ -1,0 +1,178 @@
+"""The ``python -m repro fleet`` command group.
+
+``fleet run``    sharded sweep: plan the pending cells, partition
+                 round-robin over ``--shards`` worker processes,
+                 retry dead shards with backoff, steal what's left,
+                 merge into the main store.  Faults off, the merged
+                 store matches a serial ``lab run`` on every
+                 deterministic field.
+``fleet status`` forensics: per-shard recorded cells and the lease
+                 log's claim/done/orphan tallies.
+``fleet merge``  fold existing shard stores into the main store
+                 (idempotent; the manual recovery path).
+``fleet diff``   compare two stores on the deterministic fields;
+                 exit 1 on any difference (the CI byte-identity
+                 gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from ..lab.spec import get_specs
+from ..lab.store import ResultStore, default_store_root
+from .supervisor import (DEFAULT_BACKOFF, DEFAULT_RETRIES, fleet_status,
+                         merge_shards, run_fleet)
+from .verify import diff_stores, render_diff
+
+
+def _store(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(Path(args.store) if args.store else None)
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    specs = get_specs(args.spec or None)
+    store = _store(args)
+    summary = run_fleet(specs, store, args.shards, quick=args.quick,
+                        engine=args.engine, retries=args.retries,
+                        backoff=args.backoff,
+                        kill_shard=args.kill_shard,
+                        kill_after=args.kill_after,
+                        merge=not args.no_merge)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"fleet run -> {summary['store']} "
+              f"({summary['shards']} shards)")
+        print(f"  planned {summary['planned']} cells "
+              f"({summary['replayed']} already stored), "
+              f"per shard {summary['per_shard']}")
+        for wave in summary["waves"]:
+            died = (f", died: {wave['failed']}" if wave["failed"]
+                    else "")
+            print(f"  wave {wave['attempt']}: shards {wave['shards']} "
+                  f"({wave['cells']} cells){died}")
+        if summary["stolen"]:
+            print(f"  stole {summary['stolen']} cells inline")
+        if summary["merged"] is not None:
+            merged = summary["merged"]
+            print(f"  merged {merged['appended']} cells "
+                  f"({merged['skipped']} already identical) from "
+                  f"{merged['shard_stores']} shard stores")
+        print(f"fleet: {'OK' if summary['ok'] else 'FAIL'} "
+              f"in {summary['wall']:.3f}s")
+    return 0 if summary["ok"] else 1
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    specs = get_specs(args.spec or None)
+    store = _store(args)
+    status = fleet_status(store, specs)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(f"fleet status -> {status['store']}")
+        for row in status["shards"]:
+            print(f"  {row['shard']}: {row['cells']} cells")
+        leases = status["leases"]
+        print(f"  leases: {leases['claims']} claims, "
+              f"{leases['done']} done, "
+              f"{len(leases['orphaned'])} orphaned")
+        for orphan in leases["orphaned"]:
+            print(f"    orphan {orphan['spec']}: {orphan['key']}")
+    return 0
+
+
+def cmd_fleet_merge(args: argparse.Namespace) -> int:
+    specs = get_specs(args.spec or None)
+    store = _store(args)
+    merged = merge_shards(specs, store)
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+    else:
+        print(f"fleet merge -> {store.root}: {merged['appended']} "
+              f"appended, {merged['skipped']} already identical, "
+              f"{merged['shard_stores']} shard stores")
+    return 0
+
+
+def cmd_fleet_diff(args: argparse.Namespace) -> int:
+    specs = get_specs(args.spec or None)
+    report = diff_stores(specs, ResultStore(Path(args.store_a)),
+                         ResultStore(Path(args.store_b)))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("\n".join(render_diff(report)))
+    return 0 if report["ok"] else 1
+
+
+def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``fleet`` command group to the top-level CLI."""
+    fleet = sub.add_parser(
+        "fleet", help="sharded scale-out sweep executor over the lab "
+                      "store")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", action="append", metavar="NAME",
+                       help="restrict to this spec (repeatable; "
+                            "default: all)")
+        p.add_argument("--store", metavar="DIR",
+                       help=f"result store root (default: "
+                            f"{default_store_root()})")
+
+    p = fleet_sub.add_parser(
+        "run", help="execute specs sharded and merge into the store")
+    common(p)
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker shards to partition the grid over")
+    p.add_argument("--quick", action="store_true",
+                   help="quick grids only (CI smoke scale)")
+    p.add_argument("--engine", default="python",
+                   choices=["python", "numpy"],
+                   help="trial engine for sweep cells")
+    p.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                   help="extra waves a dead shard is re-forked")
+    p.add_argument("--backoff", type=float, default=DEFAULT_BACKOFF,
+                   help="base seconds of exponential backoff between "
+                        "waves")
+    p.add_argument("--kill-shard", type=int, metavar="K",
+                   help="fault injection: kill shard K mid-sweep on "
+                        "its first attempt")
+    p.add_argument("--kill-after", type=int, metavar="J",
+                   help="fault injection: the kill fires after J "
+                        "completed cells (default 1)")
+    p.add_argument("--no-merge", action="store_true",
+                   help="leave results in the shard stores (merge "
+                        "later with `fleet merge`)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary")
+    p.set_defaults(func=cmd_fleet_run)
+
+    p = fleet_sub.add_parser(
+        "status", help="per-shard cells and lease-log forensics")
+    common(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable status")
+    p.set_defaults(func=cmd_fleet_status)
+
+    p = fleet_sub.add_parser(
+        "merge", help="fold shard stores into the main store")
+    common(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary")
+    p.set_defaults(func=cmd_fleet_merge)
+
+    p = fleet_sub.add_parser(
+        "diff", help="compare two stores on deterministic fields")
+    p.add_argument("store_a", metavar="STORE_A")
+    p.add_argument("store_b", metavar="STORE_B")
+    p.add_argument("--spec", action="append", metavar="NAME",
+                   help="restrict to this spec (repeatable; "
+                        "default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(func=cmd_fleet_diff)

@@ -1,0 +1,81 @@
+"""The shared lease log: the fleet's append-only claim/done journal.
+
+Every shard announces cell ownership by appending single-line JSON
+records to ``<store>/fleet/leases.jsonl`` — a ``claim`` immediately
+before executing a cell, a ``done`` immediately after the cell's
+record landed in the shard-local store.  Appends go through one
+``os.write`` on an ``O_APPEND`` descriptor, so concurrent shards
+interleave whole lines, never fragments (POSIX appends of a few
+hundred bytes are atomic on local filesystems).
+
+The log is the crash-forensics side of the resume protocol: a cell
+whose last event is a ``claim`` with no matching ``done`` was in
+flight when its shard died (:func:`orphaned_keys`); the supervisor
+re-runs it, and the shard store's resume-from-store scan makes the
+re-run idempotent.  Like the result store, the log is last-wins and
+append-only — recovery never rewrites history, it appends more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: Subdirectory of the store root holding fleet coordination state.
+FLEET_DIR = "fleet"
+LEASES_FILE = "leases.jsonl"
+
+EV_CLAIM = "claim"
+EV_DONE = "done"
+
+
+def leases_path(root: Path) -> Path:
+    return Path(root) / FLEET_DIR / LEASES_FILE
+
+
+def append_lease(root: Path, event: str, spec: str, key: str,
+                 shard: int, attempt: int) -> None:
+    """Append one lease event as a single atomic line."""
+    path = leases_path(root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"event": event, "spec": spec, "key": key,
+              "shard": shard, "attempt": attempt}
+    line = json.dumps(record, sort_keys=True) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("ascii"))
+    finally:
+        os.close(fd)
+
+
+def scan_leases(root: Path) -> List[Dict[str, Any]]:
+    """Every lease event, in append order (empty if no fleet ran)."""
+    path = leases_path(root)
+    if not path.exists():
+        return []
+    events = []
+    with path.open("r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def lease_states(events: List[Dict[str, Any]]
+                 ) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    """Last event per ``(spec, key)`` — the cell's current lease state."""
+    states: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for event in events:
+        states[(event["spec"], event["key"])] = event
+    return states
+
+
+def orphaned_keys(events: List[Dict[str, Any]]
+                  ) -> List[Tuple[str, str]]:
+    """Cells claimed but never completed — their shard died mid-cell."""
+    return sorted((spec, key) for (spec, key), event
+                  in lease_states(events).items()
+                  if event["event"] == EV_CLAIM)

@@ -1,0 +1,89 @@
+"""One shard's execution loop, plus the fault-injection hook.
+
+A shard owns a private result store under
+``<store>/shards/shard-NNN/`` with the same file naming as the main
+store, and works through its task list with exactly the serial
+runner's write path: compute the cell, guard it against the declared
+absolute bounds, append it.  Before each cell it appends a ``claim``
+lease to the shared log, after each an unconditional ``done`` — so a
+crash leaves an orphaned claim behind for the supervisor to see, and
+a retry wave resumes from the shard store (cells already recorded are
+not recomputed, only re-acknowledged).
+
+Fault injection (:class:`SimulatedCrash`) models a worker dying
+mid-cell: after ``kill_after`` completed cells the shard raises
+between the claim and the compute, and the process wrapper turns that
+into ``os._exit(1)`` — no cleanup, no flush, exactly what a killed
+host looks like to the supervisor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..lab.runner import compute_cell, guard_record_bounds, set_shard
+from ..lab.spec import ExperimentSpec
+from ..lab.store import ResultStore
+from .leases import EV_CLAIM, EV_DONE, append_lease
+from .plan import Task
+
+SHARDS_DIR = "shards"
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected worker death (fleet fault testing)."""
+
+
+def shard_store_root(root: Path, shard: int) -> Path:
+    return Path(root) / SHARDS_DIR / f"shard-{shard:03d}"
+
+
+def execute_shard_tasks(specs: Sequence[ExperimentSpec], root: Path,
+                        shard: int, tasks: Sequence[Task],
+                        attempt: int, engine: str = "python",
+                        kill_after: Optional[int] = None) -> int:
+    """Run ``tasks`` against shard ``shard``'s local store.
+
+    Returns the number of cells acknowledged (computed or found
+    already recorded by a previous attempt).  ``kill_after`` raises
+    :class:`SimulatedCrash` mid-cell once that many cells completed.
+    """
+    set_shard(shard)
+    store = ResultStore(shard_store_root(root, shard))
+    done = 0
+    for task in tasks:
+        spec = specs[task.spec_index]
+        append_lease(root, EV_CLAIM, spec.name, task.key, shard, attempt)
+        if kill_after is not None and done >= kill_after:
+            raise SimulatedCrash(
+                f"shard {shard} killed mid-cell after {done} cells")
+        if task.key not in store.load_cells(spec):
+            record = compute_cell(spec, task.n, task.prover, task.trials,
+                                  engine=engine)
+            guard_record_bounds(spec, record)
+            store.append_cell(spec, record)
+        append_lease(root, EV_DONE, spec.name, task.key, shard, attempt)
+        done += 1
+    return done
+
+
+def worker_main(specs: Sequence[ExperimentSpec], root: Path, shard: int,
+                tasks: Sequence[Task], attempt: int, engine: str,
+                kill_after: Optional[int]) -> None:
+    """Process entry point: a simulated crash dies the hard way."""
+    import os
+    try:
+        execute_shard_tasks(specs, root, shard, tasks, attempt,
+                            engine=engine, kill_after=kill_after)
+    except SimulatedCrash:
+        os._exit(1)
+
+
+def shard_roots(root: Path) -> List[Path]:
+    """Existing shard store roots under ``root``, in shard order."""
+    shards = Path(root) / SHARDS_DIR
+    if not shards.is_dir():
+        return []
+    return sorted(p for p in shards.iterdir()
+                  if p.is_dir() and p.name.startswith("shard-"))

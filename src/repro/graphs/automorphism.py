@@ -56,6 +56,56 @@ def refine_colors(graph: Graph,
         colors = new_colors
 
 
+#: Above this size the search switches from the historical
+#: most-constrained-first ordering (whose candidate lists are O(n) per
+#: vertex on vertex-transitive graphs) to a BFS-guided ordering whose
+#: candidate sets are neighbor lists of already-placed images.  The
+#: small-n ordering is kept bit-for-bit so enumeration order — and
+#: therefore every committed witness and golden transcript — is
+#: unchanged where it was ever observed.
+_DENSE_LIMIT = 256
+
+
+def _guided_order(g1: Graph, forced: Dict[int, int]
+                  ) -> Tuple[List[int], List[Optional[int]]]:
+    """BFS placement order from the forced seeds, with anchors.
+
+    Returns ``(order, anchor)`` where ``anchor[v]`` is a neighbor of
+    ``v`` placed earlier in ``order`` (None for seeds and new-component
+    starts).  Anchors shrink each vertex's candidate set from a whole
+    color class to the image's neighbor list.
+    """
+    n = g1.n
+    order = list(forced.keys())
+    seen = 0
+    for v in order:
+        seen |= 1 << v
+    anchor: List[Optional[int]] = [None] * n
+    queue = list(order)
+    cursor = 0
+    next_start = 0
+    while len(order) < n:
+        if cursor >= len(queue):
+            while seen >> next_start & 1:
+                next_start += 1
+            seen |= 1 << next_start
+            order.append(next_start)
+            queue.append(next_start)
+            continue
+        v = queue[cursor]
+        cursor += 1
+        mask = g1.row_mask(v) & ~seen
+        while mask:
+            low = mask & -mask
+            u = low.bit_length() - 1
+            mask ^= low
+            seen |= low
+            anchor[u] = v
+            order.append(u)
+            queue.append(u)
+    return order, anchor
+
+
 def _search_isomorphisms(g1: Graph, g2: Graph,
                          forced: Optional[Dict[int, int]] = None
                          ) -> Iterator[Tuple[int, ...]]:
@@ -64,65 +114,100 @@ def _search_isomorphisms(g1: Graph, g2: Graph,
     ``forced`` is a partial map {vertex of g1: vertex of g2}.  Yields
     mappings as tuples (``mapping[v]`` = image of v).  Exact algorithm;
     refinement colors prune candidate targets.
+
+    The engine is an explicit-stack DFS (no recursion limit at large
+    n) whose adjacency-consistency check is O(deg) per placement: the
+    forward scan checks placed neighbors of ``v``, the reverse scan —
+    via the maintained inverse map — checks placed preimages of the
+    neighbors of ``w``, and together they cover exactly the mismatches
+    a full O(n) scan over placed vertices would find.
     """
     if g1.n != g2.n or g1.num_edges != g2.num_edges:
         return
     n = g1.n
     colors1 = refine_colors(g1)
     colors2 = refine_colors(g2)
-    hist1 = sorted(colors1)
-    hist2 = sorted(colors2)
-    if hist1 != hist2:
+    if sorted(colors1) != sorted(colors2):
         return
 
     # Candidate targets per source vertex: same refinement color.
     by_color: Dict[int, List[int]] = {}
     for v in range(n):
         by_color.setdefault(colors2[v], []).append(v)
-    candidates: List[List[int]] = []
-    for v in range(n):
-        candidates.append(by_color.get(colors1[v], []))
 
     forced = dict(forced or {})
     for src, dst in forced.items():
-        if dst not in candidates[src]:
+        if dst not in by_color.get(colors1[src], ()):
             return
 
-    # Order: forced vertices first, then most-constrained (fewest
-    # candidates, highest degree) to fail fast.
-    free = [v for v in range(n) if v not in forced]
-    free.sort(key=lambda v: (len(candidates[v]), -g1.degree(v)))
-    order = list(forced.keys()) + free
-
     mapping: List[Optional[int]] = [None] * n
-    used = [False] * n
+    rmapping: List[Optional[int]] = [None] * n
+
+    if n <= _DENSE_LIMIT:
+        # Historical order: forced vertices first, then
+        # most-constrained (fewest candidates, highest degree).
+        candidates = [by_color.get(colors1[v], []) for v in range(n)]
+        free = [v for v in range(n) if v not in forced]
+        free.sort(key=lambda v: (len(candidates[v]), -g1.degree(v)))
+        order = list(forced.keys()) + free
+
+        def targets_for(v: int) -> Sequence[int]:
+            return (forced[v],) if v in forced else candidates[v]
+    else:
+        order, anchor = _guided_order(g1, forced)
+
+        def targets_for(v: int) -> Sequence[int]:
+            if v in forced:
+                return (forced[v],)
+            a = anchor[v]
+            if a is None:
+                return by_color.get(colors1[v], ())
+            base = mapping[a]
+            cv = colors1[v]
+            return tuple(w for w in g2.neighbors(base)
+                         if colors2[w] == cv)
 
     def consistent(v: int, w: int) -> bool:
         """Does mapping v -> w respect adjacency with placed vertices?"""
-        for u in range(n):
+        for u in g1.neighbors(v):
             mu = mapping[u]
-            if mu is None:
-                continue
-            if g1.has_edge(v, u) != g2.has_edge(w, mu):
+            if mu is not None and not g2.has_edge(w, mu):
+                return False
+        for x in g2.neighbors(w):
+            rx = rmapping[x]
+            if rx is not None and not g1.has_edge(v, rx):
                 return False
         return True
 
-    def backtrack(depth: int) -> Iterator[Tuple[int, ...]]:
-        if depth == n:
-            yield tuple(mapping)  # type: ignore[arg-type]
-            return
+    if n == 0:
+        yield ()
+        return
+
+    iters = [iter(targets_for(order[0]))]
+    while iters:
+        depth = len(iters) - 1
         v = order[depth]
-        targets = ([forced[v]] if v in forced else candidates[v])
-        for w in targets:
-            if used[w] or not consistent(v, w):
+        descended = False
+        for w in iters[-1]:
+            if rmapping[w] is not None or not consistent(v, w):
                 continue
             mapping[v] = w
-            used[w] = True
-            yield from backtrack(depth + 1)
-            mapping[v] = None
-            used[w] = False
-
-    yield from backtrack(0)
+            rmapping[w] = v
+            if depth + 1 == n:
+                yield tuple(mapping)  # type: ignore[arg-type]
+                mapping[v] = None
+                rmapping[w] = None
+                continue
+            iters.append(iter(targets_for(order[depth + 1])))
+            descended = True
+            break
+        if not descended:
+            iters.pop()
+            if iters:
+                pv = order[len(iters) - 1]
+                pw = mapping[pv]
+                mapping[pv] = None
+                rmapping[pw] = None  # type: ignore[index]
 
 
 def all_automorphisms(graph: Graph) -> Iterator[Tuple[int, ...]]:

@@ -3,8 +3,8 @@ algebra, and the distributed ε-almost pairwise-independent hash."""
 
 from .api import APIChallenge, DistributedAPIHash, gs_output_modulus
 from .linear import LinearHashFamily, collision_seed_count
-from .primes import (is_prime, next_prime, prime_in_range,
-                     theorem32_prime_window)
+from .primes import (MAX_PRIME_SEARCH_BITS, UnsupportedModulus, is_prime,
+                     next_prime, prime_in_range, theorem32_prime_window)
 from .toeplitz import ToeplitzHash
 from .rowmatrix import (MatrixSum, bits_to_coeffs, graph_matrix_sum,
                         image_bits, mapped_matrix_sum, matrix_sums_equal)

@@ -212,12 +212,60 @@ class LinearHashFamily:
         if n * n > self.m:
             raise ValueError(
                 f"matrix {n}x{n} does not fit dimension m={self.m}")
+        self._check_sum_headroom(n)
         powers = self.power_table_batch(seeds, n)
         strides = self.stride_power_batch(seeds, n, n)
         rows01 = np.asarray(rows01, dtype=np.int64)
         sums = powers @ rows01.T % self.p
         row_indices = np.asarray(row_indices, dtype=np.int64)
         return mulmod(strides[:, row_indices], sums, self.p)
+
+    def row_hash_batch_csr(self, seeds, n: int, row_indices, indptr,
+                           indices):
+        """Sparse :meth:`row_hash_batch`: rows as CSR index lists.
+
+        ``(indptr, indices)`` describe each node's characteristic
+        vector as the column indices of its set bits (CSR over the
+        ``(nodes, n)`` 0/1 matrix): row ``v`` holds the columns
+        ``indices[indptr[v]:indptr[v+1]]``.  Returns the same
+        ``H[t, v]`` integers as the dense form — a segmented gather-sum
+        (``np.add.reduceat``) replaces the dense matmul, so work and
+        memory are O(trials · nnz) instead of O(trials · nodes · n).
+        Rows must be non-empty (closed neighborhoods always are;
+        ``reduceat`` does not represent empty segments).
+        """
+        from ..core.kernels._np import mulmod, require_numpy
+        np = require_numpy()
+        if n * n > self.m:
+            raise ValueError(
+                f"matrix {n}x{n} does not fit dimension m={self.m}")
+        self._check_sum_headroom(n)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.shape[0] < 2 or (indptr[1:] <= indptr[:-1]).any():
+            raise ValueError("CSR rows must be non-empty and ordered")
+        powers = self.power_table_batch(seeds, n)
+        strides = self.stride_power_batch(seeds, n, n)
+        sums = np.add.reduceat(powers[:, indices], indptr[:-1],
+                               axis=1) % self.p
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        return mulmod(strides[:, row_indices], sums, self.p)
+
+    def _check_sum_headroom(self, n: int) -> None:
+        """Refuse batched row sums that could overflow int64.
+
+        A row sum accumulates up to ``n`` unreduced powers below ``p``;
+        ``bits(n) + bits(p-1) <= 62`` keeps the total below 2⁶³ with a
+        sign bit to spare.  Raises the same ``UnsupportedModulus`` the
+        kernels use, so callers fall back to the exact python path
+        instead of silently wrapping.
+        """
+        from .primes import UnsupportedModulus
+        if n.bit_length() + max(self.p - 1, 1).bit_length() > 62:
+            raise UnsupportedModulus(
+                f"batched row sums of {n} terms under modulus {self.p} "
+                f"({self.p.bit_length()} bits) may overflow int64; use "
+                f"the python engine")
 
     def hash_vector_batch(self, seeds, coeffs: Sequence[int]):
         """Batched :meth:`hash_vector`: Horner's rule down the

@@ -22,6 +22,24 @@ _DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
 _SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
                  53, 59, 61, 67, 71, 73, 79, 83, 89, 97)
 
+#: Largest modulus bit-length the prime search will attempt.  Protocol
+#: 2's window ``[10·n^(n+2), 100·n^(n+2)]`` grows as Θ(n log n) bits:
+#: at n = 128 the search already sieves ~900-bit candidates (seconds),
+#: and past this cap a single Miller–Rabin pass is so slow the search
+#: is indistinguishable from a hang.  Callers that need large n should
+#: use the Protocol-1 window (``exponent=3``, Theorem 3.2's dMAM
+#: family) or the small-prime ablation family instead.
+MAX_PRIME_SEARCH_BITS = 2048
+
+
+class UnsupportedModulus(ValueError):
+    """A modulus (or modulus window) beyond what an engine supports.
+
+    Raised instead of hanging on an astronomically large Protocol-2
+    prime search, and instead of silently overflowing int64 on the
+    numpy kernels (``repro.core.kernels``) past ``MAX_MODULUS_BITS``.
+    """
+
 
 def _miller_rabin_witness(n: int, a: int) -> bool:
     """True if ``a`` witnesses compositeness of odd ``n > 2``."""
@@ -83,6 +101,13 @@ def prime_in_range(lo: int, hi: int) -> int:
     """
     if hi < lo:
         raise ValueError(f"empty range [{lo}, {hi}]")
+    if lo.bit_length() > MAX_PRIME_SEARCH_BITS:
+        raise UnsupportedModulus(
+            f"prime search over [{lo.bit_length()}-bit, "
+            f"{hi.bit_length()}-bit] candidates exceeds "
+            f"MAX_PRIME_SEARCH_BITS={MAX_PRIME_SEARCH_BITS}; use the "
+            f"Protocol-1 window (exponent=3) or a small-prime family "
+            f"for large n")
     p = next_prime(max(lo, 2))
     if p > hi:
         raise ValueError(f"no prime in [{lo}, {hi}]")
@@ -99,5 +124,17 @@ def theorem32_prime_window(n: int, exponent: int = 3) -> int:
     """
     if n < 1:
         raise ValueError("n must be positive")
+    # Refuse before materializing the window: n^e has at least
+    # e·(bits(n)-1)+1 bits, so a cheap estimate rules out the truly
+    # astronomical Protocol-2 windows without constructing them.
+    if n > 1:
+        estimate = exponent * (n.bit_length() - 1) + 1
+        if estimate > MAX_PRIME_SEARCH_BITS:
+            raise UnsupportedModulus(
+                f"Protocol window [10·{n}^{exponent}, 100·{n}^{exponent}] "
+                f"needs >= {estimate}-bit primes, beyond "
+                f"MAX_PRIME_SEARCH_BITS={MAX_PRIME_SEARCH_BITS}; use "
+                f"exponent=3 (Protocol 1 / Theorem 3.2) or a "
+                f"small-prime family for large n")
     base = n ** exponent
     return prime_in_range(10 * base, 100 * base)

@@ -37,7 +37,8 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
     specs = get_specs(args.spec or None)
     store = _store(args)
     summary = run_specs(specs, store, quick=args.quick,
-                        workers=args.workers, engine=args.engine)
+                        workers=args.workers, engine=args.engine,
+                        resume=not args.refresh)
     summary["store"] = str(store.root)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -113,6 +114,9 @@ def add_lab_parser(sub: argparse._SubParsersAction) -> None:
                    choices=["python", "numpy"],
                    help="trial engine for sweep cells (byte-equivalent; "
                         "recorded as provenance)")
+    p.add_argument("--refresh", action="store_true",
+                   help="re-execute cells even when already recorded "
+                        "(appends; last record for a cell key wins)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary")
     p.set_defaults(func=cmd_lab_run)

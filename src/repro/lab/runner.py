@@ -46,6 +46,28 @@ _EDGECHECK_DEVIANT = 4
 _COLLISION_M = 8
 
 
+#: Fleet provenance: which shard is recording cells in this process.
+#: Serial runs (and fleet supervisors) are shard 0; fleet workers call
+#: :func:`set_shard` after forking.  Like wall/workers, shard and host
+#: are instrumentation — never part of the deterministic field set.
+_SHARD = 0
+
+
+def set_shard(shard: int) -> None:
+    """Mark every record produced by this process as ``shard``."""
+    global _SHARD
+    _SHARD = shard
+
+
+def current_shard() -> int:
+    return _SHARD
+
+
+def _hostname() -> str:
+    import socket
+    return socket.gethostname()
+
+
 @dataclass
 class CellResult:
     """One cell's outcome: its (normalized) record, and whether it was
@@ -71,6 +93,7 @@ def _base_record(spec: ExperimentSpec, n: int, size: int, prover: str,
         "trials": trials, "seed": spec.seed,
         "accepted": 0, "bits": 0, "round_bits": [], "extra": {},
         "wall": 0.0, "workers": 1,
+        "shard": _SHARD, "host": _hostname(),
     }
 
 
@@ -319,6 +342,32 @@ def compute_cell(spec: ExperimentSpec, n: int, prover_key: str,
     return _normalize(record)
 
 
+def guard_record_bounds(spec: ExperimentSpec,
+                        record: Dict[str, Any]) -> None:
+    """Pre-commit bound guard: refuse to append a fresh fit-prover
+    sweep cell whose per-phase bits violate the declaration's absolute
+    phase bounds.
+
+    This is the ``ledger check --live`` probe folded into the write
+    path — a newly added grid size is bound-checked *before* its cell
+    ever reaches the store, so a mis-declared protocol cannot commit a
+    baseline the ledger would then have to reject.  Records the ledger
+    does not cover (non-sweep kinds, adversary provers, undeclared
+    protocols) pass through untouched; the store-wide ``ledger check``
+    owns those verdicts.
+    """
+    from ..ledger.evaluate import check_record_bounds
+    verdict = check_record_bounds(spec, record)
+    if verdict is not None and not verdict["ok"]:
+        bad = [f"{p['phase']}: {p['measured']} > {p['allowed']}"
+               for p in verdict["phases"] if not p["ok"]]
+        detail = "; ".join(bad) or verdict.get("error", "bound check failed")
+        raise ValueError(
+            f"{spec.name} n={record['size']} violates its declared "
+            f"absolute phase bounds before commit ({detail}); fix the "
+            f"declaration or the protocol before recording this cell")
+
+
 def spec_cells(spec: ExperimentSpec,
                quick: bool) -> List[Tuple[int, str, int]]:
     """The (n, prover, trials) cells a grid expands to."""
@@ -424,6 +473,7 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
             if key not in fresh:
                 fresh[key] = record
                 if store is not None:
+                    guard_record_bounds(spec, record)
                     store.append_cell(spec, record)
         for key in keys:
             if key in stored:
@@ -445,21 +495,26 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
 
 def run_specs(specs, store: Optional[ResultStore] = None, *,
               quick: bool = False, full: bool = True,
-              workers: int = 1,
+              workers: int = 1, resume: bool = True,
               engine: str = "python") -> Dict[str, Any]:
     """Run many specs; by default both the quick grid (the CI
     comparison cells) and the full grid (the fitter's curve) so one
-    ``lab run`` produces a complete baseline.  Returns a summary."""
+    ``lab run`` produces a complete baseline.  ``resume=False``
+    re-executes and re-appends every cell (last record wins) — the
+    ``lab run --refresh`` path for re-recording cells whose inputs
+    changed out from under them (e.g. the E14 ledger cell after the
+    committed store grows).  Returns a summary."""
     summary: Dict[str, Any] = {"specs": [], "ran": 0, "skipped": 0,
                                "wall": 0.0}
     for spec in specs:
         start = time.perf_counter()
         results: List[CellResult] = []
         results.extend(run_spec(spec, store, quick=True, workers=workers,
-                                engine=engine))
+                                resume=resume, engine=engine))
         if full and not quick:
             results.extend(run_spec(spec, store, quick=False,
-                                    workers=workers, engine=engine))
+                                    workers=workers, resume=resume,
+                                    engine=engine))
         seen = set()
         deduped = [r for r in results
                    if not (r.key in seen or seen.add(r.key))]

@@ -336,7 +336,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     _spec(name="E1-sym-dmam-cost", experiment="E1",
           title="Protocol 1 (Sym/dMAM) per-node cost — Theorem 1.1",
           protocol="sym-dmam", graph="cycle",
-          grid=(8, 16, 32, 64, 128, 256), quick_grid=(8, 16, 32),
+          grid=(8, 16, 32, 64, 128, 256, 1024, 4096, 16384),
+          quick_grid=(8, 16, 32),
           provers=("honest",), trials=10, quick_trials=4,
           expect_model="log n", min_ratio=1.5),
     _spec(name="E1-sym-dmam-soundness", experiment="E1",
@@ -364,7 +365,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     _spec(name="E3-dsym-dam-cost", experiment="E3",
           title="DSym dAM per-node cost — Theorem 1.2 upper side",
           protocol="dsym-dam", graph="dsym-cycle",
-          grid=(6, 12, 24, 48, 96), quick_grid=(6, 12),
+          grid=(6, 12, 24, 48, 96, 1024, 4096, 16384),
+          quick_grid=(6, 12),
           provers=("honest",), trials=5, quick_trials=3,
           expect_model="log n", min_ratio=1.5),
     _spec(name="E3-dsym-lcp-cost", experiment="E3",
@@ -409,7 +411,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     _spec(name="E8-substrate-pls", experiment="E8",
           title="Spanning-tree PLS (ConnectivityLCP) label length",
           protocol="connectivity-lcp", graph="cycle",
-          grid=(32, 64, 128, 256, 512, 1024), quick_grid=(32, 64),
+          grid=(32, 64, 128, 256, 512, 1024, 4096, 16384),
+          quick_grid=(32, 64),
           provers=("honest",), trials=3, quick_trials=2,
           expect_model="log n", min_ratio=1.5),
     _spec(name="E9-general-yes", experiment="E9",

@@ -323,6 +323,56 @@ def default_check(store: Optional[ResultStore] = None,
     return check_store(specs, store, tol=tol)
 
 
+def check_record_bounds(spec: ExperimentSpec,
+                        record: Dict[str, Any],
+                        registry: Optional[Dict[str,
+                                                CostDeclaration]] = None
+                        ) -> Optional[Dict[str, Any]]:
+    """Check one recorded sweep cell's per-phase bits against its
+    declaration's absolute phase bounds.
+
+    This is :func:`check_live`'s verdict applied to an
+    already-measured record instead of a fresh execution — the lab
+    runner (and the fleet workers) call it as a pre-commit guard so a
+    new grid size is bound-checked before its cell lands in the store.
+    Returns ``None`` when the record is outside the ledger's remit:
+    non-sweep kinds, provers other than the spec's fit prover (an
+    adversary's bits are not the declared honest bill), or protocols
+    without a declaration (``ledger check`` reports those store-wide).
+    Fitted phases are reported but not bounded, exactly as in the
+    live check.
+    """
+    if spec.kind != KIND_SWEEP or record.get("prover") != spec.fit_prover:
+        return None
+    registry = declarations() if registry is None else registry
+    declaration = registry.get(spec_declaration_key(spec))
+    if declaration is None:
+        return None
+    size = record["size"]
+    rounds = list(record["round_bits"])
+    if len(rounds) != len(declaration.pattern):
+        return {"spec": spec.name, "n": size, "phases": [], "ok": False,
+                "error": f"round_bits length {len(rounds)} != "
+                         f"pattern {declaration.pattern!r}"}
+    phases = []
+    ok = True
+    for idx, declared in enumerate(declaration.phases):
+        measured = rounds[idx]
+        if declared.fitted:
+            phases.append({"phase": declared.phase,
+                           "measured": measured,
+                           "allowed": None, "ok": True})
+            continue
+        allowed = declared.bound.evaluate({"n": size})
+        phase_ok = Fraction(measured) <= allowed
+        ok = ok and phase_ok
+        phases.append({"phase": declared.phase,
+                       "measured": measured,
+                       "allowed": _fraction_str(allowed),
+                       "ok": phase_ok})
+    return {"spec": spec.name, "n": size, "phases": phases, "ok": ok}
+
+
 def check_live(spec: ExperimentSpec, n: int,
                registry: Optional[Dict[str, CostDeclaration]] = None,
                seed: Optional[int] = None) -> Dict[str, Any]:

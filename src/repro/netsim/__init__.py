@@ -13,7 +13,7 @@ from .bits import Bits
 from .codec import (ChallengeCodec, CodecError, EncodedFrame,
                     MessageCodec)
 from .codecs import WireCodec, register_codec, wire_codec
-from .events import EventQueue, EventTrace
+from .events import EventQueue, EventTrace, trace_digest_of
 from .faults import (FAULT_FREE, PROVER, RELIABLE, ChannelPolicy,
                      FaultPlan)
 from .harness import (GOLDEN_SEED, equivalence_report, fault_matrix,
@@ -26,7 +26,7 @@ __all__ = [
     "AuditEntry", "AuditReport", "audit_execution", "run_audit",
     "Bits", "ChallengeCodec", "CodecError", "EncodedFrame",
     "MessageCodec", "WireCodec", "register_codec", "wire_codec",
-    "EventQueue", "EventTrace",
+    "EventQueue", "EventTrace", "trace_digest_of",
     "FAULT_FREE", "PROVER", "RELIABLE", "ChannelPolicy", "FaultPlan",
     "GOLDEN_SEED", "equivalence_report", "fault_matrix", "golden_cases",
     "CROSSCHECK_EXACT", "CROSSCHECK_HASHED", "NetExecutionResult",

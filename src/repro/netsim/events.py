@@ -10,6 +10,7 @@ tests compare).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import json
 from typing import Any, Callable, Dict, List
@@ -58,6 +59,26 @@ class EventQueue:
         self.time += 1  # phase boundary
 
 
+def _canonical_event_bytes(event: Dict[str, Any]) -> bytes:
+    """One event in the exact byte form :meth:`EventTrace.to_json` uses."""
+    return json.dumps(event, sort_keys=True, indent=None,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def trace_digest_of(events: List[Dict[str, Any]]) -> str:
+    """The streaming digest of a materialized event list.
+
+    ``EventTrace(stream=True).digest()`` over the same events returns
+    the same hex string — the equality the streaming-mode tests (and
+    the constant-memory netsim gates) rely on.
+    """
+    acc = hashlib.sha256()
+    for event in events:
+        acc.update(_canonical_event_bytes(event))
+        acc.update(b"\n")
+    return acc.hexdigest()
+
+
 class EventTrace:
     """A structured, replayable record of everything that happened.
 
@@ -65,29 +86,70 @@ class EventTrace:
     they cause); each event carries its logical ``t`` for chronology.
     The trace contains no wall-clock data, so its JSON form is a
     deterministic function of the run's seeds.
+
+    ``stream=True`` switches to hash-and-discard mode for large-n
+    runs: each event is folded into a rolling sha256 over its
+    canonical JSON bytes and per-kind counters, then dropped, so
+    memory stays constant no matter how many frames the run produces.
+    ``count``/``len`` keep working from the counters; ``of_kind`` and
+    ``to_json`` need materialized events and raise instead —
+    :func:`trace_digest_of` recomputes the same digest from a
+    materialized trace for crosschecks.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, stream: bool = False) -> None:
         self.enabled = enabled
+        self.stream = stream
         self.events: List[Dict[str, Any]] = []
+        self._counts: Dict[str, int] = {}
+        self._total = 0
+        self._digest = hashlib.sha256()
 
     def record(self, kind: str, **fields: Any) -> None:
         if not self.enabled:
             return
         event = {"kind": kind}
         event.update(fields)
+        if self.stream:
+            self._digest.update(_canonical_event_bytes(event))
+            self._digest.update(b"\n")
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            self._total += 1
+            return
         self.events.append(event)
 
     def count(self, kind: str) -> int:
+        if self.stream:
+            return self._counts.get(kind, 0)
         return sum(1 for event in self.events if event["kind"] == kind)
 
     def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        if self.stream:
+            raise RuntimeError(
+                "streamed trace discarded its events; use count()/"
+                "digest(), or run with stream=False to materialize")
         return [event for event in self.events if event["kind"] == kind]
 
     def to_json(self) -> str:
         """Canonical byte form (used by the determinism tests)."""
+        if self.stream:
+            raise RuntimeError(
+                "streamed trace has no materialized events; digest() "
+                "is its canonical byte form")
         return json.dumps(self.events, sort_keys=True, indent=None,
                           separators=(",", ":"))
 
+    def digest(self) -> str:
+        """Rolling sha256 over the canonical event bytes.
+
+        In stream mode this is the trace's only canonical form; for a
+        materialized trace it equals ``trace_digest_of(self.events)``.
+        """
+        if self.stream:
+            return self._digest.hexdigest()
+        return trace_digest_of(self.events)
+
     def __len__(self) -> int:
+        if self.stream:
+            return self._total
         return len(self.events)

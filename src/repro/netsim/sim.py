@@ -141,7 +141,7 @@ class _Simulation:
                  prover: Prover, rng: random.Random,
                  faults: FaultPlan, crosscheck: str,
                  net_seed: int, context: InstanceContext,
-                 trace: bool) -> None:
+                 trace: bool, stream: bool = False) -> None:
         self.protocol = protocol
         self.instance = instance
         self.prover = prover
@@ -152,7 +152,7 @@ class _Simulation:
         self.context = context
         self.codec: WireCodec = wire_codec(protocol)
         self.queue = EventQueue()
-        self.trace = EventTrace(enabled=trace)
+        self.trace = EventTrace(enabled=trace, stream=stream)
         self.vertices = tuple(instance.graph.vertices)
         self.transcript = Transcript()
         self.node_cost = dict.fromkeys(self.vertices, 0)
@@ -581,7 +581,8 @@ def run_netsim(protocol: Protocol, instance: Instance, prover: Prover,
                rng: random.Random, *, faults: FaultPlan = FAULT_FREE,
                crosscheck: str = CROSSCHECK_EXACT, net_seed: int = 0,
                context: Optional[InstanceContext] = None,
-               trace: bool = True) -> NetExecutionResult:
+               trace: bool = True,
+               stream: bool = False) -> NetExecutionResult:
     """Execute one protocol run on the message-passing substrate.
 
     ``rng`` drives the protocol exactly as in the abstract runner;
@@ -598,7 +599,8 @@ def run_netsim(protocol: Protocol, instance: Instance, prover: Prover,
         raise ValueError("context was built for a different instance")
     context.ensure_validated(protocol)
     return _Simulation(protocol, instance, prover, rng, faults,
-                       crosscheck, net_seed, context, trace).run()
+                       crosscheck, net_seed, context, trace,
+                       stream).run()
 
 
 def _netsim_trial_batch(protocol: Protocol, instance: Instance,

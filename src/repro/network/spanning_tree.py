@@ -55,16 +55,24 @@ def honest_tree_advice(graph: Graph, root: int) -> Dict[int, TreeAdvice]:
     identical to combining those).
     """
     advice = {root: TreeAdvice(parent=root, dist=0)}
+    seen = 1 << root
     queue = [root]
     dist = 0
     while queue:
         dist += 1
         next_queue = []
         for v in queue:
-            for u in graph.neighbors(v):
-                if u not in advice:
-                    advice[u] = TreeAdvice(parent=v, dist=dist)
-                    next_queue.append(u)
+            # Incremental frontier BFS: mask off already-discovered
+            # vertices and decode only the new ones (ascending, the
+            # same discovery order the neighbor-scan loop produced).
+            mask = graph.row_mask(v) & ~seen
+            seen |= mask
+            while mask:
+                low = mask & -mask
+                u = low.bit_length() - 1
+                mask ^= low
+                advice[u] = TreeAdvice(parent=v, dist=dist)
+                next_queue.append(u)
         queue = next_queue
     if len(advice) != graph.n:
         raise ValueError("graph is not connected; no spanning tree exists")

@@ -44,22 +44,22 @@ def _dsym_structure_check(layout: DSymLayout) -> "callable":
 
     def check(view: LocalView) -> bool:
         v = view.node
-        neighbors = set(view.neighbors)
+        neighbors = view.neighbors
         required = set()
-        allowed = set()
         if v in position:
             idx = position[v]
             if idx > 0:
                 required.add(path[idx - 1])
             if idx + 1 < len(path):
                 required.add(path[idx + 1])
-        if v in half_a:
-            allowed |= half_a
-        elif v in half_b:
-            allowed |= half_b
-        allowed |= required
-        allowed.discard(v)
-        return required <= neighbors and neighbors <= allowed
+        if not required <= set(neighbors):
+            return False
+        # Every non-required neighbor must live in v's own half
+        # (neighbors ⊆ half ∪ required \ {v}); per-neighbor membership
+        # keeps the predicate O(deg) instead of materializing the
+        # O(n)-sized allowed set at every node.
+        half = half_a if v in half_a else half_b if v in half_b else ()
+        return all(u in required or u in half for u in neighbors)
 
     return check
 

@@ -1,0 +1,134 @@
+"""Property tests: any crash/retry/preseed interleaving converges.
+
+The fleet's claim-execute-acknowledge protocol must be confluent:
+whatever shard count, wherever a worker dies mid-cell, however many
+retry waves it gets, and whatever partial state previous (possibly
+differently-sharded) runs left behind in the shard stores, the merged
+main store's deterministic fields equal a serial ``lab run``'s.
+
+Waves run inline (the fork-less fallback path) so hypothesis can
+drive thousands of interleavings cheaply and deterministically; the
+forked path is covered by ``test_fleet.py`` and the CI smoke gate.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+from unittest import mock
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import run_fleet, spec_tasks
+from repro.fleet.worker import shard_store_root
+from repro.lab import ResultStore, run_spec
+from repro.lab.runner import compute_cell, set_shard
+from repro.lab.spec import ExperimentSpec
+from repro.lab.store import DETERMINISTIC_FIELDS
+
+SPEC = ExperimentSpec(
+    name="fleet-prop", experiment="E1", title="fleet property target",
+    protocol="sym-dmam", graph="cycle",
+    grid=(6, 8, 10), quick_grid=(6,),
+    provers=("honest",), trials=2, quick_trials=1, seed=13)
+
+TASKS = spec_tasks(SPEC, 0, quick=False)  # 4 distinct cells
+
+_EXPECTED = None
+
+
+def expected_cells():
+    """Serial baseline projections, computed once per session."""
+    global _EXPECTED
+    if _EXPECTED is None:
+        root = Path(tempfile.mkdtemp(prefix="fleet-prop-serial-"))
+        try:
+            store = ResultStore(root)
+            run_spec(SPEC, store, quick=True)
+            run_spec(SPEC, store, quick=False)
+            _EXPECTED = {
+                key: {f: record.get(f) for f in DETERMINISTIC_FIELDS}
+                for key, record in store.load_cells(SPEC).items()}
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return _EXPECTED
+
+
+def _inline(func):
+    """Run fleet waves in-process (no fork) for determinism + speed."""
+    return mock.patch("repro.fleet.supervisor._fork_pool_context",
+                      lambda: None)
+
+
+@st.composite
+def scenarios(draw):
+    shards = draw(st.integers(min_value=1, max_value=4))
+    kill_shard = draw(st.one_of(
+        st.none(), st.integers(min_value=0, max_value=shards - 1)))
+    kill_after = draw(st.integers(min_value=0, max_value=2))
+    retries = draw(st.integers(min_value=0, max_value=2))
+    # Previous (possibly differently-sharded) runs left these cells
+    # behind: (task_index, shard_store) placements.
+    preseed = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=len(TASKS) - 1),
+                  st.integers(min_value=0, max_value=4)),
+        max_size=4, unique=True))
+    # And these cells already made it into the main store.
+    committed = draw(st.sets(
+        st.integers(min_value=0, max_value=len(TASKS) - 1), max_size=2))
+    return shards, kill_shard, kill_after, retries, preseed, committed
+
+
+@given(scenarios())
+@settings(max_examples=25, deadline=None)
+def test_interleavings_converge_to_serial_store(scenario):
+    shards, kill_shard, kill_after, retries, preseed, committed = scenario
+    expected = expected_cells()
+    root = Path(tempfile.mkdtemp(prefix="fleet-prop-"))
+    try:
+        store = ResultStore(root)
+        for index, shard in preseed:
+            task = TASKS[index]
+            set_shard(shard)
+            record = compute_cell(SPEC, task.n, task.prover, task.trials)
+            ResultStore(shard_store_root(root, shard)).append_cell(
+                SPEC, record)
+        for index in committed:
+            task = TASKS[index]
+            set_shard(0)
+            record = compute_cell(SPEC, task.n, task.prover, task.trials)
+            store.append_cell(SPEC, record)
+        set_shard(0)
+        with _inline(None):
+            summary = run_fleet([SPEC], store, shards, retries=retries,
+                                kill_shard=kill_shard,
+                                kill_after=kill_after, backoff=0.0)
+        assert summary["ok"]
+        cells = store.load_cells(SPEC)
+        got = {key: {f: record.get(f) for f in DETERMINISTIC_FIELDS}
+               for key, record in cells.items()}
+        assert got == expected
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_two_successive_fleets_are_stable(shards_a, shards_b):
+    """Re-running (even resharded) over a finished store is a no-op on
+    the deterministic fields and appends nothing new."""
+    expected = expected_cells()
+    root = Path(tempfile.mkdtemp(prefix="fleet-prop-"))
+    try:
+        store = ResultStore(root)
+        with _inline(None):
+            run_fleet([SPEC], store, shards_a)
+            second = run_fleet([SPEC], store, shards_b)
+        assert second["planned"] == 0
+        assert second["merged"]["appended"] == 0
+        got = {key: {f: record.get(f) for f in DETERMINISTIC_FIELDS}
+               for key, record in store.load_cells(SPEC).items()}
+        assert got == expected
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,61 @@
+"""Large-n modulus policy: clear errors instead of hangs/overflow."""
+
+import pytest
+
+from repro.hashing import (LinearHashFamily, MAX_PRIME_SEARCH_BITS,
+                           UnsupportedModulus, next_prime,
+                           prime_in_range, theorem32_prime_window)
+from repro.core.kernels import (MAX_MODULUS_BITS, mulmod,
+                                numpy_available, supported_modulus)
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+
+class TestPrimeWindowGuards:
+    def test_protocol2_window_errors_cleanly_at_large_n(self):
+        # n=256 would need a ~2065-bit prime search; the estimate
+        # guard rejects it without attempting primality tests.
+        with pytest.raises(UnsupportedModulus, match="exponent"):
+            theorem32_prime_window(256, exponent=256 + 2)
+
+    def test_protocol1_window_fine_at_large_n(self):
+        p = theorem32_prime_window(16384, exponent=3)
+        assert 10 * 16384 ** 3 <= p <= 100 * 16384 ** 3
+
+    def test_prime_in_range_rejects_oversized_window(self):
+        lo = 1 << (MAX_PRIME_SEARCH_BITS + 1)
+        with pytest.raises(UnsupportedModulus):
+            prime_in_range(lo, 10 * lo)
+
+    def test_unsupported_modulus_is_a_value_error(self):
+        # Existing ValueError handlers must keep catching these.
+        assert issubclass(UnsupportedModulus, ValueError)
+
+
+@needs_numpy
+class TestKernelModulusGuards:
+    def test_mulmod_raise_names_the_fallback(self):
+        import numpy as np
+        p = next_prime(1 << (MAX_MODULUS_BITS + 1))
+        a = np.array([1], dtype=np.int64)
+        with pytest.raises(UnsupportedModulus, match="python"):
+            mulmod(a, a, p)
+
+    def test_protocol1_prime_at_16384_exceeds_numpy_kernels(self):
+        # The documented fallback case: at n=16384 the Protocol-1
+        # prime is ~46 bits, so the numpy kernels must decline (and
+        # run_trials silently uses the reference engine instead).
+        p = theorem32_prime_window(16384, exponent=3)
+        assert p.bit_length() > MAX_MODULUS_BITS
+        assert not supported_modulus(p)
+
+    def test_sum_headroom_guard(self):
+        # n terms of size < p must fit int64 before matmul/reduceat
+        # sums them; a (n, p) pair that cannot is refused up front.
+        family = LinearHashFamily(m=8, p=next_prime(1 << 41))
+        with pytest.raises(UnsupportedModulus, match="int64"):
+            family._check_sum_headroom(1 << 21)
+        # One bit less on either side fits exactly (21 + 41 = 62).
+        LinearHashFamily(m=8, p=next_prime(1 << 40)) \
+            ._check_sum_headroom((1 << 21) - 1)

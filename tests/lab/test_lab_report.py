@@ -85,15 +85,15 @@ class TestEngineColumn:
         assert all(r.record["engine"] == expected for r in results)
 
     def test_legacy_records_render_as_python(self, tmp_path):
-        """Records written before the engine field existed must still
-        render (as the reference engine they in fact ran)."""
+        """Records written before the engine/shard/host fields existed
+        must still render (as the serial reference engine they ran)."""
         store = ResultStore(tmp_path)
         run_spec(SPEC, store, quick=True)
         cells = store.load_cells(SPEC)
         legacy = {key: {k: v for k, v in record.items()
-                        if k != "engine"}
+                        if k not in ("engine", "shard", "host")}
                   for key, record in cells.items()}
         from repro.lab.report import _sweep_rows
         header, rows = _sweep_rows(legacy)
-        assert header[-1] == "engine"
-        assert all(row[-1] == "python" for row in rows)
+        assert header[-3:] == ["engine", "shard", "host"]
+        assert all(row[-3:] == ["python", 0, "-"] for row in rows)

@@ -1,0 +1,87 @@
+"""Shard/host provenance, the pre-commit bound guard, and --refresh."""
+
+import pytest
+
+from repro.lab import ResultStore, get_spec, run_spec
+from repro.lab.runner import (current_shard, guard_record_bounds,
+                              run_specs, set_shard)
+from repro.lab.store import DETERMINISTIC_FIELDS
+
+SPEC = get_spec("E6-order-dmam")
+SWEEP = get_spec("E1-sym-dmam-cost")
+
+
+class TestShardProvenance:
+    def test_serial_records_are_shard_zero_with_host(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = run_spec(SPEC, store, quick=True)
+        for result in results:
+            assert result.record["shard"] == 0
+            assert result.record["host"]
+
+    def test_set_shard_tags_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        set_shard(3)
+        try:
+            results = run_spec(SPEC, store, quick=True)
+        finally:
+            set_shard(0)
+        assert all(r.record["shard"] == 3 for r in results)
+        assert current_shard() == 0
+
+    def test_provenance_stays_out_of_deterministic_fields(self):
+        assert "shard" not in DETERMINISTIC_FIELDS
+        assert "host" not in DETERMINISTIC_FIELDS
+        assert "wall" not in DETERMINISTIC_FIELDS
+
+
+class TestBoundGuard:
+    def test_honest_sweep_cell_passes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = run_spec(SWEEP, store, quick=True)
+        for result in results:
+            guard_record_bounds(SWEEP, result.record)  # no raise
+
+    def test_violating_record_is_refused(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = run_spec(SWEEP, store, quick=True)
+        record = dict(results[0].record)
+        record["round_bits"] = [b + 10 ** 6 for b in
+                                record["round_bits"]]
+        with pytest.raises(ValueError, match="absolute phase bounds"):
+            guard_record_bounds(SWEEP, record)
+
+    def test_non_fit_prover_records_pass_through(self):
+        # Adversary bits are not the declared honest bill.
+        record = {"prover": "committed", "size": 6,
+                  "round_bits": [10 ** 9]}
+        guard_record_bounds(SWEEP, record)  # no raise
+
+
+class TestRefresh:
+    def test_refresh_reappends_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_specs([SPEC], store, quick=True)
+        first = store.spec_path(SPEC).read_text().count("\n")
+        summary = run_specs([SPEC], store, quick=True, resume=False)
+        assert summary["skipped"] == 0
+        second = store.spec_path(SPEC).read_text().count("\n")
+        assert second == 2 * first
+
+    def test_refresh_preserves_deterministic_fields(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_specs([SPEC], store, quick=True)
+        before = {k: {f: r.get(f) for f in DETERMINISTIC_FIELDS}
+                  for k, r in store.load_cells(SPEC).items()}
+        run_specs([SPEC], store, quick=True, resume=False)
+        after = {k: {f: r.get(f) for f in DETERMINISTIC_FIELDS}
+                 for k, r in store.load_cells(SPEC).items()}
+        assert after == before
+
+    def test_cli_flag_wired(self, tmp_path):
+        from repro.__main__ import main
+        store = tmp_path / "store"
+        assert main(["lab", "run", "--quick", "--spec", "E6-order-dmam",
+                     "--store", str(store)]) == 0
+        assert main(["lab", "run", "--quick", "--spec", "E6-order-dmam",
+                     "--refresh", "--store", str(store)]) == 0

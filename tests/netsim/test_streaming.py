@@ -1,0 +1,56 @@
+"""Streaming traces: hash-and-discard equals the materialized trace."""
+
+import random
+
+import pytest
+
+from repro import Instance
+from repro.graphs import cycle_graph
+from repro.netsim import EventTrace, run_netsim, trace_digest_of
+from repro.protocols import SymDMAMProtocol
+
+
+def _run(stream):
+    n = 8
+    protocol = SymDMAMProtocol(n)
+    instance = Instance(cycle_graph(n))
+    return run_netsim(protocol, instance, protocol.honest_prover(),
+                      random.Random(5), net_seed=5, stream=stream)
+
+
+class TestEventTraceStreaming:
+    def test_digest_and_counters_match_materialized(self):
+        materialized = _run(stream=False).trace
+        streamed = _run(stream=True).trace
+        assert streamed.digest() == materialized.digest()
+        assert streamed.digest() == trace_digest_of(materialized.events)
+        assert len(streamed) == len(materialized)
+        for kind in ("round", "send", "deliver", "decide"):
+            assert streamed.count(kind) == materialized.count(kind)
+
+    def test_streamed_trace_discards_events(self):
+        streamed = _run(stream=True).trace
+        assert streamed.events == []
+        assert len(streamed) > 0
+
+    def test_materialized_accessors_raise_in_stream_mode(self):
+        streamed = _run(stream=True).trace
+        with pytest.raises(RuntimeError, match="stream"):
+            streamed.of_kind("send")
+        with pytest.raises(RuntimeError, match="digest"):
+            streamed.to_json()
+
+    def test_digest_is_order_sensitive(self):
+        a = EventTrace()
+        a.record("send", frm=0, to=1)
+        a.record("deliver", frm=0, to=1)
+        b = EventTrace()
+        b.record("deliver", frm=0, to=1)
+        b.record("send", frm=0, to=1)
+        assert a.digest() != b.digest()
+
+    def test_disabled_trace_stays_empty_in_stream_mode(self):
+        trace = EventTrace(enabled=False, stream=True)
+        trace.record("send", frm=0, to=1)
+        assert len(trace) == 0
+        assert trace.digest() == EventTrace(enabled=False).digest()
