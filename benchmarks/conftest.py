@@ -36,8 +36,12 @@ from repro.obs import session as obs_session
 _BENCH_DIR = Path(__file__).resolve().parent
 
 #: The session's recorder; ``report_table`` delegates to it and
-#: ``pytest_sessionfinish`` flushes it.
-_RECORDER = BenchRecorder(_BENCH_DIR)
+#: ``pytest_sessionfinish`` flushes it — including one normalized
+#: trajectory record per module into ``bench_history.jsonl`` (keyed
+#: bench id + git sha + quick/full mode), the input to
+#: ``python -m repro obs regress``.
+_RECORDER = BenchRecorder(
+    _BENCH_DIR, history=_BENCH_DIR / "bench_history.jsonl")
 
 #: Holds the session-scoped ambient obs session open between the
 #: pytest session hooks.
@@ -66,8 +70,24 @@ def report_table(benchmark, title, header, rows):
     print(_RECORDER.report(module, benchmark, title, header, rows))
 
 
+def _item_module(nodeid):
+    return Path(nodeid.split("::", 1)[0]).stem
+
+
 def pytest_sessionstart(session):
     _OBS.enter_context(obs_session(trace=False))
+
+
+def pytest_runtest_setup(item):
+    # Module-entry mark: the recorder diffs consecutive marks so each
+    # history record carries only its own deterministic-counter deltas.
+    _RECORDER.enter_module(_item_module(item.nodeid))
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _RECORDER.note_duration(_item_module(report.nodeid),
+                                report.duration)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -6,8 +6,9 @@
                  merge into the main store.  Faults off, the merged
                  store matches a serial ``lab run`` on every
                  deterministic field.
-``fleet status`` forensics: per-shard recorded cells and the lease
-                 log's claim/done/orphan tallies.
+``fleet status`` forensics: per-shard recorded cells, lease
+                 heartbeats (done/claimed counts and last-append
+                 age), and the claim/done/orphan tallies.
 ``fleet merge``  fold existing shard stores into the main store
                  (idempotent; the manual recovery path).
 ``fleet diff``   compare two stores on the deterministic fields;
@@ -75,7 +76,12 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
     else:
         print(f"fleet status -> {status['store']}")
         for row in status["shards"]:
-            print(f"  {row['shard']}: {row['cells']} cells")
+            age = row.get("last_age")
+            heartbeat = "no heartbeat" if age is None \
+                else f"last lease {age:.1f}s ago"
+            print(f"  {row['shard']}: {row['cells']} cells, "
+                  f"{row.get('done', 0)}/{row.get('claimed', 0)} "
+                  f"done/claimed, {heartbeat}")
         leases = status["leases"]
         print(f"  leases: {leases['claims']} claims, "
               f"{leases['done']} done, "

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Subdirectory of the store root holding fleet coordination state.
 FLEET_DIR = "fleet"
@@ -41,7 +42,8 @@ def append_lease(root: Path, event: str, spec: str, key: str,
     path = leases_path(root)
     path.parent.mkdir(parents=True, exist_ok=True)
     record = {"event": event, "spec": spec, "key": key,
-              "shard": shard, "attempt": attempt}
+              "shard": shard, "attempt": attempt,
+              "ts": round(time.time(), 3)}
     line = json.dumps(record, sort_keys=True) + "\n"
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
@@ -79,3 +81,33 @@ def orphaned_keys(events: List[Dict[str, Any]]
     return sorted((spec, key) for (spec, key), event
                   in lease_states(events).items()
                   if event["event"] == EV_CLAIM)
+
+
+def shard_heartbeats(events: List[Dict[str, Any]],
+                     now: Optional[float] = None
+                     ) -> Dict[int, Dict[str, Any]]:
+    """Per-shard liveness from the lease log, read-only: cells claimed
+    and completed, the last append's timestamp, and its age in seconds
+    (None for logs written before timestamps existed) — so a stalled
+    shard shows up in ``fleet status`` before the retry wave fires."""
+    if now is None:
+        now = time.time()
+    beats: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        shard = event.get("shard")
+        if shard is None:
+            continue
+        beat = beats.setdefault(shard, {"claimed": 0, "done": 0,
+                                        "last_ts": None,
+                                        "last_age": None})
+        if event["event"] == EV_CLAIM:
+            beat["claimed"] += 1
+        elif event["event"] == EV_DONE:
+            beat["done"] += 1
+        ts = event.get("ts")
+        if ts is not None:
+            beat["last_ts"] = ts
+    for beat in beats.values():
+        if beat["last_ts"] is not None:
+            beat["last_age"] = round(max(0.0, now - beat["last_ts"]), 3)
+    return beats

@@ -28,6 +28,7 @@ names the machine that recorded it.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import nullcontext
 from pathlib import Path
@@ -37,11 +38,11 @@ from ..core.runner import _fork_pool_context
 from ..lab.runner import set_shard
 from ..lab.spec import ExperimentSpec
 from ..lab.store import DETERMINISTIC_FIELDS, ResultStore
-from ..obs.session import active
-from .leases import scan_leases, orphaned_keys
+from ..obs.session import ObsSession, active, merge_collected
+from .leases import scan_leases, orphaned_keys, shard_heartbeats
 from .plan import Task, partition, plan_tasks, spec_tasks
-from .worker import (SimulatedCrash, execute_shard_tasks, shard_roots,
-                     shard_store_root, worker_main)
+from .worker import (SimulatedCrash, execute_shard_tasks, shard_obs_path,
+                     shard_roots, shard_store_root, worker_main)
 
 #: Default bounded-retry policy: how many extra waves a dead shard
 #: gets, and the base of the exponential backoff between waves.
@@ -71,10 +72,13 @@ def _remaining(spec_by_index: Sequence[ExperimentSpec],
 
 def _run_wave(specs: Sequence[ExperimentSpec], root: Path,
               work: Dict[int, List[Task]], attempt: int, engine: str,
-              kill_shard: Optional[int],
-              kill_after: Optional[int]) -> List[int]:
+              kill_shard: Optional[int], kill_after: Optional[int],
+              trace_ctx: Optional[Dict[str, Any]] = None) -> List[int]:
     """Execute one wave (one process per shard with work); returns the
-    shards that died.  Platforms without fork run shards inline, with
+    shards that died.  ``trace_ctx`` is propagated to forked workers
+    so their buffered spans link back to the supervisor's
+    ``fleet.wave`` span.  Platforms without fork run shards inline
+    (spans nest physically — no context files needed), with
     :class:`SimulatedCrash` still modelling the death."""
     ctx = _fork_pool_context()
     failed: List[int] = []
@@ -94,7 +98,7 @@ def _run_wave(specs: Sequence[ExperimentSpec], root: Path,
         ka = kill_after if (attempt == 0 and shard == kill_shard) else None
         proc = ctx.Process(target=worker_main,
                            args=(specs, root, shard, tasks, attempt,
-                                 engine, ka))
+                                 engine, ka, trace_ctx))
         proc.start()
         procs.append((shard, proc))
     for shard, proc in procs:
@@ -102,6 +106,25 @@ def _run_wave(specs: Sequence[ExperimentSpec], root: Path,
         if proc.exitcode != 0:
             failed.append(shard)
     return failed
+
+
+def _merge_wave_obs(root: Path, attempt: int, shards: Sequence[int],
+                    sess: Optional[ObsSession]) -> None:
+    """Fold the wave's worker-exported obs buffers into the ambient
+    session, in shard order (deterministic merge order, same contract
+    as the fork-pool trial merge)."""
+    if sess is None:
+        return
+    for shard in sorted(shards):
+        path = shard_obs_path(root, shard, attempt)
+        if not path.exists():
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="ascii"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        merge_collected(sess, (payload.get("spans", []),
+                               payload.get("metrics", {})))
 
 
 def merge_shards(specs: Sequence[ExperimentSpec],
@@ -162,13 +185,31 @@ def run_fleet(specs: Sequence[ExperimentSpec], store: ResultStore,
     waves: List[Dict[str, Any]] = []
     stolen = 0
     with outer as span:
+        if span is not None:
+            # Root the whole run under the session's trace id (serve
+            # stamps request roots the same way): worker exports link
+            # to wave spans, wave spans nest here, so a stitcher sees
+            # one connected tree.
+            span.meta["trace"] = sess.trace_id
         for attempt in range(retries + 1):
             work = {shard: left for shard, tasks in enumerate(assigned)
                     if (left := _remaining(specs, root, shard, tasks))}
             if not work:
                 break
-            failed = _run_wave(specs, root, work, attempt, engine,
-                               kill_shard, kill_after)
+            wave_cm = nullcontext() if sess is None else sess.span(
+                "fleet.wave", attempt=attempt, shards=len(work))
+            with wave_cm as wave_span:
+                # The wave span's context rides into every forked
+                # worker; their exported roots link back to it, so a
+                # stitched run directory shows one connected tree per
+                # wave.
+                trace_ctx = None if sess is None \
+                    else sess.trace_context()
+                failed = _run_wave(specs, root, work, attempt, engine,
+                                   kill_shard, kill_after, trace_ctx)
+                _merge_wave_obs(root, attempt, sorted(work), sess)
+                if wave_span is not None:
+                    wave_span.note(failed=failed)
             waves.append({"attempt": attempt,
                           "shards": sorted(work),
                           "cells": sum(map(len, work.values())),
@@ -179,13 +220,16 @@ def run_fleet(specs: Sequence[ExperimentSpec], store: ResultStore,
                 time.sleep(backoff * (2 ** attempt))
         # Steal pass: whatever is still missing, the supervisor runs
         # inline into the owning shard's store.
-        for shard, tasks in enumerate(assigned):
-            left = _remaining(specs, root, shard, tasks)
-            if not left:
-                continue
-            execute_shard_tasks(specs, root, shard, left,
-                                attempt=retries + 1, engine=engine)
-            stolen += len(left)
+        steal_cm = nullcontext() if sess is None else sess.span(
+            "fleet.steal")
+        with steal_cm:
+            for shard, tasks in enumerate(assigned):
+                left = _remaining(specs, root, shard, tasks)
+                if not left:
+                    continue
+                execute_shard_tasks(specs, root, shard, left,
+                                    attempt=retries + 1, engine=engine)
+                stolen += len(left)
         set_shard(0)
         leftover = sum(len(_remaining(specs, root, shard, tasks))
                        for shard, tasks in enumerate(assigned))
@@ -214,15 +258,28 @@ def run_fleet(specs: Sequence[ExperimentSpec], store: ResultStore,
 
 def fleet_status(store: ResultStore,
                  specs: Sequence[ExperimentSpec]) -> Dict[str, Any]:
-    """Forensics view of a fleet root: per-shard recorded cell counts
-    plus the lease log's claim/done/orphan tallies."""
+    """Forensics view of a fleet root: per-shard recorded cell counts,
+    lease heartbeats (cells claimed/done and last-append age — a
+    stalled shard shows a growing age), plus the lease log's
+    claim/done/orphan tallies."""
     events = scan_leases(store.root)
     orphans = orphaned_keys(events)
+    beats = shard_heartbeats(events)
     shard_rows = []
     for path in shard_roots(store.root):
         shard_store = ResultStore(path)
         cells = sum(len(shard_store.load_cells(spec)) for spec in specs)
-        shard_rows.append({"shard": path.name, "cells": cells})
+        try:
+            number = int(path.name.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            number = None
+        beat = beats.get(number, {})
+        shard_rows.append({
+            "shard": path.name, "cells": cells,
+            "claimed": beat.get("claimed", 0),
+            "done": beat.get("done", 0),
+            "last_age": beat.get("last_age"),
+        })
     return {
         "store": str(store.root),
         "shards": shard_rows,

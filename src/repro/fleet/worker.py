@@ -19,16 +19,22 @@ host looks like to the supervisor.
 
 from __future__ import annotations
 
+import json
+from contextlib import nullcontext
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..lab.runner import compute_cell, guard_record_bounds, set_shard
 from ..lab.spec import ExperimentSpec
 from ..lab.store import ResultStore
+from ..obs.session import active, adopt_context, export_collected
 from .leases import EV_CLAIM, EV_DONE, append_lease
 from .plan import Task
 
 SHARDS_DIR = "shards"
+#: Worker-exported observability buffers, one JSON file per
+#: (wave, shard), merged by the supervisor in shard order.
+OBS_DIR = "fleet/obs"
 
 
 class SimulatedCrash(RuntimeError):
@@ -37,6 +43,12 @@ class SimulatedCrash(RuntimeError):
 
 def shard_store_root(root: Path, shard: int) -> Path:
     return Path(root) / SHARDS_DIR / f"shard-{shard:03d}"
+
+
+def shard_obs_path(root: Path, shard: int, attempt: int) -> Path:
+    """Where a forked worker exports its obs buffer for one wave."""
+    return Path(root) / OBS_DIR / \
+        f"wave-{attempt:02d}-shard-{shard:03d}.json"
 
 
 def execute_shard_tasks(specs: Sequence[ExperimentSpec], root: Path,
@@ -51,6 +63,7 @@ def execute_shard_tasks(specs: Sequence[ExperimentSpec], root: Path,
     """
     set_shard(shard)
     store = ResultStore(shard_store_root(root, shard))
+    sess = active()
     done = 0
     for task in tasks:
         spec = specs[task.spec_index]
@@ -58,11 +71,18 @@ def execute_shard_tasks(specs: Sequence[ExperimentSpec], root: Path,
         if kill_after is not None and done >= kill_after:
             raise SimulatedCrash(
                 f"shard {shard} killed mid-cell after {done} cells")
-        if task.key not in store.load_cells(spec):
-            record = compute_cell(spec, task.n, task.prover, task.trials,
-                                  engine=engine)
-            guard_record_bounds(spec, record)
-            store.append_cell(spec, record)
+        cell_span = nullcontext() if sess is None else sess.span(
+            "fleet.cell", spec=spec.name, key=task.key, shard=shard)
+        with cell_span as span:
+            if span is not None:
+                span.note(attempt=attempt)
+            if task.key not in store.load_cells(spec):
+                record = compute_cell(spec, task.n, task.prover,
+                                      task.trials, engine=engine)
+                guard_record_bounds(spec, record)
+                store.append_cell(spec, record)
+            elif span is not None:
+                span.note(replayed=True)
         append_lease(root, EV_DONE, spec.name, task.key, shard, attempt)
         done += 1
     return done
@@ -70,12 +90,36 @@ def execute_shard_tasks(specs: Sequence[ExperimentSpec], root: Path,
 
 def worker_main(specs: Sequence[ExperimentSpec], root: Path, shard: int,
                 tasks: Sequence[Task], attempt: int, engine: str,
-                kill_after: Optional[int]) -> None:
-    """Process entry point: a simulated crash dies the hard way."""
+                kill_after: Optional[int],
+                ctx: Optional[Dict[str, Any]] = None) -> None:
+    """Process entry point: a simulated crash dies the hard way.
+
+    ``ctx`` is the supervisor's propagated trace context (from
+    ``fleet.wave``).  The worker adopts it into a buffer session —
+    the forked process inherits the forking thread's ambient session,
+    so the buffer mirrors its switches — records a ``fleet.shard``
+    root span with meta parent links, and exports the buffer to
+    :func:`shard_obs_path` for the supervisor to merge in shard
+    order.  A crashed worker exports nothing; its cells re-run (and
+    re-record) in the retry wave."""
     import os
     try:
-        execute_shard_tasks(specs, root, shard, tasks, attempt,
-                            engine=engine, kill_after=kill_after)
+        with adopt_context(ctx) as buf:
+            span_cm = nullcontext() if buf is None else buf.span(
+                "fleet.shard", shard=shard, cells=len(tasks))
+            with span_cm as span:
+                if span is not None:
+                    span.note(attempt=attempt, pid=os.getpid())
+                execute_shard_tasks(specs, root, shard, tasks, attempt,
+                                    engine=engine,
+                                    kill_after=kill_after)
+        if buf is not None:
+            spans, snapshot = export_collected(buf)
+            path = shard_obs_path(root, shard, attempt)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(
+                {"spans": spans, "metrics": snapshot},
+                sort_keys=True, default=str) + "\n", encoding="ascii")
     except SimulatedCrash:
         os._exit(1)
 

@@ -379,14 +379,17 @@ def spec_cells(spec: ExperimentSpec,
 
 def _collected_cell(spec: ExperimentSpec, n: int, prover_key: str,
                     trials: int,
-                    engine: str = "python"
+                    engine: str = "python",
+                    ctx: Optional[Dict[str, Any]] = None
                     ) -> Tuple[Dict[str, Any], Collected]:
     """One cell under an observability buffer: the ``lab.cell`` span
     (and everything the engines record beneath it) lands in the buffer,
     which travels back with the record so the parent can merge it in
-    grid order.  Serial and pooled execution share this path, so their
-    deterministic traces are byte-identical by construction."""
-    with collecting() as buf:
+    grid order.  Serial and pooled execution share this path — ``ctx``
+    (the ``lab.run_spec`` span's trace context) is threaded through
+    both, landing only in span ``meta`` — so their deterministic
+    traces are byte-identical by construction."""
+    with collecting(ctx) as buf:
         with (nullcontext() if buf is None else
               buf.span("lab.cell", spec=spec.name, n=n,
                        prover=prover_key, trials=trials)):
@@ -396,24 +399,26 @@ def _collected_cell(spec: ExperimentSpec, n: int, prover_key: str,
     return record, collected
 
 
-#: Fork-inherited (spec, engine) for pool workers — set by
+#: Fork-inherited (spec, engine, trace ctx) for pool workers — set by
 #: :func:`_run_cells` immediately before forking (specs can carry
 #: non-picklable graph factories; the fork pool sidesteps pickling
 #: entirely, exactly as the core runner's trial pool does).
-_CELL_STATE: Optional[Tuple[ExperimentSpec, str]] = None
+_CELL_STATE: Optional[Tuple[ExperimentSpec, str,
+                            Optional[Dict[str, Any]]]] = None
 
 
 def _cell_worker(task: Tuple[int, str, int]
                  ) -> Tuple[Dict[str, Any], Collected]:
     assert _CELL_STATE is not None
-    spec, engine = _CELL_STATE
+    spec, engine, ctx = _CELL_STATE
     n, prover_key, trials = task
-    return _collected_cell(spec, n, prover_key, trials, engine)
+    return _collected_cell(spec, n, prover_key, trials, engine, ctx)
 
 
 def _run_cells(spec: ExperimentSpec, tasks: List[Tuple[int, str, int]],
                workers: int,
-               engine: str = "python"
+               engine: str = "python",
+               ctx: Optional[Dict[str, Any]] = None
                ) -> List[Tuple[Dict[str, Any], Collected]]:
     """Execute ``tasks`` (in order), fanning them over a fork pool when
     ``workers > 1``.  ``chunksize=1`` keeps the slowest cells from
@@ -424,10 +429,10 @@ def _run_cells(spec: ExperimentSpec, tasks: List[Tuple[int, str, int]],
     workers = min(workers, len(tasks))
     pool_ctx = _fork_pool_context() if workers > 1 else None
     if pool_ctx is None:
-        return [_collected_cell(spec, n, prover_key, trials, engine)
+        return [_collected_cell(spec, n, prover_key, trials, engine, ctx)
                 for n, prover_key, trials in tasks]
     global _CELL_STATE
-    _CELL_STATE = (spec, engine)
+    _CELL_STATE = (spec, engine, ctx)
     try:
         with pool_ctx.Pool(processes=workers) as pool:
             return pool.map(_cell_worker, tasks, chunksize=1)
@@ -465,8 +470,9 @@ def run_spec(spec: ExperimentSpec, store: Optional[ResultStore] = None, *,
         pending = [(key, cell) for key, cell in zip(keys, cells)
                    if key not in stored
                    and not (key in queued or queued.add(key))]
+        ctx = None if sess is None else sess.trace_context()
         computed = _run_cells(spec, [cell for _, cell in pending],
-                              workers, engine)
+                              workers, engine, ctx)
         fresh: Dict[str, Dict[str, Any]] = {}
         for (key, _), (record, collected) in zip(pending, computed):
             merge_collected(sess, collected)

@@ -20,18 +20,32 @@ Three ideas:
   adversary and lab numbers all land under one slash-namespaced
   registry with order-deterministic worker merging.
 
-CLI: ``python -m repro obs record|report|top|diff``.
+Live telemetry (:mod:`repro.obs.live`) adds Prometheus text
+exposition, bounded metric/trace rings behind the serve HTTP
+endpoints, and :func:`stitch_spans` — the cross-process trace
+reassembly over the ``trace_context()``/``adopt_context()`` meta
+links.  The bench trajectory (:mod:`repro.obs.history`) is the
+append-only ``bench_history.jsonl`` plus :func:`regress_report`, the
+pure core of the ``obs regress`` gate.
+
+CLI: ``python -m repro obs record|report|top|diff|tail|dash|regress``.
 """
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NS_ADVERSARY, NS_LAB, NS_NETSIM, NS_RUNNER)
+from .history import (HISTORY_FILE, append_records, bench_mode,
+                      effective_history, git_sha, load_history,
+                      make_record, regress_report)
 from .io import ObsRun, default_obs_root, load_run, resolve_run
+from .live import (MetricsRing, TraceRing, histogram_quantile,
+                   metric_scalar, prometheus_name, prometheus_text,
+                   snapshot_deltas, stitch_spans)
 from .profiling import PROFILE_CPROFILE, PROFILE_MODES, PROFILE_TRACEMALLOC, \
     profiled
-from .recorder import BenchRecorder, bench_summary_name
+from .recorder import BenchRecorder, bench_id, bench_summary_name
 from .session import (Collected, EMPTY_COLLECTED, ObsSession, active,
-                      collecting, export_collected, merge_collected,
-                      session, use_session)
+                      adopt_context, collecting, export_collected,
+                      merge_collected, session, use_session)
 from .trace import (DETERMINISTIC_KEYS, Span, Tracer, deterministic_span,
                     flatten_spans, nest_spans)
 
@@ -42,8 +56,10 @@ __all__ = [
     "DETERMINISTIC_KEYS",
     "EMPTY_COLLECTED",
     "Gauge",
+    "HISTORY_FILE",
     "Histogram",
     "MetricsRegistry",
+    "MetricsRing",
     "NS_ADVERSARY",
     "NS_LAB",
     "NS_NETSIM",
@@ -54,19 +70,35 @@ __all__ = [
     "PROFILE_MODES",
     "PROFILE_TRACEMALLOC",
     "Span",
+    "TraceRing",
     "Tracer",
     "active",
+    "adopt_context",
+    "append_records",
+    "bench_id",
+    "bench_mode",
     "bench_summary_name",
     "collecting",
     "default_obs_root",
     "deterministic_span",
+    "effective_history",
     "export_collected",
     "flatten_spans",
+    "git_sha",
+    "histogram_quantile",
+    "load_history",
     "load_run",
+    "make_record",
     "merge_collected",
+    "metric_scalar",
     "nest_spans",
     "profiled",
+    "prometheus_name",
+    "prometheus_text",
+    "regress_report",
     "resolve_run",
     "session",
+    "snapshot_deltas",
+    "stitch_spans",
     "use_session",
 ]

@@ -15,6 +15,15 @@
 ``obs diff``     compare two runs metric by metric; ``--strict`` makes
                  any deterministic drift exit 1 (the perf-trajectory
                  regression check).
+``obs tail``     follow a run directory: poll ``metrics.jsonl`` and
+                 print each metric's delta as it changes.
+``obs dash``     single-screen summary of a run directory — qps,
+                 latency p50/p99, bits/sec, cache hit rate — plus
+                 per-shard fleet progress with ``--fleet``.
+``obs regress``  the trajectory gate: compare each bench's newest
+                 ``bench_history.jsonl`` record against its committed
+                 trailing window; exit 1 on deterministic-bit drift or
+                 noise-aware wall regression.
 """
 
 from __future__ import annotations
@@ -22,13 +31,23 @@ from __future__ import annotations
 import argparse
 import json
 import random
-from typing import Any, Dict, Optional
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
 
+from .history import (WALL_FLOOR, WALL_RATIO, WINDOW, load_history,
+                      regress_report)
 from .io import DEFAULT_RUN_NAME, default_obs_root, load_run, resolve_run
+from .live import histogram_quantile, metric_scalar, snapshot_deltas
 from .report import (diff_runs, flame_rows, render_diff, render_flame,
                      render_report, render_top, report_jsonable,
                      top_spans)
 from .session import ObsSession, session
+
+
+def default_history_path() -> Path:
+    """``benchmarks/bench_history.jsonl`` next to the obs store."""
+    return default_obs_root().parent / "bench_history.jsonl"
 
 
 def _counter_value(sess: ObsSession, name: str) -> float:
@@ -210,6 +229,171 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_metrics(path: Path) -> Dict[str, Dict[str, Any]]:
+    """The run directory's current metric snapshots (empty while the
+    run has not flushed yet — tail keeps polling)."""
+    try:
+        return load_run(path).metrics
+    except FileNotFoundError:
+        return {}
+
+
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    path = Path(args.run) if args.run \
+        else default_obs_root() / DEFAULT_RUN_NAME
+    previous = _load_metrics(path)
+    print(f"obs tail -> {path} ({len(previous)} metrics, "
+          f"interval {args.interval}s)")
+    ticks = 0
+    while args.iterations <= 0 or ticks < args.iterations:
+        if args.iterations <= 0 or ticks:
+            time.sleep(args.interval)
+        current = _load_metrics(path)
+        stamp = time.strftime("%H:%M:%S")
+        for name, old, new in snapshot_deltas(previous, current):
+            if old is None:
+                print(f"  {stamp} {name} = {new:g} (new)")
+            elif new is None:
+                print(f"  {stamp} {name} (gone, was {old:g})")
+            else:
+                rate = ((new - old) / args.interval
+                        if args.interval > 0 else None)
+                rate_s = f" ({rate:+.1f}/s)" if rate is not None else ""
+                print(f"  {stamp} {name} {old:g} -> {new:g}{rate_s}")
+        previous = current
+        ticks += 1
+    return 0
+
+
+def _metric(metrics: Dict[str, Dict[str, Any]],
+            name: str) -> Optional[float]:
+    snap = metrics.get(name)
+    return None if snap is None else metric_scalar(snap)
+
+
+def dash_summary(metrics: Dict[str, Dict[str, Any]],
+                 older: Optional[Dict[str, Dict[str, Any]]] = None,
+                 interval: float = 0.0,
+                 fleet_root: Optional[Path] = None) -> Dict[str, Any]:
+    """The ``obs dash`` numbers, from one (or two, for rates) metric
+    snapshots: request totals and latency quantiles from the serve
+    histogram, proof bits across engines, cache hit rate, and —
+    given a fleet store root — per-shard lease progress."""
+    latency = metrics.get("serve/latency_ms")
+    requests = None if latency is None else latency.get("count")
+    hits = _metric(metrics, "serve/cache/hits") or 0
+    misses = _metric(metrics, "serve/cache/misses") or 0
+    bits = sum(_metric(metrics, name) or 0
+               for name in ("runner/proof_bits", "netsim/proof_bits"))
+    out: Dict[str, Any] = {
+        "requests": requests,
+        "p50_ms": None if latency is None
+        else histogram_quantile(latency, 0.50),
+        "p99_ms": None if latency is None
+        else histogram_quantile(latency, 0.99),
+        "proof_bits": bits,
+        "cache_hit_rate": (hits / (hits + misses)
+                           if hits + misses else None),
+        "qps": None,
+        "bits_per_sec": None,
+    }
+    if older is not None and interval > 0:
+        old_latency = older.get("serve/latency_ms")
+        if latency is not None and old_latency is not None:
+            out["qps"] = (latency["count"]
+                          - old_latency["count"]) / interval
+        old_bits = sum(_metric(older, name) or 0
+                       for name in ("runner/proof_bits",
+                                    "netsim/proof_bits"))
+        out["bits_per_sec"] = (bits - old_bits) / interval
+    if fleet_root is not None:
+        from ..fleet.leases import scan_leases, shard_heartbeats
+        beats = shard_heartbeats(scan_leases(Path(fleet_root)))
+        out["fleet"] = [
+            {"shard": shard, **beats[shard]}
+            for shard in sorted(beats)]
+    return out
+
+
+def _fmt(value: Optional[float], suffix: str = "",
+         precision: int = 1) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{precision}f}{suffix}"
+
+
+def cmd_obs_dash(args: argparse.Namespace) -> int:
+    path = Path(args.run) if args.run \
+        else default_obs_root() / DEFAULT_RUN_NAME
+    older = None
+    if args.interval > 0:
+        older = _load_metrics(path)
+        time.sleep(args.interval)
+    metrics = _load_metrics(path)
+    fleet_root = Path(args.fleet) if args.fleet else None
+    dash = dash_summary(metrics, older, args.interval, fleet_root)
+    if args.json:
+        print(json.dumps(dash, indent=2, sort_keys=True))
+        return 0
+    print(f"obs dash -> {path}")
+    print(f"  requests: {dash['requests'] if dash['requests'] is not None else '-'}"
+          f"   qps: {_fmt(dash['qps'])}")
+    print(f"  latency:  p50 {_fmt(dash['p50_ms'], 'ms')}  "
+          f"p99 {_fmt(dash['p99_ms'], 'ms')}")
+    print(f"  bits:     {int(dash['proof_bits'])} total, "
+          f"{_fmt(dash['bits_per_sec'], '/s', 0)}")
+    rate = dash["cache_hit_rate"]
+    print(f"  cache:    "
+          f"{'-' if rate is None else f'{100 * rate:.1f}% hit'}")
+    for row in dash.get("fleet", []):
+        age = row.get("last_age")
+        beat = "no heartbeat" if age is None else f"{age:.1f}s ago"
+        print(f"  shard {row['shard']}: {row['done']}/{row['claimed']} "
+              f"done/claimed, last lease {beat}")
+    return 0
+
+
+def render_regress(report: Dict[str, Any]) -> List[str]:
+    lines = []
+    for row in report["benches"]:
+        if row.get("baseline") == "none":
+            detail = "no baseline"
+        else:
+            median = row.get("wall_median")
+            detail = (f"wall {_fmt(row.get('wall'), 's', 3)} vs "
+                      f"median {_fmt(median, 's', 3)}")
+        status = "ok" if row["ok"] else "FAIL"
+        lines.append(f"  {row['bench']:<12} @ {row['sha']} "
+                     f"[{row['mode']}] {detail}  {status}")
+    for drift in report["drifts"]:
+        lines.append(f"  DRIFT {drift['bench']}: {drift['metric']} "
+                     f"{drift['old']:g} -> {drift['new']:g} "
+                     f"(baseline {drift['old_sha']})")
+    for reg in report["regressions"]:
+        lines.append(f"  REGRESSION {reg['bench']}: wall "
+                     f"{reg['wall']}s = {reg['ratio']}x median "
+                     f"{reg['median']}s")
+    lines.append("regress gate: "
+                 + ("ok" if report["ok"] else "FAILED"))
+    return lines
+
+
+def cmd_obs_regress(args: argparse.Namespace) -> int:
+    path = Path(args.history) if args.history else default_history_path()
+    records = load_history(path)
+    report = regress_report(records, window=args.window,
+                            wall_ratio=args.max_wall,
+                            wall_floor=args.wall_floor,
+                            benches=args.bench or None)
+    if args.json:
+        print(json.dumps({**report, "history": str(path)}, indent=2,
+                         sort_keys=True))
+    else:
+        print(f"obs regress -> {path} ({len(records)} records)")
+        print("\n".join(render_regress(report)))
+    return 0 if report["ok"] else 1
+
+
 def add_obs_parser(sub) -> None:
     """Register the ``obs`` command group on the main CLI."""
     p = sub.add_parser(
@@ -267,3 +451,50 @@ def add_obs_parser(sub) -> None:
                       help="exit 1 on any deterministic metric drift")
     diff.add_argument("--json", action="store_true")
     diff.set_defaults(func=cmd_obs_diff)
+
+    tail = obs_sub.add_parser(
+        "tail", help="follow a run directory's metrics as they change")
+    tail.add_argument("run", nargs="?",
+                      help="run directory (default: the last "
+                           "`obs record` output)")
+    tail.add_argument("--interval", type=float, default=1.0,
+                      help="seconds between polls")
+    tail.add_argument("--iterations", type=int, default=0,
+                      help="stop after N polls (0: until interrupted)")
+    tail.set_defaults(func=cmd_obs_tail)
+
+    dash = obs_sub.add_parser(
+        "dash", help="single-screen summary: qps, p50/p99, bits/sec, "
+                     "cache hit rate, fleet progress")
+    dash.add_argument("run", nargs="?",
+                      help="run directory (default: the last "
+                           "`obs record` output)")
+    dash.add_argument("--interval", type=float, default=0.0,
+                      help="sample twice this many seconds apart to "
+                           "compute qps / bits-per-sec rates")
+    dash.add_argument("--fleet", metavar="STORE",
+                      help="fleet store root: adds per-shard lease "
+                           "progress rows")
+    dash.add_argument("--json", action="store_true")
+    dash.set_defaults(func=cmd_obs_dash)
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="bench-history trajectory gate: exit 1 on deterministic "
+             "drift or wall regression vs the trailing window")
+    regress.add_argument("--history", metavar="FILE",
+                         help=f"bench_history.jsonl path (default: "
+                              f"{default_history_path()})")
+    regress.add_argument("--window", type=int, default=WINDOW,
+                         help="trailing records per bench for the "
+                              "wall median")
+    regress.add_argument("--max-wall", type=float, default=WALL_RATIO,
+                         help="wall regression ratio over the window "
+                              "median (default %(default)s)")
+    regress.add_argument("--wall-floor", type=float, default=WALL_FLOOR,
+                         help="absolute seconds of wall excess below "
+                              "which jitter is never flagged")
+    regress.add_argument("--bench", action="append", metavar="NAME",
+                         help="restrict to this bench id (repeatable)")
+    regress.add_argument("--json", action="store_true")
+    regress.set_defaults(func=cmd_obs_regress)

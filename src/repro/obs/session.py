@@ -29,6 +29,8 @@ byte-identical deterministic traces.
 from __future__ import annotations
 
 import json
+import threading
+import uuid
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -47,11 +49,17 @@ class ObsSession:
 
     def __init__(self, trace: bool = True, metrics: bool = True,
                  profile: Optional[str] = None,
-                 max_spans: int = 250_000) -> None:
+                 max_spans: int = 250_000,
+                 trace_id: Optional[str] = None) -> None:
         self.tracer = Tracer(enabled=trace, max_spans=max_spans)
         self.metrics = MetricsRegistry()
         self.metrics_enabled = metrics
         self.profile = profile
+        #: meta-only trace identity; never enters the deterministic
+        #: span projection, so byte-identity gates are unaffected.
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.tracer.trace_id = self.trace_id
+        self._ctx_seq = 0
 
     # -- recording façade -----------------------------------------------
 
@@ -67,6 +75,25 @@ class ObsSession:
 
     def counter(self, name: str, deterministic: bool = True):
         return self.metrics.counter(name, deterministic)
+
+    # -- context propagation ---------------------------------------------
+
+    def trace_context(self) -> Dict[str, Optional[str]]:
+        """The compact propagation context ``{"trace", "span"}`` of the
+        innermost open span, minting a meta-only span id on demand.
+        Hand the dict across a fork/thread boundary and open the far
+        side with :func:`adopt_context`."""
+        if not self.tracer.enabled:
+            return {"trace": self.trace_id, "span": None}
+        return self.tracer.span_context()
+
+    def new_context(self, label: str = "ctx") -> Dict[str, Optional[str]]:
+        """A fresh root context (its own trace id) for one unit of
+        work — e.g. one serve request — so each unit stitches into its
+        own span tree."""
+        self._ctx_seq += 1
+        return {"trace": f"{self.trace_id}-{label}{self._ctx_seq}",
+                "span": None}
 
     # -- persistence -----------------------------------------------------
 
@@ -103,13 +130,19 @@ class ObsSession:
         return paths
 
 
-#: The ambient session; None = observability off (the default).
-_ACTIVE: Optional[ObsSession] = None
+#: The ambient session lives in thread-local storage; None =
+#: observability off (the default).  Thread-local rather than a module
+#: global so the serve batcher's executor threads never race on one
+#: tracer's span stack — each thread sees only the session it (or its
+#: forking parent thread: ``fork`` preserves the forking thread's TLS)
+#: explicitly installed.
+_TLS = threading.local()
 
 
 def active() -> Optional[ObsSession]:
-    """The installed session, or None when observability is off."""
-    return _ACTIVE
+    """The calling thread's session, or None when observability is
+    off — the entire disabled cost is one thread-local read."""
+    return getattr(_TLS, "session", None)
 
 
 @contextmanager
@@ -125,34 +158,75 @@ def session(trace: bool = True, metrics: bool = True,
 
 @contextmanager
 def use_session(sess: Optional[ObsSession]) -> Iterator[Optional[ObsSession]]:
-    """Install an existing session (or None to force-disable) for the
-    block, restoring the previous ambient session after."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = sess
+    """Install an existing session (or None to force-disable) on the
+    calling thread for the block, restoring the previous one after."""
+    previous = getattr(_TLS, "session", None)
+    _TLS.session = sess
     try:
         yield sess
     finally:
-        _ACTIVE = previous
+        _TLS.session = previous
 
 
 @contextmanager
-def collecting() -> Iterator[Optional[ObsSession]]:
+def collecting(ctx: Optional[Dict[str, Optional[str]]] = None
+               ) -> Iterator[Optional[ObsSession]]:
     """A buffer session for one trial batch (see module docstring).
 
     Yields None — and installs nothing — when observability is off, so
-    the disabled path stays a single global read.  The caller exports
-    the buffer with :func:`export_collected` and merges it into the
-    real session with :func:`merge_collected`.
+    the disabled path stays a single thread-local read.  The caller
+    exports the buffer with :func:`export_collected` and merges it into
+    the real session with :func:`merge_collected`.  Pass a ``ctx`` from
+    :meth:`ObsSession.trace_context` to annotate the buffer's root
+    spans with meta parent links (fork-pool cell workers do, so a
+    stitcher can connect the merged tree even across run directories).
     """
-    parent = _ACTIVE
+    parent = active()
     if parent is None:
         yield None
         return
     buffer = ObsSession(trace=parent.tracer.enabled,
                         metrics=parent.metrics_enabled,
                         profile=None,
-                        max_spans=parent.tracer.max_spans)
+                        max_spans=parent.tracer.max_spans,
+                        trace_id=(ctx or {}).get("trace"))
+    if ctx is not None:
+        buffer.tracer.adopted = dict(ctx)
+    with use_session(buffer):
+        yield buffer
+
+
+@contextmanager
+def adopt_context(ctx: Optional[Dict[str, Optional[str]]],
+                  trace: Optional[bool] = None,
+                  metrics: Optional[bool] = None,
+                  max_spans: int = 250_000
+                  ) -> Iterator[Optional[ObsSession]]:
+    """Adopt a propagated context on the *calling thread*: install a
+    buffer session whose root spans carry ``meta`` links back to
+    ``ctx`` (trace id + parent span id).
+
+    This is the far side of :meth:`ObsSession.trace_context` for
+    boundaries where the worker has no inherited ambient session — the
+    serve batcher's executor threads and the fleet supervisor→worker
+    fork.  ``trace``/``metrics`` default to the calling thread's parent
+    session switches when one is installed, else on.  Yields None (and
+    installs nothing) when ``ctx`` is None, so callers pass the context
+    unconditionally and pay nothing while observability is off.
+    """
+    if ctx is None:
+        yield None
+        return
+    parent = active()
+    if trace is None:
+        trace = parent.tracer.enabled if parent else True
+    if metrics is None:
+        metrics = parent.metrics_enabled if parent else True
+    buffer = ObsSession(
+        trace=trace, metrics=metrics, profile=None,
+        max_spans=parent.tracer.max_spans if parent else max_spans,
+        trace_id=ctx.get("trace"))
+    buffer.tracer.adopted = dict(ctx)
     with use_session(buffer):
         yield buffer
 

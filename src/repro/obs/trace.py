@@ -33,6 +33,7 @@ byte-identical to a serial run's.
 from __future__ import annotations
 
 import json
+import uuid
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Dict, Iterator, List, Optional
@@ -121,6 +122,32 @@ class Tracer:
         self._stack: List[Span] = []
         self.count = 0
         self.truncated = 0
+        #: trace id this tracer records under (meta-only identity).
+        self.trace_id: Optional[str] = None
+        #: adopted parent context ``{"trace", "span"}`` — when set,
+        #: every closing *root* span is annotated with meta links so a
+        #: stitcher in another process can re-parent it (span ids live
+        #: in ``meta``, never in the deterministic projection).
+        self.adopted: Optional[Dict[str, Optional[str]]] = None
+        self._id_prefix = uuid.uuid4().hex[:8]
+        self._id_seq = 0
+
+    def mint_span_id(self) -> str:
+        """A process-unique, meta-only span id."""
+        self._id_seq += 1
+        return f"{self._id_prefix}.{self._id_seq}"
+
+    def span_context(self) -> Dict[str, Optional[str]]:
+        """The propagation context of the innermost open span: its
+        trace id plus a span id minted on demand into ``span.meta``."""
+        current = self.current
+        span_id: Optional[str] = None
+        if current is not None:
+            span_id = current.meta.get("span")
+            if span_id is None:
+                span_id = self.mint_span_id()
+                current.meta["span"] = span_id
+        return {"trace": self.trace_id, "span": span_id}
 
     @property
     def current(self) -> Optional[Span]:
@@ -150,6 +177,14 @@ class Tracer:
             if self._stack:
                 self._stack[-1].children.append(exported)
             else:
+                if self.adopted is not None:
+                    meta = exported["meta"]
+                    if self.adopted.get("trace") is not None:
+                        meta.setdefault("trace", self.adopted["trace"])
+                    if self.adopted.get("span") is not None:
+                        meta.setdefault("parent_span",
+                                        self.adopted["span"])
+                    meta.setdefault("span", self.mint_span_id())
                 self.roots.append(exported)
 
     def attach(self, spans: List[Dict[str, Any]]) -> None:

@@ -132,8 +132,46 @@ def _smoke_lines(count: int, seed: int,
     return lines, ok, bad
 
 
+async def _http_get(host: str, port: int,
+                    path: str) -> Tuple[int, str]:
+    """One-shot HTTP/1.1 GET against the serve transport."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                 f"Connection: close\r\n\r\n".encode("ascii"))
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # pragma: no cover
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode("utf-8")
+
+
+def _check_exposition(text: str, failures: List[str]) -> None:
+    """The mid-run scrape gate: non-empty, well-formed Prometheus
+    text with the serve metrics present."""
+    if not text.strip():
+        failures.append("/v1/metrics exposition is empty")
+        return
+    lines = text.strip().splitlines()
+    if not lines[0].startswith("# HELP"):
+        failures.append("/v1/metrics does not start with # HELP")
+    for line in lines:
+        if not line.startswith("#") and " " not in line:
+            failures.append(f"malformed exposition line {line!r}")
+            break
+    if "repro_serve_up" not in text:
+        failures.append("/v1/metrics lacks repro_serve_up")
+
+
 async def _run_smoke(config: ServeConfig, count: int, seed: int,
                      as_json: bool) -> int:
+    from ..obs.live import stitch_spans
+    from ..obs.session import active
+    from .http import serve_http
     from .jobs import result_payload
     from .schema import parse_request
     from .stdio import serve_lines
@@ -152,9 +190,51 @@ async def _run_smoke(config: ServeConfig, count: int, seed: int,
         service, _source(), lambda text: responses.append(
             json.loads(text)))
     drained = await service.drain()
+
+    # Mid-run scrape: the service is still up — bind the HTTP
+    # transport and hit the exposition endpoints like a scraper would.
+    failures: List[str] = []
+    first_ok = next((r for r in responses if r.get("ok")), None)
+    server = await serve_http(service, "127.0.0.1", 0)
+    scrape_host, scrape_port = server.sockets[0].getsockname()[:2]
+    status, exposition = await _http_get(scrape_host, scrape_port,
+                                         "/v1/metrics")
+    if status != 200:
+        failures.append(f"/v1/metrics returned {status}")
+    _check_exposition(exposition, failures)
+    sess = active()
+    if sess is not None and sess.tracer.enabled and first_ok is not None:
+        status, trace_body = await _http_get(
+            scrape_host, scrape_port, f"/v1/trace/{first_ok['id']}")
+        if status != 200:
+            failures.append(f"/v1/trace/{first_ok['id']} returned "
+                            f"{status}")
+        elif not json.loads(trace_body).get("span"):
+            failures.append("/v1/trace returned no span tree")
+    server.close()
+    await server.wait_closed()
     await service.close()
 
-    failures: List[str] = []
+    # Context-propagation gate: with tracing on, every request that
+    # reached the batcher must stitch into one connected tree (the
+    # serve.request span roots it; executor-buffer roots link to it).
+    if sess is not None and sess.tracer.enabled:
+        stitched = stitch_spans(sess.tracer.export())
+        request_traces = {trace: bucket
+                          for trace, bucket in stitched["traces"].items()
+                          if "-req" in trace}
+        if stitched["orphans"]:
+            failures.append(
+                f"orphan spans after stitching: {stitched['orphans']}")
+        disconnected = [trace for trace, bucket in request_traces.items()
+                        if len(bucket["roots"]) != 1]
+        if disconnected:
+            failures.append(f"request traces with != 1 root: "
+                            f"{sorted(disconnected)}")
+        if len(request_traces) < expected_ok:
+            failures.append(
+                f"expected >= {expected_ok} request traces, saw "
+                f"{len(request_traces)}")
     if counts["requests"] != count or len(responses) != count:
         failures.append(f"expected {count} responses, saw "
                         f"{len(responses)}")
@@ -188,7 +268,6 @@ async def _run_smoke(config: ServeConfig, count: int, seed: int,
 
     # Byte-identity spot check: the service result for the first ok
     # response must equal a direct run_trials call with the same job.
-    first_ok = next((r for r in responses if r.get("ok")), None)
     if first_ok is not None:
         from ..core.runner import run_trials
         from .jobs import resolve_instance
@@ -214,6 +293,8 @@ async def _run_smoke(config: ServeConfig, count: int, seed: int,
         "requests": count, "ok": counts["ok"],
         "errors": counts["errors"], "drained": drained,
         "cache": service.cache.stats(), "failures": failures,
+        "metrics_scraped": len(exposition.strip().splitlines()),
+        "traced": bool(sess is not None and sess.tracer.enabled),
         "passed": not failures,
     }
     if as_json:
@@ -222,7 +303,8 @@ async def _run_smoke(config: ServeConfig, count: int, seed: int,
         print(f"smoke: {count} requests, {counts['ok']} ok, "
               f"{counts['errors']} errors, drain="
               f"{'clean' if drained else 'DIRTY'}, cache hits="
-              f"{service.cache.stats()['hits']}")
+              f"{service.cache.stats()['hits']}, scraped "
+              f"{summary['metrics_scraped']} exposition lines")
         for failure in failures:
             print(f"  FAIL: {failure}")
         print("smoke: PASS" if not failures else "smoke: FAIL")
@@ -240,11 +322,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("error: --smoke needs a positive request count",
                   file=sys.stderr)
             return 2
-        return asyncio.run(_run_smoke(config, args.smoke, args.seed,
-                                      args.json))
-    if args.stdin:
-        return asyncio.run(_run_stdio(config))
-    return asyncio.run(_run_http(config, args.json))
+        # The smoke is also the context-propagation gate: run it under
+        # a traced obs session (unless the caller installed one) so the
+        # stitched span-tree assertions in _run_smoke are exercised.
+        from contextlib import nullcontext
+
+        from ..obs.session import active, session as obs_session
+        ambient = nullcontext() if active() is not None \
+            else obs_session()
+        with ambient:
+            return asyncio.run(_run_smoke(config, args.smoke,
+                                          args.seed, args.json))
+    from contextlib import nullcontext
+
+    from ..obs.session import active, session as obs_session
+    ambient = obs_session() if args.obs and active() is None \
+        else nullcontext()
+    with ambient:
+        if args.stdin:
+            return asyncio.run(_run_stdio(config))
+        return asyncio.run(_run_http(config, args.json))
 
 
 def add_serve_parser(sub: "argparse._SubParsersAction") -> None:
@@ -270,6 +367,10 @@ def add_serve_parser(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--drain-timeout", type=float, default=10.0)
     p.add_argument("--cache-capacity", type=int, default=256,
                    help="resolved-instance cache entries")
+    p.add_argument("--obs", action="store_true",
+                   help="run under a live observability session: "
+                        "/v1/metrics carries the full registry and "
+                        "/v1/trace retains request span trees")
     p.add_argument("--stdin", action="store_true",
                    help="serve ndjson lines from stdin instead of HTTP")
     p.add_argument("--smoke", type=int, metavar="N", default=None,

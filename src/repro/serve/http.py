@@ -10,10 +10,17 @@ docs/SERVE.md's runbook).
 
 Routes
 ------
-``POST /v1/verify``   one wire request in, one wire response out.
-``GET  /v1/health``   service stats (queue depth, cache, counters).
-``GET  /v1/schema``   the schema version and registry keys clients
-                      may use — service discovery for load generators.
+``POST /v1/verify``      one wire request in, one wire response out.
+``GET  /v1/health``      service stats (queue depth, cache, counters).
+``GET  /v1/schema``      the schema version and registry keys clients
+                         may use — service discovery for load
+                         generators.
+``GET  /v1/metrics``     Prometheus text exposition: the ambient
+                         registry's latest ring snapshot plus
+                         service-level gauges (scrape target).
+``GET  /v1/trace/<id>``  a finished request's span tree (JSON), by
+                         trace id or request id, from the bounded
+                         trace ring.
 
 The HTTP status of an error response comes straight from the error
 taxonomy (:data:`repro.serve.schema.ERROR_STATUS`): ``malformed`` is
@@ -56,10 +63,15 @@ class _HttpError(Exception):
         self.message = message
 
 
-def _render(status: int, body: str,
-            keep_alive: bool) -> bytes:
+#: Exposition content type (the Prometheus text format version).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json"
+
+
+def _render(status: int, body: str, keep_alive: bool,
+            content_type: str = JSON_CONTENT_TYPE) -> bytes:
     head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body.encode('utf-8'))}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n")
@@ -157,24 +169,45 @@ def _schema_payload() -> Dict[str, Any]:
 
 
 async def _route(service: VerifyService, method: str, path: str,
-                 body: bytes) -> Tuple[int, Dict[str, Any]]:
+                 body: bytes) -> Tuple[int, str, str]:
+    """Dispatch one request; returns (status, body, content type)."""
+    def as_json(status: int, payload: Dict[str, Any]
+                ) -> Tuple[int, str, str]:
+        return status, json.dumps(payload, sort_keys=True), \
+            JSON_CONTENT_TYPE
+
     if path == "/v1/verify":
         if method != "POST":
             raise _HttpError(405, ERR_UNSUPPORTED,
                              "/v1/verify only accepts POST")
         response = await service.handle(body)
-        return response_status(response), response
+        return as_json(response_status(response), response)
     if path == "/v1/health":
         if method != "GET":
             raise _HttpError(405, ERR_UNSUPPORTED,
                              "/v1/health only accepts GET")
-        return 200, {"v": WIRE_VERSION, "ok": True,
-                     "stats": service.stats()}
+        return as_json(200, {"v": WIRE_VERSION, "ok": True,
+                             "stats": service.stats()})
     if path == "/v1/schema":
         if method != "GET":
             raise _HttpError(405, ERR_UNSUPPORTED,
                              "/v1/schema only accepts GET")
-        return 200, _schema_payload()
+        return as_json(200, _schema_payload())
+    if path == "/v1/metrics":
+        if method != "GET":
+            raise _HttpError(405, ERR_UNSUPPORTED,
+                             "/v1/metrics only accepts GET")
+        return 200, service.metrics_text(), METRICS_CONTENT_TYPE
+    if path.startswith("/v1/trace/"):
+        if method != "GET":
+            raise _HttpError(405, ERR_UNSUPPORTED,
+                             "/v1/trace only accepts GET")
+        key = path[len("/v1/trace/"):]
+        entry = service.trace_tree(key)
+        if entry is None:
+            raise _HttpError(404, ERR_UNSUPPORTED,
+                             f"no retained trace for {key!r}")
+        return as_json(200, {"v": WIRE_VERSION, "ok": True, **entry})
     raise _HttpError(404, ERR_UNSUPPORTED, f"unknown path {path!r}")
 
 
@@ -198,14 +231,16 @@ async def handle_connection(service: VerifyService,
             keep_alive = headers.get("connection", "keep-alive") \
                 .lower() != "close"
             try:
-                status, payload = await _route(service, method, path,
-                                               body)
+                status, rendered, content_type = await _route(
+                    service, method, path, body)
             except _HttpError as exc:
                 status = exc.status
-                payload = error_response(None, exc.code, exc.message)
-            writer.write(_render(status,
-                                 json.dumps(payload, sort_keys=True),
-                                 keep_alive))
+                rendered = json.dumps(
+                    error_response(None, exc.code, exc.message),
+                    sort_keys=True)
+                content_type = JSON_CONTENT_TYPE
+            writer.write(_render(status, rendered, keep_alive,
+                                 content_type))
             await writer.drain()
             if not keep_alive:
                 return

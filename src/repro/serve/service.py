@@ -44,7 +44,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..obs.session import active
+from ..obs.live import MetricsRing, TraceRing, prometheus_text
+from ..obs.session import (Collected, active, adopt_context,
+                           export_collected, merge_collected)
 from .cache import ShardedCache
 from .jobs import ResolvedInstance, execute_job, resolve_instance
 from .schema import (ERR_INTERNAL, ERR_OVERLOADED, ERR_TIMEOUT,
@@ -75,6 +77,11 @@ class ServeConfig:
     #: resolved-instance cache geometry.
     cache_capacity: int = 256
     cache_shards: int = 8
+    #: live-exposition throttle: at most one metrics-ring snapshot per
+    #: this many seconds (the ``GET /v1/metrics`` backing store).
+    metrics_interval: float = 0.25
+    #: finished request traces retained for ``GET /v1/trace/<id>``.
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -87,6 +94,10 @@ class ServeConfig:
             raise ValueError("run_workers must be positive")
         if self.timeout <= 0 or self.drain_timeout <= 0:
             raise ValueError("timeouts must be positive")
+        if self.metrics_interval < 0:
+            raise ValueError("metrics_interval must be >= 0")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be positive")
 
 
 @dataclass
@@ -97,9 +108,16 @@ class _Pending:
     future: "asyncio.Future[Dict[str, Any]]"
     enqueued: float
     deadline: float
-    #: filled by the executor: (response, run_seconds) — the event
-    #: loop attaches queue timing and resolves the future.
-    outcome: Optional[Tuple[Dict[str, Any], float]] = field(default=None)
+    #: propagated trace context (None = observability off at admission)
+    #: plus the ambient session's switches, so the executor thread's
+    #: adopted buffer mirrors them exactly.
+    ctx: Optional[Dict[str, Optional[str]]] = field(default=None)
+    obs_trace: bool = field(default=False)
+    obs_metrics: bool = field(default=False)
+    #: filled by the executor: (response, run_seconds, collected) — the
+    #: event loop attaches queue timing and resolves the future.
+    outcome: Optional[Tuple[Dict[str, Any], float, Collected]] = \
+        field(default=None)
 
 
 class VerifyService:
@@ -128,6 +146,9 @@ class VerifyService:
             "requests": 0, "ok": 0, "rejected": 0, "batches": 0,
             "batched_jobs": 0, "timeouts": 0,
         }
+        #: live telemetry: bounded snapshot ring + finished traces.
+        self.live = MetricsRing(interval=self.config.metrics_interval)
+        self.traces = TraceRing(capacity=self.config.trace_capacity)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -211,6 +232,16 @@ class VerifyService:
                            .create_future(),
                            enqueued=started,
                            deadline=started + timeout)
+        sess = active()
+        if sess is not None:
+            # Mint the request's trace context up front: the executor
+            # thread adopts it (buffer roots link back to the span id
+            # minted here) and the post-hoc ``serve.request`` span
+            # records itself under the very same ids.
+            pending.ctx = sess.new_context("req")
+            pending.ctx["span"] = sess.tracer.mint_span_id()
+            pending.obs_trace = sess.tracer.enabled
+            pending.obs_metrics = sess.metrics_enabled
         self.queue.put_nowait(pending)
         return await pending.future
 
@@ -221,9 +252,10 @@ class VerifyService:
         return response
 
     def _resolve(self, pending: _Pending, response: Dict[str, Any],
-                 run_seconds: float = 0.0) -> None:
+                 run_seconds: float = 0.0,
+                 collected: Optional[Collected] = None) -> None:
         self._observe(pending.request.id, response, pending.enqueued,
-                      run_seconds)
+                      run_seconds, ctx=pending.ctx, collected=collected)
         if not pending.future.done():
             pending.future.set_result(response)
 
@@ -256,18 +288,25 @@ class VerifyService:
                 self.executor, self._run_group, key, group)
         except Exception as exc:  # pragma: no cover - executor death
             outcomes = [(error_response(p.request.id, ERR_INTERNAL,
-                                        f"dispatch failed: {exc}"), 0.0)
+                                        f"dispatch failed: {exc}"),
+                         0.0, None)
                         for p in group]
-        for pending, (response, run_seconds) in zip(group, outcomes):
-            self._resolve(pending, response, run_seconds)
+        for pending, (response, run_seconds, collected) in zip(group,
+                                                               outcomes):
+            self._resolve(pending, response, run_seconds, collected)
 
     def _run_group(self, key: str,
                    group: List[_Pending]
-                   ) -> List[Tuple[Dict[str, Any], float]]:
+                   ) -> List[Tuple[Dict[str, Any], float,
+                                   Optional[Collected]]]:
         """Executor-side: resolve the group's shared instance once,
         then run each job sequentially on the warm context.  Runs in a
-        worker thread — no event-loop state is touched here."""
-        outcomes: List[Tuple[Dict[str, Any], float]] = []
+        worker thread — no event-loop state is touched here; spans and
+        metrics land in a per-request adopted buffer (the executor
+        thread has no ambient session of its own) which ships back with
+        the outcome for the event loop to merge."""
+        outcomes: List[Tuple[Dict[str, Any], float,
+                             Optional[Collected]]] = []
         resolved: Optional[ResolvedInstance] = None
         resolve_error: Optional[WireError] = None
         cache_hit = False
@@ -279,7 +318,8 @@ class VerifyService:
                 outcomes.append((error_response(
                     request.id, ERR_TIMEOUT,
                     f"deadline expired after "
-                    f"{now - pending.enqueued:.3f}s in queue"), 0.0))
+                    f"{now - pending.enqueued:.3f}s in queue"),
+                    0.0, None))
                 continue
             if resolved is None and resolve_error is None:
                 try:
@@ -290,22 +330,27 @@ class VerifyService:
             if resolve_error is not None:
                 outcomes.append((error_response(
                     request.id, resolve_error.code,
-                    resolve_error.message), 0.0))
+                    resolve_error.message), 0.0, None))
                 continue
             tick = time.monotonic()
             try:
-                result, estimate = execute_job(
-                    request.job, resolved,
-                    workers=self.config.run_workers)
+                with adopt_context(pending.ctx,
+                                   trace=pending.obs_trace,
+                                   metrics=pending.obs_metrics) as buf:
+                    result, estimate = execute_job(
+                        request.job, resolved,
+                        workers=self.config.run_workers)
             except WireError as exc:
                 outcomes.append((error_response(request.id, exc.code,
-                                                exc.message), 0.0))
+                                                exc.message), 0.0, None))
                 continue
             except Exception as exc:
                 outcomes.append((error_response(
                     request.id, ERR_INTERNAL,
-                    f"{type(exc).__name__}: {exc}"), 0.0))
+                    f"{type(exc).__name__}: {exc}"), 0.0, None))
                 continue
+            collected = export_collected(buf) if buf is not None \
+                else None
             run_seconds = time.monotonic() - tick
             meta = {
                 "engine": estimate.engine,
@@ -317,14 +362,16 @@ class VerifyService:
                 "run_ms": round(run_seconds * 1000, 3),
             }
             outcomes.append((ok_response(request.id, result, meta),
-                             run_seconds))
+                             run_seconds, collected))
         return outcomes
 
     # -- observability ---------------------------------------------------
 
     def _observe(self, request_id: Optional[str],
                  response: Dict[str, Any], started: float,
-                 run_seconds: float) -> None:
+                 run_seconds: float,
+                 ctx: Optional[Dict[str, Optional[str]]] = None,
+                 collected: Optional[Collected] = None) -> None:
         self._counts["requests"] += 1
         ok = bool(response.get("ok"))
         code = None if ok else response["error"]["code"]
@@ -338,8 +385,20 @@ class VerifyService:
         total = time.monotonic() - started
         with sess.span("serve.request", id=request_id or "-",
                        ok=ok, code=code or "-") as span:
-            if span is not None and ok:
-                span.note(run_ms=response["meta"]["run_ms"])
+            if span is not None:
+                if ok:
+                    span.note(run_ms=response["meta"]["run_ms"])
+                if ctx is not None:
+                    # The exact ids the executor buffer linked to at
+                    # admission — the request's spans stitch into one
+                    # connected tree under this root.
+                    span.meta["trace"] = ctx["trace"]
+                    span.meta["span"] = ctx["span"]
+            if collected is not None:
+                merge_collected(sess, collected)
+        if span is not None and ctx is not None and sess.tracer.enabled:
+            aliases = [request_id] if request_id else []
+            self.traces.push(ctx["trace"], span.export(), aliases)
         if sess.metrics_enabled:
             metrics = sess.metrics
             metrics.counter("serve/requests", deterministic=False).inc()
@@ -349,12 +408,52 @@ class VerifyService:
                 metrics.counter("serve/trials",
                                 deterministic=False).inc(result["trials"])
                 metrics.timer("serve/seconds/run").inc(run_seconds)
+                if response["meta"]["cache_hit"]:
+                    metrics.counter("serve/cache/hits",
+                                    deterministic=False).inc()
+                else:
+                    metrics.counter("serve/cache/misses",
+                                    deterministic=False).inc()
             else:
                 metrics.counter(f"serve/rejected/{code}",
                                 deterministic=False).inc()
             metrics.timer("serve/seconds/total").inc(total)
+            metrics.histogram("serve/latency_ms",
+                              deterministic=False).observe(total * 1000)
+        self.live.maybe_push(sess)
 
     # -- introspection ---------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /v1/metrics``: the
+        latest ring snapshot of the ambient registry plus service-level
+        gauges (queue depth, counts, cache) — non-empty and well-formed
+        even with observability off."""
+        sess = active()
+        if sess is not None:
+            self.live.maybe_push(sess)
+        slot = self.live.latest()
+        snapshot = slot["metrics"] if slot is not None else {}
+        stats = self.stats()
+        extra: Dict[str, Any] = {
+            "serve/up": 1,
+            "serve/accepting": int(stats["accepting"]),
+            "serve/queue/depth": stats["queue"]["depth"],
+            "serve/queue/limit": stats["queue"]["limit"],
+            "serve/inflight_groups": stats["inflight_groups"],
+            "serve/traces/retained": len(self.traces),
+        }
+        for name, value in stats["counts"].items():
+            extra[f"serve/counts/{name}"] = value
+        for name, value in stats["cache"].items():
+            if isinstance(value, (int, float)):
+                extra[f"serve/cache_stats/{name}"] = value
+        return prometheus_text(snapshot, extra)
+
+    def trace_tree(self, key: str) -> Optional[Dict[str, Any]]:
+        """A finished request's span tree by trace id or request id
+        (``GET /v1/trace/<id>``), or None when unknown/evicted."""
+        return self.traces.get(key)
 
     def stats(self) -> Dict[str, Any]:
         """Health/metrics payload for the transports."""

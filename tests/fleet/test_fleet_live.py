@@ -1,0 +1,130 @@
+"""Fleet live telemetry: wave span trees stitch connected, worker obs
+exports land per wave/shard, heartbeats surface in ``fleet status``."""
+
+import json
+
+from repro import obs
+from repro.fleet import fleet_status, run_fleet, scan_leases
+from repro.fleet.leases import (EV_CLAIM, EV_DONE, append_lease,
+                                shard_heartbeats)
+from repro.fleet.worker import shard_obs_path
+from repro.lab import ResultStore, run_spec
+from repro.lab.spec import ExperimentSpec
+from repro.lab.store import DETERMINISTIC_FIELDS
+from repro.obs import flatten_spans, stitch_spans
+
+SPEC = ExperimentSpec(
+    name="fleet-smoke", experiment="E1", title="fleet test target",
+    protocol="sym-dmam", graph="cycle",
+    grid=(6, 8, 10, 12), quick_grid=(6, 8),
+    provers=("honest",), trials=2, quick_trials=1, seed=11)
+
+
+def _project(record):
+    return {name: record.get(name) for name in DETERMINISTIC_FIELDS}
+
+
+class TestTracedFleetRun:
+    def _run(self, tmp_path, shards=2):
+        store = ResultStore(tmp_path / "fleet")
+        with obs.session() as sess:
+            summary = run_fleet([SPEC], store, shards=shards,
+                                quick=True)
+        assert summary["ok"]
+        return store, sess, summary
+
+    def test_two_shard_run_stitches_one_connected_tree(self, tmp_path):
+        _, sess, _ = self._run(tmp_path)
+        stitched = stitch_spans(sess.tracer.export())
+        assert stitched["connected"]
+        assert stitched["orphans"] == []
+        (trace_id,) = stitched["traces"]
+        assert trace_id == sess.trace_id
+        assert stitched["traces"][trace_id]["roots"] == ["fleet.run"]
+
+    def test_wave_spans_contain_shard_subtrees(self, tmp_path):
+        _, sess, summary = self._run(tmp_path)
+        rows = flatten_spans(sess.tracer.export())
+        names = [row["name"] for row in rows]
+        assert names.count("fleet.wave") == len(summary["waves"])
+        assert names.count("fleet.shard") == 2
+        # Shard roots are children of the wave span they ran under.
+        by_id = {row["id"]: row for row in rows}
+        for row in rows:
+            if row["name"] == "fleet.shard":
+                assert by_id[row["parent"]]["name"] == "fleet.wave"
+
+    def test_worker_obs_exports_stitch_against_supervisor(
+            self, tmp_path):
+        """The cross-process shape: shard obs files re-read from disk
+        link back into the supervisor's wave span."""
+        store, sess, _ = self._run(tmp_path)
+        roots = []
+        for shard in range(2):
+            path = shard_obs_path(store.root, shard, 0)
+            assert path.exists()
+            payload = json.loads(path.read_text())
+            assert payload["metrics"]
+            roots.extend(payload["spans"])
+        assert roots
+        stitched = stitch_spans(list(sess.tracer.export()) + roots)
+        # Every re-read shard root resolves its parent (the wave span)
+        # inside the supervisor's exported forest: nothing orphans.
+        assert stitched["orphans"] == []
+
+    def test_traced_fleet_matches_serial_cells(self, tmp_path):
+        """Tracing the fleet must not perturb the deterministic lane:
+        cells equal an untraced serial run, field for field."""
+        serial = ResultStore(tmp_path / "serial")
+        run_spec(SPEC, serial, quick=True)
+        store, _, _ = self._run(tmp_path)
+        fleet_cells = store.load_cells(SPEC)
+        serial_cells = serial.load_cells(SPEC)
+        assert set(fleet_cells) == set(serial_cells)
+        for key, record in serial_cells.items():
+            assert _project(fleet_cells[key]) == _project(record)
+
+    def test_fleet_metrics_recorded(self, tmp_path):
+        _, sess, summary = self._run(tmp_path)
+        metrics = sess.metrics
+        assert metrics.counter("fleet/cells/planned").value \
+            == summary["planned"]
+        assert metrics.counter("fleet/cells/merged").value \
+            == summary["merged"]["appended"]
+
+
+class TestHeartbeats:
+    def test_heartbeats_from_lease_log(self, tmp_path):
+        append_lease(tmp_path, EV_CLAIM, "s", "k1", 0, 0)
+        append_lease(tmp_path, EV_DONE, "s", "k1", 0, 0)
+        append_lease(tmp_path, EV_CLAIM, "s", "k2", 1, 0)
+        events = scan_leases(tmp_path)
+        beats = shard_heartbeats(events)
+        assert beats[0]["claimed"] == 1 and beats[0]["done"] == 1
+        assert beats[1]["claimed"] == 1 and beats[1]["done"] == 0
+        for beat in beats.values():
+            assert beat["last_ts"] is not None
+            assert beat["last_age"] >= 0.0
+
+    def test_age_measured_from_now(self, tmp_path):
+        append_lease(tmp_path, EV_CLAIM, "s", "k1", 0, 0)
+        events = scan_leases(tmp_path)
+        then = events[-1]["ts"]
+        beats = shard_heartbeats(events, now=then + 42.0)
+        assert beats[0]["last_age"] == 42.0
+
+    def test_pre_timestamp_logs_have_no_age(self):
+        events = [{"event": EV_CLAIM, "spec": "s", "key": "k",
+                   "shard": 0, "attempt": 0}]
+        beats = shard_heartbeats(events)
+        assert beats[0] == {"claimed": 1, "done": 0,
+                            "last_ts": None, "last_age": None}
+
+    def test_fleet_status_carries_heartbeats(self, tmp_path):
+        store = ResultStore(tmp_path / "fleet")
+        run_fleet([SPEC], store, shards=2, quick=True)
+        status = fleet_status(store, [SPEC])
+        assert len(status["shards"]) == 2
+        for row in status["shards"]:
+            assert row["done"] == row["claimed"] == row["cells"]
+            assert row["last_age"] is not None

@@ -1,0 +1,52 @@
+"""Per-node bound checks: the netsim re-run behind the COSTS.md
+per-node section."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.model import ProtocolViolation
+from repro.lab.spec import get_spec
+from repro.ledger.evaluate import per_node_check
+
+
+class TestPerNodeCheck:
+    def test_distribution_sums_to_network_total(self):
+        entry = per_node_check(get_spec("E1-sym-dmam-cost"))
+        assert sum(entry["node_bits"]) == entry["total_bits"]
+        assert len(entry["node_bits"]) == entry["nodes"] == entry["n"]
+        assert entry["node_bits"][0] == entry["node0_bits"]
+        assert entry["min_bits"] <= entry["node0_bits"] \
+            <= entry["max_bits"]
+
+    def test_defaults_to_largest_quick_size(self):
+        spec = get_spec("E1-sym-dmam-cost")
+        assert per_node_check(spec)["n"] == max(spec.quick_grid)
+        assert per_node_check(spec, n=8)["n"] == 8
+
+    def test_deterministic_across_runs(self):
+        spec = get_spec("E1-sym-dmam-cost")
+        assert per_node_check(spec) == per_node_check(spec)
+
+    def test_fitted_headline_reports_without_a_cap(self):
+        entry = per_node_check(get_spec("E1-sym-dmam-cost"))
+        assert entry["fitted"]
+        assert entry["allowed"] is None
+        assert entry["ok"]
+
+    def test_soundness_sweep_refuses_the_honest_run(self):
+        with pytest.raises(ProtocolViolation):
+            per_node_check(get_spec("E1-sym-dmam-soundness"))
+
+    def test_non_sweep_spec_rejected(self):
+        with pytest.raises(ValueError, match="sweep"):
+            per_node_check(get_spec("E4-packing"))
+
+
+class TestCostsTableSection:
+    def test_committed_costs_include_per_node_section(self):
+        costs = Path(__file__).resolve().parents[2] / "docs/COSTS.md"
+        text = costs.read_text(encoding="utf-8")
+        assert "## Per-node bits (netsim)" in text
+        assert "distribution (bits×nodes)" in text
+        assert "skipped (NO instance)" in text

@@ -1,6 +1,8 @@
-"""CLI smoke: obs record / report / top / diff end to end."""
+"""CLI smoke: obs record / report / top / diff / tail / dash end to
+end, plus the awkward inputs (missing or extra metrics, empty runs)."""
 
 import json
+import shutil
 
 import pytest
 
@@ -91,3 +93,71 @@ class TestReportTopDiff:
         # Timers moved too, but wall movement is never a drift.
         assert all("/seconds/" not in name
                    for name in diff["deterministic_drifts"])
+
+
+class TestAwkwardInputs:
+    def _mutate_metrics(self, recorded, tmp_path, drop, add):
+        """A copy of ``recorded`` with ``drop`` removed from and
+        ``add`` appended to its metrics file."""
+        twin = tmp_path / "mutated"
+        shutil.copytree(recorded, twin)
+        metrics = twin / "metrics.jsonl"
+        lines = [line for line in metrics.read_text().splitlines()
+                 if json.loads(line)["name"] != drop]
+        lines.append(json.dumps({"name": add, "kind": "counter",
+                                 "deterministic": True, "value": 7}))
+        metrics.write_text("\n".join(lines) + "\n")
+        return twin
+
+    def test_diff_reports_missing_and_extra_metrics(
+            self, recorded, tmp_path, capsys):
+        twin = self._mutate_metrics(recorded, tmp_path,
+                                    drop="runner/trials",
+                                    add="extra/bits")
+        code = main(["obs", "diff", str(recorded), str(twin),
+                     "--strict", "--json"])
+        diff = json.loads(capsys.readouterr().out)
+        assert code == 1
+        by_name = {entry["name"]: entry for entry in diff["metrics"]}
+        assert by_name["runner/trials"]["status"] == "removed"
+        assert by_name["extra/bits"]["status"] == "added"
+        assert by_name["extra/bits"]["b"] == 7
+        # Both directions of absence are deterministic drifts.
+        assert "runner/trials" in diff["deterministic_drifts"]
+        assert "extra/bits" in diff["deterministic_drifts"]
+
+    def test_flame_on_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        (empty / "trace.jsonl").write_text("")
+        (empty / "metrics.jsonl").write_text("")
+        assert main(["obs", "report", str(empty), "--flame"]) == 0
+        assert "0 spans" in capsys.readouterr().out
+
+    def test_tail_bounded_iterations(self, recorded, capsys):
+        code = main(["obs", "tail", str(recorded),
+                     "--interval", "0", "--iterations", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "obs tail ->" in out
+
+    def test_dash_json_on_recorded_run(self, recorded, capsys):
+        assert main(["obs", "dash", str(recorded), "--json"]) == 0
+        dash = json.loads(capsys.readouterr().out)
+        assert dash["proof_bits"] > 0
+        # No serve traffic in an obs-record run: latency-derived
+        # figures are absent, not fabricated.
+        assert dash["requests"] is None
+        assert dash["p99_ms"] is None
+
+    def test_dash_with_fleet_root(self, recorded, tmp_path, capsys):
+        from repro.fleet.leases import EV_CLAIM, EV_DONE, append_lease
+        append_lease(tmp_path, EV_CLAIM, "s", "k1", 0, 0)
+        append_lease(tmp_path, EV_DONE, "s", "k1", 0, 0)
+        assert main(["obs", "dash", str(recorded),
+                     "--fleet", str(tmp_path), "--json"]) == 0
+        dash = json.loads(capsys.readouterr().out)
+        (row,) = dash["fleet"]
+        assert row["shard"] == 0
+        assert row["claimed"] == 1 and row["done"] == 1
+        assert row["last_age"] >= 0.0
